@@ -1,0 +1,61 @@
+"""F3 — speedup vs topology size (fat-tree k ∈ {4, 6, 8}).
+
+Reproduces the scaling figure: the incremental analyzer's latency for
+a single link failure stays near-flat while the snapshot-diff baseline
+grows with the network, so the speedup widens with scale.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Table, time_call
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.snapshot_diff import SnapshotDiff
+from repro.workloads.changes import ChangeGenerator
+from repro.workloads.scenarios import fat_tree_ospf
+
+
+def test_f3_speedup_vs_scale(benchmark):
+    table = Table(
+        "F3: link-failure latency vs fat-tree size",
+        ["routers", "dna_ms", "baseline_ms", "speedup"],
+    )
+    speedups = []
+    keep_for_benchmark = None
+    for k in (4, 6, 8):
+        scenario = fat_tree_ospf(k)
+        analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
+        generator = ChangeGenerator(scenario, seed=300 + k)
+        down, up = generator.random_link_failure()
+
+        baseline = SnapshotDiff(analyzer.snapshot.clone())
+        base_seconds, reference = time_call(
+            lambda: baseline.analyze(down), repeat=1
+        )
+        dna_seconds, report = time_call(lambda: analyzer.analyze(down), repeat=1)
+        assert report.behavior_signature() == reference.behavior_signature()
+        analyzer.analyze(up)
+
+        speedup = base_seconds / dna_seconds
+        speedups.append(speedup)
+        table.add(
+            f"fat-tree k={k}",
+            routers=scenario.topology.num_routers(),
+            dna_ms=dna_seconds * 1e3,
+            baseline_ms=base_seconds * 1e3,
+            speedup=speedup,
+        )
+        if k == 4:
+            keep_for_benchmark = (analyzer, generator)
+    table.emit()
+
+    # Shape check: the win does not shrink as the fabric grows.
+    assert speedups[-1] > speedups[0] * 0.5
+
+    analyzer, generator = keep_for_benchmark
+    down, up = generator.random_link_failure()
+
+    def round_trip():
+        analyzer.analyze(down)
+        analyzer.analyze(up)
+
+    benchmark(round_trip)

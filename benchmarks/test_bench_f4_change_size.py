@@ -1,0 +1,59 @@
+"""F4 — analysis latency vs change size (batched edits).
+
+Reproduces the crossover figure: as a change batch grows from 1 edit
+toward "rewrite the whole network", the incremental path's advantage
+shrinks — the baseline pays one flat full simulation regardless, while
+DNA's cost is proportional to the touched state.  The crossover point
+(where re-simulating would be cheaper) is the number the paper family
+reports; here we print the ratio per batch size.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Table, time_call
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.snapshot_diff import SnapshotDiff
+from repro.workloads.changes import ChangeGenerator
+from repro.workloads.scenarios import fat_tree_ospf
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_f4_latency_vs_change_size(benchmark):
+    scenario = fat_tree_ospf(6)
+    analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
+    generator = ChangeGenerator(scenario, seed=400)
+
+    table = Table(
+        "F4: latency vs change size (static-route batches, fat-tree k=6)",
+        ["edits", "dna_ms", "baseline_ms", "speedup"],
+    )
+    dna_times = []
+    for size in BATCH_SIZES:
+        add, remove = generator.static_batch(size)
+        baseline = SnapshotDiff(analyzer.snapshot.clone())
+        base_seconds, reference = time_call(lambda: baseline.analyze(add), repeat=1)
+        dna_seconds, report = time_call(lambda: analyzer.analyze(add), repeat=1)
+        assert report.behavior_signature() == reference.behavior_signature()
+        analyzer.analyze(remove)
+        dna_times.append(dna_seconds)
+        table.add(
+            f"batch={size}",
+            edits=size,
+            dna_ms=dna_seconds * 1e3,
+            baseline_ms=base_seconds * 1e3,
+            speedup=base_seconds / dna_seconds,
+        )
+    table.emit()
+
+    # Shape: DNA cost grows with batch size (roughly linear), so the
+    # largest batch is measurably slower than the smallest.
+    assert dna_times[-1] > dna_times[0]
+
+    add, remove = generator.static_batch(8)
+
+    def round_trip():
+        analyzer.analyze(add)
+        analyzer.analyze(remove)
+
+    benchmark(round_trip)

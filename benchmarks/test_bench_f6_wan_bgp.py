@@ -1,0 +1,80 @@
+"""F6 — WAN/BGP changes on Internet2: DNA vs snapshot-diff.
+
+Reproduces the WAN portion of the evaluation: policy changes
+(local-pref flips), route churn (announce/withdraw), customer session
+loss, and backbone link failures — the change mix of an ISP.  The BGP
+work is per-dirty-prefix in DNA, so prefix-scoped changes beat the
+baseline by the prefix count of the network.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Table, time_call
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.change import Change, LinkDown, LinkUp
+from repro.core.snapshot_diff import SnapshotDiff
+from repro.workloads.changes import ChangeGenerator
+from repro.workloads.scenarios import internet2_bgp
+
+
+def _measure(analyzer, forward, backward, table, label):
+    baseline = SnapshotDiff(analyzer.snapshot.clone())
+    base_seconds, reference = time_call(lambda: baseline.analyze(forward), repeat=1)
+    dna_seconds, report = time_call(lambda: analyzer.analyze(forward), repeat=1)
+    assert report.behavior_signature() == reference.behavior_signature()
+    analyzer.analyze(backward)
+    table.add(
+        label,
+        dna_ms=dna_seconds * 1e3,
+        baseline_ms=base_seconds * 1e3,
+        speedup=base_seconds / dna_seconds,
+        prefixes_resolved=report.counters.get("bgp_prefixes_resolved", 0),
+    )
+
+
+def test_f6_wan_bgp_changes(benchmark):
+    scenario = internet2_bgp(customers_per_pop=2, prefixes_per_customer=3)
+    analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
+    generator = ChangeGenerator(scenario, seed=600)
+    total_prefixes = len(analyzer.state.bgp_solutions)
+
+    table = Table(
+        f"F6: Internet2 BGP changes ({total_prefixes} prefixes)",
+        ["dna_ms", "baseline_ms", "speedup", "prefixes_resolved"],
+    )
+
+    flip = generator.dual_homed_pref_flip(100, 200)
+    flip_back = generator.dual_homed_pref_flip(200, 100)
+    _measure(analyzer, flip, flip_back, table, "local-pref flip")
+
+    announce, withdraw = generator.random_prefix_flap()
+    _measure(analyzer, announce, withdraw, table, "announce one prefix")
+
+    # Customer uplink failure: takes the whole session (and its
+    # prefixes) down.
+    customer = "cust_seat0"
+    _measure(
+        analyzer,
+        Change.of(LinkDown(customer, "SEAT"), label="customer uplink down"),
+        Change.of(LinkUp(customer, "SEAT"), label="customer uplink up"),
+        table,
+        "customer uplink down",
+    )
+
+    down, up = generator.random_link_failure()
+    _measure(analyzer, down, up, table, "backbone link failure")
+
+    cost = generator.random_ospf_cost()
+    cost_again = generator.random_ospf_cost()
+    _measure(analyzer, cost, cost_again, table, "igp cost change")
+
+    table.emit()
+
+    flip2 = generator.dual_homed_pref_flip(100, 200)
+    flip2_back = generator.dual_homed_pref_flip(200, 100)
+
+    def round_trip():
+        analyzer.analyze(flip2)
+        analyzer.analyze(flip2_back)
+
+    benchmark(round_trip)

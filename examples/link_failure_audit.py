@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Failure audit: blast radius of every link in a fat-tree fabric.
+
+The motivating workload of incremental verification: sweep *all* link
+failures in a data-center fabric and classify each one's impact —
+which (source, destination) pairs lose connectivity, which merely
+reroute.  With snapshot-diffing this costs one full simulation per
+link; differentially each failure is analyzed in milliseconds and the
+state is restored by analyzing the recovery.
+
+Run:  python examples/link_failure_audit.py [k]
+"""
+
+import sys
+import time
+
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.change import Change, LinkDown, LinkUp
+from repro.workloads.scenarios import fat_tree_ospf
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    scenario = fat_tree_ospf(k)
+    print(f"fabric: fat-tree k={k}, {scenario.topology.num_routers()} routers, "
+          f"{scenario.topology.num_links()} links")
+
+    analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
+    links = list(scenario.topology.links())
+
+    # Losses that matter are losses of *host* traffic; the failed
+    # link's own /31 always disappears and is not an outage.
+    host_spans = [
+        subnet.interval() for subnet in scenario.fabric.all_host_subnets()
+    ]
+
+    def host_pairs_lost(report) -> int:
+        lost = 0
+        for segment in report.reach_segments:
+            if any(segment.lo < hi and lo < segment.hi for lo, hi in host_spans):
+                lost += len(segment.removed)
+        return lost
+
+    print(f"\nauditing {len(links)} single-link failures...\n")
+    started = time.perf_counter()
+    rerouted_only: list[str] = []
+    lossy: list[tuple[str, int]] = []
+    for link in links:
+        (r1, i1), (r2, i2) = link.side_a, link.side_b
+        report = analyzer.analyze(
+            Change.of(LinkDown(r1, r2, i1, i2), label=f"fail {link}")
+        )
+        lost_pairs = host_pairs_lost(report)
+        if lost_pairs:
+            lossy.append((str(link), lost_pairs))
+        elif report.num_fib_changes():
+            rerouted_only.append(str(link))
+        analyzer.analyze(Change.of(LinkUp(r1, r2, i1, i2), label="recover"))
+    elapsed = time.perf_counter() - started
+
+    print(f"audit finished in {elapsed:.2f}s "
+          f"({elapsed / max(len(links), 1) * 1e3:.1f} ms per failure, "
+          f"including recovery analysis)")
+    print(f"\nlinks surviving with reroute only: {len(rerouted_only)}")
+    print(f"links causing reachability loss:   {len(lossy)}")
+    for name, pairs in sorted(lossy, key=lambda item: -item[1])[:10]:
+        print(f"  {name}: {pairs} (src, dst-owner) pairs lost")
+
+    if not lossy:
+        print("\nfabric is single-link-failure tolerant for transit "
+              "traffic (host uplinks excluded from the sweep would "
+              "still be single points of attachment).")
+
+
+if __name__ == "__main__":
+    main()

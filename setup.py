@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The real metadata lives in ``pyproject.toml``; this file exists so the
+legacy ``pip install -e .`` path works in offline environments that
+lack the ``wheel`` package (PEP 660 editable builds need it).
+"""
+
+from setuptools import setup
+
+setup()

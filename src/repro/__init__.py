@@ -1,0 +1,88 @@
+"""Differential Network Analysis (DNA).
+
+A reproduction of the NSDI 2022 system for *incremental* network
+configuration verification.  Given a network snapshot (topology +
+device configurations) and a configuration change, DNA computes the
+delta in control-plane routes, forwarding state, and reachability
+directly — without re-simulating the whole network — and compares
+against a Batfish-style full snapshot-diff baseline.
+
+Top-level convenience re-exports cover the public API most users need::
+
+    from repro import (
+        Snapshot, DifferentialNetworkAnalyzer, SnapshotDiff,
+        LinkDown, fat_tree, internet2,
+    )
+
+Attributes are resolved lazily (PEP 562) so ``import repro`` stays
+cheap and subpackages can be used independently.  See ``DESIGN.md``
+for the system inventory and ``EXPERIMENTS.md`` for the reproduced
+evaluation.
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+# name -> (module, attribute)
+_EXPORTS = {
+    "IPv4Address": ("repro.net.addr", "IPv4Address"),
+    "Prefix": ("repro.net.addr", "Prefix"),
+    "Topology": ("repro.topology.model", "Topology"),
+    "fat_tree": ("repro.topology.generators", "fat_tree"),
+    "grid": ("repro.topology.generators", "grid"),
+    "internet2": ("repro.topology.generators", "internet2"),
+    "line": ("repro.topology.generators", "line"),
+    "random_gnm": ("repro.topology.generators", "random_gnm"),
+    "ring": ("repro.topology.generators", "ring"),
+    "star": ("repro.topology.generators", "star"),
+    "DeviceConfig": ("repro.config.device", "DeviceConfig"),
+    "Snapshot": ("repro.core.snapshot", "Snapshot"),
+    "DifferentialNetworkAnalyzer": ("repro.core.analyzer", "DifferentialNetworkAnalyzer"),
+    "SnapshotDiff": ("repro.core.snapshot_diff", "SnapshotDiff"),
+    "DeltaReport": ("repro.core.delta", "DeltaReport"),
+    "Change": ("repro.core.change", "Change"),
+    "AddAclRule": ("repro.core.change", "AddAclRule"),
+    "AddBgpNeighbor": ("repro.core.change", "AddBgpNeighbor"),
+    "AddRouteMapClause": ("repro.core.change", "AddRouteMapClause"),
+    "AddStaticRoute": ("repro.core.change", "AddStaticRoute"),
+    "AnnouncePrefix": ("repro.core.change", "AnnouncePrefix"),
+    "DisableOspfInterface": ("repro.core.change", "DisableOspfInterface"),
+    "EnableOspfInterface": ("repro.core.change", "EnableOspfInterface"),
+    "LinkDown": ("repro.core.change", "LinkDown"),
+    "LinkUp": ("repro.core.change", "LinkUp"),
+    "RemoveAclRule": ("repro.core.change", "RemoveAclRule"),
+    "RemoveBgpNeighbor": ("repro.core.change", "RemoveBgpNeighbor"),
+    "RemoveRouteMapClause": ("repro.core.change", "RemoveRouteMapClause"),
+    "RemoveStaticRoute": ("repro.core.change", "RemoveStaticRoute"),
+    "SetLocalPref": ("repro.core.change", "SetLocalPref"),
+    "SetOspfCost": ("repro.core.change", "SetOspfCost"),
+    "ShutdownInterface": ("repro.core.change", "ShutdownInterface"),
+    "EnableInterface": ("repro.core.change", "EnableInterface"),
+    "WithdrawPrefix": ("repro.core.change", "WithdrawPrefix"),
+    "parse_change": ("repro.core.change_text", "parse_change"),
+    "serialize_change": ("repro.core.change_text", "serialize_change"),
+    "trace_packet": ("repro.query.trace", "trace_packet"),
+    "path_diff": ("repro.query.paths", "path_diff"),
+    "EquivalenceOracle": ("repro.core.oracle", "EquivalenceOracle"),
+    "simulate": ("repro.controlplane.simulation", "simulate"),
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value  # cache for next access
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,11 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import (
+    BenchRow,
+    Table,
+    geometric_mean,
+    median,
+    time_call,
+)
+
+__all__ = ["BenchRow", "Table", "geometric_mean", "median", "time_call"]

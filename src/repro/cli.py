@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operator-facing workflow over on-disk snapshots:
+
+- ``show <snapshot-dir>`` — snapshot summary and converged state stats.
+- ``analyze <snapshot-dir> <change-script>`` — differential review of
+  a change script (see :mod:`repro.core.change_text` for the format);
+  ``--commit`` writes the changed snapshot back, ``--baseline`` also
+  runs the snapshot-diff baseline and verifies agreement.
+- ``trace <snapshot-dir> <source> <dst-ip>`` — packet trace with
+  optional ``--src/--proto/--dport``.
+- ``demo <directory>`` — write a small example snapshot + change
+  script to play with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.change_text import parse_change, serialize_change
+from repro.core.snapshot import Snapshot
+
+
+def _load(directory: str) -> Snapshot:
+    try:
+        return Snapshot.load(directory)
+    except FileNotFoundError as error:
+        raise SystemExit(f"error: cannot load snapshot: {error}")
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    from repro.controlplane.simulation import simulate
+
+    snapshot = _load(args.snapshot)
+    print(snapshot.summary())
+    state = simulate(snapshot)
+    stats = state.dataplane.stats()
+    print(f"converged: {stats['fib_entries']} FIB entries, "
+          f"{stats['atoms']} atoms, "
+          f"{len(state.bgp_solutions)} BGP prefixes")
+    for router in sorted(state.ribs)[: args.limit]:
+        rib = state.ribs[router]
+        print(f"  {router}: {len(rib)} routes")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.analyzer import DifferentialNetworkAnalyzer
+    from repro.core.snapshot_diff import SnapshotDiff
+
+    snapshot = _load(args.snapshot)
+    with open(args.change) as handle:
+        change = parse_change(handle.read(), label=args.change)
+    print(change.describe())
+
+    analyzer = DifferentialNetworkAnalyzer(snapshot)
+    if args.baseline:
+        baseline = SnapshotDiff(analyzer.snapshot.clone())
+        reference = baseline.analyze(change)
+    report = analyzer.analyze(change)
+    print()
+    print(report.summary())
+    if args.baseline:
+        agree = report.behavior_signature() == reference.behavior_signature()
+        speedup = reference.timings["total"] / max(report.timings["total"], 1e-9)
+        print(f"\nbaseline agrees: {agree} (speedup {speedup:.1f}x)")
+        if not agree:
+            return 1
+    if args.commit:
+        analyzer.snapshot.save(args.snapshot)
+        print(f"\ncommitted to {args.snapshot}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.controlplane.simulation import simulate
+    from repro.net.addr import IPv4Address
+    from repro.query.trace import trace_packet
+
+    snapshot = _load(args.snapshot)
+    state = simulate(snapshot)
+    packet = {"dst": IPv4Address(args.dst).value}
+    if args.src:
+        packet["src"] = IPv4Address(args.src).value
+    if args.proto is not None:
+        packet["proto"] = args.proto
+    if args.dport is not None:
+        packet["dport"] = args.dport
+    trace = trace_packet(state, args.source, packet)
+    print(trace.render())
+    return 0 if trace.is_delivered() else 2
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.workloads.scenarios import ring_ospf
+
+    scenario = ring_ospf(6)
+    scenario.snapshot.save(args.directory)
+    script = os.path.join(args.directory, "change.dna")
+    with open(script, "w") as handle:
+        handle.write("# demo change: fail one ring link\nlink down r0 r1\n")
+    print(f"wrote demo snapshot + change script under {args.directory}")
+    print(f"try: python -m repro analyze {args.directory} {script} --baseline")
+    subnet = scenario.fabric.host_subnets["r3"][0]
+    gateway = str(scenario.topology.router("r3").interface("host0").address)
+    print(f"try: python -m repro trace {args.directory} r0 {gateway}")
+    del subnet
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Differential Network Analysis CLI"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    show = commands.add_parser("show", help="summarize a snapshot")
+    show.add_argument("snapshot")
+    show.add_argument("--limit", type=int, default=10, help="routers to list")
+    show.set_defaults(handler=cmd_show)
+
+    analyze = commands.add_parser("analyze", help="review a change script")
+    analyze.add_argument("snapshot")
+    analyze.add_argument("change")
+    analyze.add_argument("--commit", action="store_true",
+                         help="write the changed snapshot back")
+    analyze.add_argument("--baseline", action="store_true",
+                         help="also run the snapshot-diff baseline and compare")
+    analyze.set_defaults(handler=cmd_analyze)
+
+    trace = commands.add_parser("trace", help="trace one packet")
+    trace.add_argument("snapshot")
+    trace.add_argument("source", help="injecting router")
+    trace.add_argument("dst", help="destination IPv4 address")
+    trace.add_argument("--src", help="source IPv4 address")
+    trace.add_argument("--proto", type=int)
+    trace.add_argument("--dport", type=int)
+    trace.set_defaults(handler=cmd_trace)
+
+    demo = commands.add_parser("demo", help="write a demo snapshot")
+    demo.add_argument("directory")
+    demo.set_defaults(handler=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

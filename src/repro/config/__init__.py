@@ -1,0 +1,48 @@
+"""Vendor-neutral device configuration model.
+
+A :class:`~repro.config.device.DeviceConfig` carries everything the
+control plane needs for one router: interface settings (enable flags,
+ACL bindings), static routes, an OSPF process, a BGP process, ACLs,
+prefix lists, and route maps.  The model is deliberately close to the
+subset of IOS/Junos semantics that Batfish-style simulators cover:
+enough to express the evaluation scenarios without vendor quirks.
+
+:mod:`~repro.config.text` provides a plain-text serialization (one
+block per device) with a round-tripping parser, so snapshots can live
+on disk like real config directories.
+"""
+
+from repro.config.acl import Acl, AclAction, AclRule
+from repro.config.device import DeviceConfig, InterfaceConfig
+from repro.config.routemap import (
+    AttributeBundle,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.config.routing import (
+    BgpConfig,
+    BgpNeighborConfig,
+    OspfConfig,
+    OspfInterfaceSettings,
+    StaticRouteConfig,
+)
+
+__all__ = [
+    "Acl",
+    "AclAction",
+    "AclRule",
+    "AttributeBundle",
+    "BgpConfig",
+    "BgpNeighborConfig",
+    "DeviceConfig",
+    "InterfaceConfig",
+    "OspfConfig",
+    "OspfInterfaceSettings",
+    "PrefixList",
+    "PrefixListEntry",
+    "RouteMap",
+    "RouteMapClause",
+    "StaticRouteConfig",
+]

@@ -1,0 +1,105 @@
+"""Per-device configuration container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.acl import Acl
+from repro.config.routemap import PrefixList, RouteMap
+from repro.config.routing import BgpConfig, OspfConfig, StaticRouteConfig
+
+
+@dataclass
+class InterfaceConfig:
+    """Configuration attached to one interface.
+
+    Addressing lives on the topology interface; this carries the
+    administrative state and ACL bindings.
+    """
+
+    enabled: bool = True
+    acl_in: str | None = None
+    acl_out: str | None = None
+
+    def clone(self) -> "InterfaceConfig":
+        return InterfaceConfig(self.enabled, self.acl_in, self.acl_out)
+
+
+@dataclass
+class DeviceConfig:
+    """Everything configured on one router.
+
+    Maps are keyed by the obvious names (interface name, ACL name,
+    route-map name, prefix-list name).  ``interfaces`` entries are
+    optional — an interface missing from the map uses the defaults.
+    """
+
+    hostname: str
+    interfaces: dict[str, InterfaceConfig] = field(default_factory=dict)
+    static_routes: list[StaticRouteConfig] = field(default_factory=list)
+    ospf: OspfConfig | None = None
+    bgp: BgpConfig | None = None
+    acls: dict[str, Acl] = field(default_factory=dict)
+    route_maps: dict[str, RouteMap] = field(default_factory=dict)
+    prefix_lists: dict[str, PrefixList] = field(default_factory=dict)
+
+    # -- lookups --------------------------------------------------------
+
+    def interface_config(self, name: str) -> InterfaceConfig:
+        """Settings for an interface (defaults if unconfigured)."""
+        return self.interfaces.get(name, _DEFAULT_INTERFACE)
+
+    def acl(self, name: str) -> Acl:
+        """Look up an ACL; raises KeyError with context if missing."""
+        try:
+            return self.acls[name]
+        except KeyError:
+            raise KeyError(f"{self.hostname}: no ACL named {name!r}") from None
+
+    def route_map(self, name: str) -> RouteMap:
+        """Look up a route map; raises KeyError with context if missing."""
+        try:
+            return self.route_maps[name]
+        except KeyError:
+            raise KeyError(f"{self.hostname}: no route-map named {name!r}") from None
+
+    # -- mutation helpers ------------------------------------------------
+
+    def ensure_interface(self, name: str) -> InterfaceConfig:
+        """The mutable InterfaceConfig for ``name``, creating it."""
+        if name not in self.interfaces:
+            self.interfaces[name] = InterfaceConfig()
+        return self.interfaces[name]
+
+    def add_static_route(self, route: StaticRouteConfig) -> None:
+        """Append a static route; rejects exact duplicates."""
+        if route in self.static_routes:
+            raise ValueError(f"{self.hostname}: duplicate static route {route}")
+        self.static_routes.append(route)
+
+    def remove_static_route(self, route: StaticRouteConfig) -> None:
+        """Remove a static route by value."""
+        try:
+            self.static_routes.remove(route)
+        except ValueError:
+            raise ValueError(
+                f"{self.hostname}: static route not present: {route}"
+            ) from None
+
+    # -- copying ----------------------------------------------------------
+
+    def clone(self) -> "DeviceConfig":
+        """A deep copy sharing no mutable state with the original."""
+        return DeviceConfig(
+            hostname=self.hostname,
+            interfaces={name: c.clone() for name, c in self.interfaces.items()},
+            static_routes=list(self.static_routes),
+            ospf=self.ospf.clone() if self.ospf else None,
+            bgp=self.bgp.clone() if self.bgp else None,
+            acls={name: acl.clone() for name, acl in self.acls.items()},
+            route_maps={name: rm.clone() for name, rm in self.route_maps.items()},
+            prefix_lists={name: pl.clone() for name, pl in self.prefix_lists.items()},
+        )
+
+
+_DEFAULT_INTERFACE = InterfaceConfig()

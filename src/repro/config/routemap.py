@@ -1,0 +1,213 @@
+"""Prefix lists, route maps, and BGP attribute manipulation.
+
+Route maps are the policy language of the BGP layer: an ordered list
+of clauses, each with match conditions (prefix list, community) and
+set actions (local-pref, MED, communities, AS-path prepend), with
+permit/deny semantics and an implicit trailing deny — the usual
+IOS-style behaviour that Batfish models.
+
+Policies transform an :class:`AttributeBundle`, the mutable bag of BGP
+path attributes a route carries while being imported/exported.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.net.addr import Prefix
+
+
+@dataclass(frozen=True)
+class AttributeBundle:
+    """BGP path attributes carried by one route announcement.
+
+    Immutable; policy application returns a new bundle.  ``as_path``
+    is a tuple of ASNs, leftmost = most recent hop.  ``communities``
+    is a frozenset of (asn, value) pairs.
+    """
+
+    prefix: Prefix
+    as_path: tuple[int, ...] = ()
+    local_pref: int = 100
+    med: int = 0
+    origin_asn: int = 0
+    communities: frozenset[tuple[int, int]] = frozenset()
+
+    def prepend(self, asn: int, count: int = 1) -> "AttributeBundle":
+        """Prepend ``asn`` to the AS path ``count`` times."""
+        return replace(self, as_path=(asn,) * count + self.as_path)
+
+    def with_local_pref(self, value: int) -> "AttributeBundle":
+        """A copy with a different local preference."""
+        return replace(self, local_pref=value)
+
+    def with_med(self, value: int) -> "AttributeBundle":
+        """A copy with a different MED."""
+        return replace(self, med=value)
+
+    def add_communities(self, tags: Iterable[tuple[int, int]]) -> "AttributeBundle":
+        """A copy with extra community tags."""
+        return replace(self, communities=self.communities | frozenset(tags))
+
+    def remove_communities(self, tags: Iterable[tuple[int, int]]) -> "AttributeBundle":
+        """A copy with the given community tags removed."""
+        return replace(self, communities=self.communities - frozenset(tags))
+
+    def path_contains(self, asn: int) -> bool:
+        """Loop check: True if ``asn`` already appears in the path."""
+        return asn in self.as_path
+
+
+@dataclass(frozen=True)
+class PrefixListEntry:
+    """One prefix-list line: match ``prefix`` with length bounds.
+
+    A route ``r`` matches iff ``prefix.contains_prefix(r)`` and
+    ``ge <= r.length <= le``.  Defaults reproduce exact-match.
+    """
+
+    prefix: Prefix
+    ge: int | None = None
+    le: int | None = None
+    permit: bool = True
+
+    def matches(self, route_prefix: Prefix) -> bool:
+        """True if the entry's match condition holds for the route."""
+        if not self.prefix.contains_prefix(route_prefix):
+            return False
+        lower = self.ge if self.ge is not None else self.prefix.length
+        upper = self.le if self.le is not None else (
+            32 if self.ge is not None else self.prefix.length
+        )
+        return lower <= route_prefix.length <= upper
+
+
+@dataclass
+class PrefixList:
+    """An ordered prefix list with first-match semantics."""
+
+    name: str
+    entries: list[PrefixListEntry] = field(default_factory=list)
+
+    def permits(self, route_prefix: Prefix) -> bool:
+        """First-match evaluation; implicit deny."""
+        for entry in self.entries:
+            if entry.matches(route_prefix):
+                return entry.permit
+        return False
+
+    def clone(self) -> "PrefixList":
+        """An independent copy."""
+        return PrefixList(self.name, list(self.entries))
+
+
+class ClauseAction(enum.Enum):
+    """Disposition of a route-map clause."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class RouteMapClause:
+    """One route-map stanza.
+
+    Matching: all present match conditions must hold (AND).  On match,
+    a PERMIT clause applies its set actions and accepts the route; a
+    DENY clause rejects it.  On no match, evaluation falls through to
+    the next clause.
+    """
+
+    seq: int
+    action: ClauseAction = ClauseAction.PERMIT
+    match_prefix_list: str | None = None
+    match_community: tuple[int, int] | None = None
+    set_local_pref: int | None = None
+    set_med: int | None = None
+    set_communities_add: frozenset[tuple[int, int]] = frozenset()
+    set_communities_remove: frozenset[tuple[int, int]] = frozenset()
+    prepend_count: int = 0
+
+    def matches(
+        self,
+        bundle: AttributeBundle,
+        prefix_lists: dict[str, PrefixList],
+    ) -> bool:
+        """Evaluate the clause's match conditions against a route."""
+        if self.match_prefix_list is not None:
+            plist = prefix_lists.get(self.match_prefix_list)
+            if plist is None or not plist.permits(bundle.prefix):
+                return False
+        if self.match_community is not None:
+            if self.match_community not in bundle.communities:
+                return False
+        return True
+
+    def apply_sets(self, bundle: AttributeBundle, own_asn: int) -> AttributeBundle:
+        """Apply this clause's set actions to a matching route."""
+        if self.set_local_pref is not None:
+            bundle = bundle.with_local_pref(self.set_local_pref)
+        if self.set_med is not None:
+            bundle = bundle.with_med(self.set_med)
+        if self.set_communities_add:
+            bundle = bundle.add_communities(self.set_communities_add)
+        if self.set_communities_remove:
+            bundle = bundle.remove_communities(self.set_communities_remove)
+        if self.prepend_count:
+            bundle = bundle.prepend(own_asn, self.prepend_count)
+        return bundle
+
+
+@dataclass
+class RouteMap:
+    """An ordered list of clauses with an implicit trailing deny."""
+
+    name: str
+    clauses: list[RouteMapClause] = field(default_factory=list)
+
+    def sorted_clauses(self) -> list[RouteMapClause]:
+        """Clauses in sequence-number order."""
+        return sorted(self.clauses, key=lambda clause: clause.seq)
+
+    def apply(
+        self,
+        bundle: AttributeBundle,
+        prefix_lists: dict[str, PrefixList],
+        own_asn: int,
+    ) -> AttributeBundle | None:
+        """Run the route through the map.
+
+        Returns the transformed bundle if permitted, None if denied
+        (explicitly or by the implicit trailing deny).
+        """
+        for clause in self.sorted_clauses():
+            if not clause.matches(bundle, prefix_lists):
+                continue
+            if clause.action is ClauseAction.DENY:
+                return None
+            return clause.apply_sets(bundle, own_asn)
+        return None
+
+    def add_clause(self, clause: RouteMapClause) -> None:
+        """Insert a clause; rejects duplicate sequence numbers."""
+        if any(existing.seq == clause.seq for existing in self.clauses):
+            raise ValueError(
+                f"route-map {self.name} already has clause seq {clause.seq}"
+            )
+        self.clauses.append(clause)
+
+    def remove_clause(self, seq: int) -> None:
+        """Delete the clause with sequence number ``seq``."""
+        before = len(self.clauses)
+        self.clauses = [clause for clause in self.clauses if clause.seq != seq]
+        if len(self.clauses) == before:
+            raise ValueError(f"route-map {self.name} has no clause seq {seq}")
+
+    def clone(self) -> "RouteMap":
+        """An independent copy (clauses are immutable and shared)."""
+        return RouteMap(self.name, list(self.clauses))
+
+
+PERMIT_ALL = RouteMap("__permit_all__", [RouteMapClause(seq=10)])

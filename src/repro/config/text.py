@@ -1,0 +1,528 @@
+"""Plain-text serialization of device configurations.
+
+The format is a small, line-oriented, IOS-flavoured language::
+
+    device edge0_0
+      interface eth0
+        shutdown
+        acl-in BLOCK_WEB
+      static 172.16.1.0/24 next-hop 10.0.0.1
+      static 172.16.9.0/24 drop
+      ospf
+        interface eth0 area 0 cost 10
+        interface host0 area 0 cost 1 passive
+      bgp 65001 router-id 192.168.0.1
+        redistribute-connected
+        neighbor 10.0.0.1 remote-as 65002 import IMP export EXP
+        network 172.16.1.0/24
+      acl BLOCK_WEB
+        deny dst 172.16.5.0/24 proto 6 dport 80-80
+        permit dst 0.0.0.0/0
+      prefix-list CUST
+        permit 172.16.0.0/12 ge 24 le 24
+      route-map IMP
+        clause 10 permit
+          match prefix-list CUST
+          set local-pref 200
+        clause 20 deny
+
+Indentation is cosmetic; keywords drive the parser state machine.
+``serialize_device`` / ``parse_device`` round-trip, and
+``serialize_configs`` / ``parse_configs`` handle a whole snapshot
+(devices separated by their ``device`` headers).
+"""
+
+from __future__ import annotations
+
+from repro.config.acl import Acl, AclAction, AclRule
+from repro.config.device import DeviceConfig, InterfaceConfig
+from repro.config.routemap import (
+    ClauseAction,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.config.routing import (
+    BgpConfig,
+    BgpNeighborConfig,
+    OspfConfig,
+    OspfInterfaceSettings,
+    StaticRouteConfig,
+)
+from repro.net.addr import IPv4Address, Prefix
+
+
+class ConfigParseError(ValueError):
+    """Raised on malformed configuration text, with line context."""
+
+    def __init__(self, line_number: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def _community_text(tag: tuple[int, int]) -> str:
+    return f"{tag[0]}:{tag[1]}"
+
+
+def _serialize_static(route: StaticRouteConfig) -> str:
+    if route.drop:
+        target = "drop"
+    elif route.next_hop is not None:
+        target = f"next-hop {route.next_hop}"
+    else:
+        target = f"interface {route.interface}"
+    suffix = ""
+    if route.admin_distance != 1:
+        suffix = f" distance {route.admin_distance}"
+    return f"  static {route.prefix} {target}{suffix}"
+
+
+def _serialize_acl_rule(rule: AclRule) -> str:
+    parts = [rule.action.value, "dst", str(rule.dst)]
+    if rule.src is not None:
+        parts += ["src", str(rule.src)]
+    if rule.proto is not None:
+        parts += ["proto", str(rule.proto)]
+    if rule.dport_lo is not None:
+        parts += ["dport", f"{rule.dport_lo}-{rule.dport_hi}"]
+    return "    " + " ".join(parts)
+
+
+def _serialize_clause(clause: RouteMapClause) -> list[str]:
+    lines = [f"    clause {clause.seq} {clause.action.value}"]
+    if clause.match_prefix_list is not None:
+        lines.append(f"      match prefix-list {clause.match_prefix_list}")
+    if clause.match_community is not None:
+        lines.append(f"      match community {_community_text(clause.match_community)}")
+    if clause.set_local_pref is not None:
+        lines.append(f"      set local-pref {clause.set_local_pref}")
+    if clause.set_med is not None:
+        lines.append(f"      set med {clause.set_med}")
+    for tag in sorted(clause.set_communities_add):
+        lines.append(f"      set community add {_community_text(tag)}")
+    for tag in sorted(clause.set_communities_remove):
+        lines.append(f"      set community remove {_community_text(tag)}")
+    if clause.prepend_count:
+        lines.append(f"      prepend {clause.prepend_count}")
+    return lines
+
+
+def serialize_device(config: DeviceConfig) -> str:
+    """Render one device's configuration as text."""
+    lines = [f"device {config.hostname}"]
+    for name in sorted(config.interfaces):
+        settings = config.interfaces[name]
+        body: list[str] = []
+        if not settings.enabled:
+            body.append("    shutdown")
+        if settings.acl_in is not None:
+            body.append(f"    acl-in {settings.acl_in}")
+        if settings.acl_out is not None:
+            body.append(f"    acl-out {settings.acl_out}")
+        if body:
+            lines.append(f"  interface {name}")
+            lines.extend(body)
+    for route in config.static_routes:
+        lines.append(_serialize_static(route))
+    if config.ospf is not None:
+        lines.append("  ospf")
+        for name in sorted(config.ospf.interfaces):
+            settings = config.ospf.interfaces[name]
+            line = f"    interface {name} area {settings.area} cost {settings.cost}"
+            if settings.passive:
+                line += " passive"
+            if not settings.enabled:
+                line += " disabled"
+            lines.append(line)
+    if config.bgp is not None:
+        bgp = config.bgp
+        lines.append(f"  bgp {bgp.asn} router-id {bgp.router_id}")
+        if bgp.redistribute_connected:
+            lines.append("    redistribute-connected")
+        for peer_ip in sorted(bgp.neighbors, key=lambda ip: ip.value):
+            neighbor = bgp.neighbors[peer_ip]
+            line = f"    neighbor {peer_ip} remote-as {neighbor.remote_asn}"
+            if neighbor.import_policy is not None:
+                line += f" import {neighbor.import_policy}"
+            if neighbor.export_policy is not None:
+                line += f" export {neighbor.export_policy}"
+            if neighbor.next_hop_self:
+                line += " next-hop-self"
+            lines.append(line)
+        for prefix in bgp.originated:
+            lines.append(f"    network {prefix}")
+    for name in sorted(config.acls):
+        lines.append(f"  acl {name}")
+        for rule in config.acls[name].rules:
+            lines.append(_serialize_acl_rule(rule))
+    for name in sorted(config.prefix_lists):
+        lines.append(f"  prefix-list {name}")
+        for entry in config.prefix_lists[name].entries:
+            line = f"    {'permit' if entry.permit else 'deny'} {entry.prefix}"
+            if entry.ge is not None:
+                line += f" ge {entry.ge}"
+            if entry.le is not None:
+                line += f" le {entry.le}"
+            lines.append(line)
+    for name in sorted(config.route_maps):
+        lines.append(f"  route-map {name}")
+        for clause in config.route_maps[name].sorted_clauses():
+            lines.extend(_serialize_clause(clause))
+    return "\n".join(lines) + "\n"
+
+
+def serialize_configs(configs: dict[str, DeviceConfig]) -> str:
+    """Render a whole snapshot's configs, one device block after another."""
+    return "\n".join(
+        serialize_device(configs[hostname]) for hostname in sorted(configs)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_community(text: str) -> tuple[int, int]:
+    asn_text, _, value_text = text.partition(":")
+    return (int(asn_text), int(value_text))
+
+
+class _Parser:
+    """Line-driven state machine shared by device/snapshot parsing."""
+
+    def __init__(self, text: str) -> None:
+        self.lines = text.splitlines()
+        self.index = 0
+        self.devices: dict[str, DeviceConfig] = {}
+        self.device: DeviceConfig | None = None
+        # Current sub-block context.
+        self.context: str | None = None
+        self.current_acl: Acl | None = None
+        self.current_plist: PrefixList | None = None
+        self.current_rmap: RouteMap | None = None
+        self.current_clause: dict | None = None
+        self.current_interface: InterfaceConfig | None = None
+
+    def error(self, message: str) -> ConfigParseError:
+        line = self.lines[self.index] if self.index < len(self.lines) else "<eof>"
+        return ConfigParseError(self.index + 1, line, message)
+
+    def flush_clause(self) -> None:
+        if self.current_clause is None or self.current_rmap is None:
+            return
+        fields = self.current_clause
+        self.current_rmap.add_clause(RouteMapClause(**fields))
+        self.current_clause = None
+
+    def run(self) -> dict[str, DeviceConfig]:
+        for self.index in range(len(self.lines)):
+            raw = self.lines[self.index]
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            self.dispatch(tokens)
+        self.flush_clause()
+        return self.devices
+
+    # -- dispatch -------------------------------------------------------
+
+    def dispatch(self, tokens: list[str]) -> None:
+        keyword = tokens[0]
+        if keyword == "device":
+            self.flush_clause()
+            self.start_device(tokens)
+            return
+        if self.device is None:
+            raise self.error("statement outside any device block")
+        handler = {
+            "interface": self.handle_interface,
+            "static": self.handle_static,
+            "ospf": self.handle_ospf,
+            "bgp": self.handle_bgp,
+            "acl": self.handle_acl_header,
+            "prefix-list": self.handle_plist_header,
+            "route-map": self.handle_rmap_header,
+        }.get(keyword)
+        if handler is not None:
+            handler(tokens)
+            return
+        self.handle_context_line(tokens)
+
+    def start_device(self, tokens: list[str]) -> None:
+        if len(tokens) != 2:
+            raise self.error("expected: device <hostname>")
+        hostname = tokens[1]
+        if hostname in self.devices:
+            raise self.error(f"duplicate device {hostname!r}")
+        self.device = DeviceConfig(hostname)
+        self.devices[hostname] = self.device
+        self.context = None
+
+    # -- top-level statements --------------------------------------------
+
+    def handle_interface(self, tokens: list[str]) -> None:
+        if self.context == "ospf":
+            self.handle_ospf_interface(tokens)
+            return
+        self.flush_clause()
+        if len(tokens) != 2:
+            raise self.error("expected: interface <name>")
+        assert self.device is not None
+        self.current_interface = self.device.ensure_interface(tokens[1])
+        self.context = "interface"
+
+    def handle_static(self, tokens: list[str]) -> None:
+        self.flush_clause()
+        self.context = None
+        assert self.device is not None
+        if len(tokens) < 3:
+            raise self.error("expected: static <prefix> <target>")
+        prefix = Prefix(tokens[1])
+        distance = 1
+        body = tokens[2:]
+        if "distance" in body:
+            at = body.index("distance")
+            distance = int(body[at + 1])
+            body = body[:at]
+        if body == ["drop"]:
+            route = StaticRouteConfig(prefix, drop=True, admin_distance=distance)
+        elif len(body) == 2 and body[0] == "next-hop":
+            route = StaticRouteConfig(
+                prefix, next_hop=IPv4Address(body[1]), admin_distance=distance
+            )
+        elif len(body) == 2 and body[0] == "interface":
+            route = StaticRouteConfig(
+                prefix, interface=body[1], admin_distance=distance
+            )
+        else:
+            raise self.error("bad static route target")
+        self.device.add_static_route(route)
+
+    def handle_ospf(self, tokens: list[str]) -> None:
+        self.flush_clause()
+        if len(tokens) != 1:
+            raise self.error("expected: ospf")
+        assert self.device is not None
+        if self.device.ospf is None:
+            self.device.ospf = OspfConfig()
+        self.context = "ospf"
+
+    def handle_ospf_interface(self, tokens: list[str]) -> None:
+        assert self.device is not None and self.device.ospf is not None
+        if len(tokens) < 6 or tokens[2] != "area" or tokens[4] != "cost":
+            raise self.error(
+                "expected: interface <name> area <n> cost <n> [passive] [disabled]"
+            )
+        flags = tokens[6:]
+        settings = OspfInterfaceSettings(
+            area=int(tokens[3]),
+            cost=int(tokens[5]),
+            enabled="disabled" not in flags,
+            passive="passive" in flags,
+        )
+        self.device.ospf.interfaces[tokens[1]] = settings
+
+    def handle_bgp(self, tokens: list[str]) -> None:
+        self.flush_clause()
+        if len(tokens) != 4 or tokens[2] != "router-id":
+            raise self.error("expected: bgp <asn> router-id <ip>")
+        assert self.device is not None
+        self.device.bgp = BgpConfig(
+            asn=int(tokens[1]), router_id=IPv4Address(tokens[3])
+        )
+        self.context = "bgp"
+
+    def handle_acl_header(self, tokens: list[str]) -> None:
+        self.flush_clause()
+        if len(tokens) != 2:
+            raise self.error("expected: acl <name>")
+        assert self.device is not None
+        self.current_acl = Acl(tokens[1])
+        self.device.acls[tokens[1]] = self.current_acl
+        self.context = "acl"
+
+    def handle_plist_header(self, tokens: list[str]) -> None:
+        self.flush_clause()
+        if len(tokens) != 2:
+            raise self.error("expected: prefix-list <name>")
+        assert self.device is not None
+        self.current_plist = PrefixList(tokens[1])
+        self.device.prefix_lists[tokens[1]] = self.current_plist
+        self.context = "prefix-list"
+
+    def handle_rmap_header(self, tokens: list[str]) -> None:
+        self.flush_clause()
+        if len(tokens) != 2:
+            raise self.error("expected: route-map <name>")
+        assert self.device is not None
+        self.current_rmap = RouteMap(tokens[1])
+        self.device.route_maps[tokens[1]] = self.current_rmap
+        self.context = "route-map"
+
+    # -- context-dependent statements --------------------------------------
+
+    def handle_context_line(self, tokens: list[str]) -> None:
+        handlers = {
+            "interface": self.interface_line,
+            "ospf": self.ospf_line,
+            "bgp": self.bgp_line,
+            "acl": self.acl_line,
+            "prefix-list": self.plist_line,
+            "route-map": self.rmap_line,
+        }
+        if self.context not in handlers:
+            raise self.error(f"unexpected statement {tokens[0]!r}")
+        handlers[self.context](tokens)
+
+    def interface_line(self, tokens: list[str]) -> None:
+        assert self.current_interface is not None
+        if tokens == ["shutdown"]:
+            self.current_interface.enabled = False
+        elif len(tokens) == 2 and tokens[0] == "acl-in":
+            self.current_interface.acl_in = tokens[1]
+        elif len(tokens) == 2 and tokens[0] == "acl-out":
+            self.current_interface.acl_out = tokens[1]
+        else:
+            raise self.error("bad interface statement")
+
+    def ospf_line(self, tokens: list[str]) -> None:
+        if tokens[0] == "interface":
+            self.handle_ospf_interface(tokens)
+        else:
+            raise self.error("bad ospf statement")
+
+    def bgp_line(self, tokens: list[str]) -> None:
+        assert self.device is not None and self.device.bgp is not None
+        bgp = self.device.bgp
+        if tokens == ["redistribute-connected"]:
+            bgp.redistribute_connected = True
+            return
+        if tokens[0] == "network" and len(tokens) == 2:
+            bgp.originated.append(Prefix(tokens[1]))
+            return
+        if tokens[0] == "neighbor":
+            if len(tokens) < 4 or tokens[2] != "remote-as":
+                raise self.error("expected: neighbor <ip> remote-as <asn> ...")
+            neighbor = BgpNeighborConfig(
+                peer_ip=IPv4Address(tokens[1]), remote_asn=int(tokens[3])
+            )
+            rest = tokens[4:]
+            while rest:
+                if rest[0] == "import" and len(rest) >= 2:
+                    neighbor.import_policy = rest[1]
+                    rest = rest[2:]
+                elif rest[0] == "export" and len(rest) >= 2:
+                    neighbor.export_policy = rest[1]
+                    rest = rest[2:]
+                elif rest[0] == "next-hop-self":
+                    neighbor.next_hop_self = True
+                    rest = rest[1:]
+                else:
+                    raise self.error(f"bad neighbor option {rest[0]!r}")
+            bgp.add_neighbor(neighbor)
+            return
+        raise self.error("bad bgp statement")
+
+    def acl_line(self, tokens: list[str]) -> None:
+        assert self.current_acl is not None
+        if tokens[0] not in ("permit", "deny"):
+            raise self.error("acl rule must start with permit/deny")
+        action = AclAction.PERMIT if tokens[0] == "permit" else AclAction.DENY
+        fields: dict = {}
+        rest = tokens[1:]
+        while rest:
+            if rest[0] == "dst" and len(rest) >= 2:
+                fields["dst"] = Prefix(rest[1])
+                rest = rest[2:]
+            elif rest[0] == "src" and len(rest) >= 2:
+                fields["src"] = Prefix(rest[1])
+                rest = rest[2:]
+            elif rest[0] == "proto" and len(rest) >= 2:
+                fields["proto"] = int(rest[1])
+                rest = rest[2:]
+            elif rest[0] == "dport" and len(rest) >= 2:
+                lo_text, _, hi_text = rest[1].partition("-")
+                fields["dport_lo"] = int(lo_text)
+                fields["dport_hi"] = int(hi_text or lo_text)
+                rest = rest[2:]
+            else:
+                raise self.error(f"bad acl field {rest[0]!r}")
+        if "dst" not in fields:
+            raise self.error("acl rule needs a dst")
+        self.current_acl.rules.append(AclRule(action=action, **fields))
+
+    def plist_line(self, tokens: list[str]) -> None:
+        assert self.current_plist is not None
+        if tokens[0] not in ("permit", "deny") or len(tokens) < 2:
+            raise self.error("expected: permit|deny <prefix> [ge n] [le n]")
+        entry_fields: dict = {
+            "prefix": Prefix(tokens[1]),
+            "permit": tokens[0] == "permit",
+        }
+        rest = tokens[2:]
+        while rest:
+            if rest[0] == "ge" and len(rest) >= 2:
+                entry_fields["ge"] = int(rest[1])
+                rest = rest[2:]
+            elif rest[0] == "le" and len(rest) >= 2:
+                entry_fields["le"] = int(rest[1])
+                rest = rest[2:]
+            else:
+                raise self.error(f"bad prefix-list option {rest[0]!r}")
+        self.current_plist.entries.append(PrefixListEntry(**entry_fields))
+
+    def rmap_line(self, tokens: list[str]) -> None:
+        assert self.current_rmap is not None
+        if tokens[0] == "clause":
+            self.flush_clause()
+            if len(tokens) != 3 or tokens[2] not in ("permit", "deny"):
+                raise self.error("expected: clause <seq> permit|deny")
+            self.current_clause = {
+                "seq": int(tokens[1]),
+                "action": (
+                    ClauseAction.PERMIT if tokens[2] == "permit" else ClauseAction.DENY
+                ),
+            }
+            return
+        if self.current_clause is None:
+            raise self.error("route-map statement outside a clause")
+        clause = self.current_clause
+        if tokens[:2] == ["match", "prefix-list"] and len(tokens) == 3:
+            clause["match_prefix_list"] = tokens[2]
+        elif tokens[:2] == ["match", "community"] and len(tokens) == 3:
+            clause["match_community"] = _parse_community(tokens[2])
+        elif tokens[:2] == ["set", "local-pref"] and len(tokens) == 3:
+            clause["set_local_pref"] = int(tokens[2])
+        elif tokens[:2] == ["set", "med"] and len(tokens) == 3:
+            clause["set_med"] = int(tokens[2])
+        elif tokens[:3] == ["set", "community", "add"] and len(tokens) == 4:
+            existing = clause.get("set_communities_add", frozenset())
+            clause["set_communities_add"] = existing | {_parse_community(tokens[3])}
+        elif tokens[:3] == ["set", "community", "remove"] and len(tokens) == 4:
+            existing = clause.get("set_communities_remove", frozenset())
+            clause["set_communities_remove"] = existing | {_parse_community(tokens[3])}
+        elif tokens[0] == "prepend" and len(tokens) == 2:
+            clause["prepend_count"] = int(tokens[1])
+        else:
+            raise self.error("bad route-map statement")
+
+
+def parse_configs(text: str) -> dict[str, DeviceConfig]:
+    """Parse one or more device blocks into configs keyed by hostname."""
+    return _Parser(text).run()
+
+
+def parse_device(text: str) -> DeviceConfig:
+    """Parse exactly one device block."""
+    devices = parse_configs(text)
+    if len(devices) != 1:
+        raise ValueError(f"expected exactly one device, found {len(devices)}")
+    return next(iter(devices.values()))

@@ -1,0 +1,44 @@
+"""Control-plane computation.
+
+Two paths compute the same routing state:
+
+- :mod:`~repro.controlplane.simulation` — full convergence from
+  scratch (the Batfish-style baseline): connected + static + OSPF
+  (per-area SPF with ECMP, inter-area via the backbone) + BGP
+  (per-prefix path-vector with the standard decision process and
+  route-map policies), merged into per-router RIBs and FIBs.
+- :mod:`~repro.controlplane.incremental` — the differential path: a
+  change produces dirty sets (affected SPF sources, dirty BGP
+  prefixes), which are re-solved in place; everything else is reused.
+  The output is a RIB/FIB *delta* plus the updated state.
+
+Both share the data structures in :mod:`~repro.controlplane.rib` and
+the solvers in :mod:`~repro.controlplane.spf`,
+:mod:`~repro.controlplane.ospf` and :mod:`~repro.controlplane.bgp`,
+so agreement between them is checked tuple-for-tuple in the tests.
+"""
+
+from typing import Any
+
+from repro.controlplane.rib import NextHop, Rib, Route
+
+__all__ = ["NetworkState", "NextHop", "Rib", "Route", "simulate"]
+
+_LAZY = {
+    "NetworkState": ("repro.controlplane.simulation", "NetworkState"),
+    "simulate": ("repro.controlplane.simulation", "simulate"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.controlplane' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value
+    return value

@@ -1,0 +1,396 @@
+"""BGP: session discovery, per-prefix path-vector solving, decisions.
+
+The solver is deliberately *per prefix*: BGP's computation for
+different prefixes is independent given the IGP, so the full
+simulation solves every originated prefix and the incremental path
+re-solves only dirty ones — both through the same
+:func:`solve_prefix`.
+
+Model notes (documented simplifications):
+
+- Sessions require both sides to point at each other's interface
+  addresses with matching ASNs; direct (shared-subnet) sessions need
+  the link up, loopback sessions need IGP reachability.
+- Full iBGP mesh semantics: iBGP-learned routes are not re-advertised
+  to iBGP peers; no route reflectors or confederations.
+- Decision process: weight (local origination) > local-pref > AS-path
+  length > MED (always compared) > eBGP-over-iBGP > IGP cost to next
+  hop > peer router-id.  No BGP multipath.
+- local-pref resets to 100 at eBGP ingress; the sender prepends its
+  ASN on eBGP export; receivers drop paths containing their own ASN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Protocol
+
+from repro.config.routemap import AttributeBundle
+from repro.config.routing import (
+    ADMIN_DISTANCE_EBGP,
+    ADMIN_DISTANCE_IBGP,
+    BgpNeighborConfig,
+)
+from repro.controlplane.connected import AddressIndex, interface_is_up
+from repro.controlplane.rib import Route
+from repro.net.addr import IPv4Address, Prefix
+
+LOCAL_KEY = "__local__"
+
+
+class BgpConvergenceError(RuntimeError):
+    """Raised when per-prefix propagation fails to reach a fixpoint."""
+
+
+class IgpView(Protocol):
+    """What BGP needs from the IGP/static/connected layers."""
+
+    def cost_to(self, router: str, address: IPv4Address) -> float:
+        """Metric of the best non-BGP route covering ``address``
+        (infinity when unreachable)."""
+        ...
+
+
+@dataclass(frozen=True)
+class BgpSession:
+    """One configured, structurally valid BGP session."""
+
+    local: str
+    peer: str
+    local_ip: IPv4Address
+    peer_ip: IPv4Address
+    ebgp: bool
+    direct: bool  # peer address on a shared subnet (vs loopback/multihop)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.local, self.peer)
+
+
+def _neighbor_config(config, peer_ip: IPv4Address) -> BgpNeighborConfig | None:
+    if config is None or config.bgp is None:
+        return None
+    return config.bgp.neighbors.get(peer_ip)
+
+
+def discover_sessions(snapshot, address_index: AddressIndex) -> list[BgpSession]:
+    """All *up* directed sessions (one object per direction).
+
+    A session direction local -> peer exists when: the local config
+    names peer_ip with the peer's true ASN; the peer owns peer_ip; the
+    peer config names one of the local router's addresses back with
+    the local ASN; and the underlying connectivity is up (for direct
+    sessions — loopback sessions are filtered later against the IGP).
+    """
+    sessions: list[BgpSession] = []
+    for local, config in snapshot.configs.items():
+        if config.bgp is None:
+            continue
+        for peer_ip, neighbor in config.bgp.neighbors.items():
+            owner = address_index.owner(peer_ip)
+            if owner is None or owner.router == local:
+                continue
+            peer_config = snapshot.configs.get(owner.router)
+            if peer_config is None or peer_config.bgp is None:
+                continue
+            if peer_config.bgp.asn != neighbor.remote_asn:
+                continue
+            # Find the reverse entry pointing back at us.
+            local_ip: IPv4Address | None = None
+            for candidate_ip, reverse in peer_config.bgp.neighbors.items():
+                reverse_owner = address_index.owner(candidate_ip)
+                if (
+                    reverse_owner is not None
+                    and reverse_owner.router == local
+                    and reverse.remote_asn == config.bgp.asn
+                ):
+                    local_ip = candidate_ip
+                    break
+            if local_ip is None:
+                continue
+            direct, up = _session_transport(snapshot, local, peer_ip, owner)
+            if direct and not up:
+                continue
+            sessions.append(
+                BgpSession(
+                    local=local,
+                    peer=owner.router,
+                    local_ip=local_ip,
+                    peer_ip=peer_ip,
+                    ebgp=config.bgp.asn != neighbor.remote_asn
+                    or config.bgp.asn != peer_config.bgp.asn,
+                    direct=direct,
+                )
+            )
+    return sessions
+
+
+def _session_transport(snapshot, local: str, peer_ip: IPv4Address, owner):
+    """(direct?, up?) for the transport under a session direction."""
+    topology = snapshot.topology
+    for interface, subnet in topology.connected_subnets(local):
+        if subnet.contains_address(peer_ip):
+            up = (
+                interface_is_up(snapshot, local, interface.name)
+                and interface_is_up(snapshot, owner.router, owner.interface)
+            )
+            return True, up
+    return False, True  # multihop; liveness judged against the IGP
+
+
+@dataclass(frozen=True)
+class BgpCandidate:
+    """One path for a prefix in a router's adj-RIB-in (or local)."""
+
+    bundle: AttributeBundle
+    next_hop: IPv4Address | None  # None only for local originations
+    from_peer: str | None  # advertising router; None for local
+    ebgp: bool
+    peer_router_id: int
+
+    @property
+    def is_local(self) -> bool:
+        return self.from_peer is None
+
+
+@dataclass
+class BgpPrefixSolution:
+    """Converged state for one prefix."""
+
+    prefix: Prefix
+    best: dict[str, BgpCandidate]
+    adj_in: dict[tuple[str, str], BgpCandidate]
+    rounds: int = 0
+
+    def route_for(self, router: str) -> Route | None:
+        """The RIB route at ``router`` (None for local originations —
+        the underlying IGP/connected route forwards those)."""
+        candidate = self.best.get(router)
+        if candidate is None or candidate.is_local:
+            return None
+        return Route(
+            prefix=self.prefix,
+            protocol="bgp",
+            admin_distance=(
+                ADMIN_DISTANCE_EBGP if candidate.ebgp else ADMIN_DISTANCE_IBGP
+            ),
+            metric=0,
+            next_hops=frozenset(),  # resolved against the IGP at FIB build
+            bgp=candidate.bundle,
+            bgp_next_hop=candidate.next_hop,
+            learned_from=candidate.from_peer,
+        )
+
+
+INFINITY = float("inf")
+
+
+def _loopback_ip(snapshot, router: str) -> IPv4Address | None:
+    device = snapshot.topology.router(router)
+    loopback = device.interfaces.get("lo0")
+    return loopback.address if loopback is not None else None
+
+
+def _export(
+    snapshot,
+    session: BgpSession,
+    best: BgpCandidate | None,
+) -> tuple[AttributeBundle, IPv4Address] | None:
+    """What ``session.local`` advertises to ``session.peer``."""
+    if best is None:
+        return None
+    if best.from_peer == session.peer:
+        return None  # split horizon toward the sender
+    if not session.ebgp and not best.is_local and not best.ebgp:
+        return None  # iBGP-learned routes are not reflected to iBGP peers
+    config = snapshot.configs[session.local]
+    bgp = config.bgp
+    assert bgp is not None
+    bundle = best.bundle
+    neighbor = bgp.neighbors.get(session.peer_ip)
+    if neighbor is not None and neighbor.export_policy is not None:
+        route_map = config.route_maps.get(neighbor.export_policy)
+        if route_map is None:
+            return None  # dangling policy name blocks the session
+        transformed = route_map.apply(bundle, config.prefix_lists, bgp.asn)
+        if transformed is None:
+            return None
+        bundle = transformed
+    if session.ebgp:
+        bundle = bundle.prepend(bgp.asn)
+        next_hop = session.local_ip
+    else:
+        if best.is_local or (neighbor is not None and neighbor.next_hop_self):
+            next_hop = _loopback_ip(snapshot, session.local) or session.local_ip
+        else:
+            assert best.next_hop is not None
+            next_hop = best.next_hop
+    return bundle, next_hop
+
+
+def _import(
+    snapshot,
+    session: BgpSession,
+    message: tuple[AttributeBundle, IPv4Address] | None,
+) -> BgpCandidate | None:
+    """How ``session.peer`` files what ``session.local`` sent."""
+    if message is None:
+        return None
+    bundle, next_hop = message
+    receiver = session.peer
+    config = snapshot.configs[receiver]
+    bgp = config.bgp
+    assert bgp is not None
+    if bgp.asn in bundle.as_path:
+        return None  # AS-path loop
+    if session.ebgp:
+        bundle = replace(bundle, local_pref=100)
+    # The receiver's neighbor entry for this session is keyed by the
+    # sender's address.
+    neighbor = bgp.neighbors.get(session.local_ip)
+    if neighbor is not None and neighbor.import_policy is not None:
+        route_map = config.route_maps.get(neighbor.import_policy)
+        if route_map is None:
+            return None
+        transformed = route_map.apply(bundle, config.prefix_lists, bgp.asn)
+        if transformed is None:
+            return None
+        bundle = transformed
+    sender_bgp = snapshot.configs[session.local].bgp
+    router_id = sender_bgp.router_id.value if sender_bgp is not None else 0
+    return BgpCandidate(
+        bundle=bundle,
+        next_hop=next_hop,
+        from_peer=session.local,
+        ebgp=session.ebgp,
+        peer_router_id=router_id,
+    )
+
+
+def _decision(
+    router: str,
+    candidates: dict[str, BgpCandidate],
+    igp: IgpView,
+) -> BgpCandidate | None:
+    """The standard BGP decision process over usable candidates."""
+    usable: list[tuple[tuple, BgpCandidate]] = []
+    for candidate in candidates.values():
+        if candidate.is_local:
+            igp_cost = 0.0
+        else:
+            assert candidate.next_hop is not None
+            igp_cost = igp.cost_to(router, candidate.next_hop)
+            if igp_cost == INFINITY:
+                continue  # next hop unreachable: candidate unusable
+        key = (
+            0 if candidate.is_local else 1,  # weight: local wins
+            -candidate.bundle.local_pref,
+            len(candidate.bundle.as_path),
+            candidate.bundle.med,
+            0 if (candidate.is_local or candidate.ebgp) else 1,
+            igp_cost,
+            candidate.peer_router_id,
+            candidate.from_peer or "",
+        )
+        usable.append((key, candidate))
+    if not usable:
+        return None
+    return min(usable, key=lambda pair: pair[0])[1]
+
+
+def solve_prefix(
+    snapshot,
+    prefix: Prefix,
+    origins: dict[str, AttributeBundle],
+    sessions: list[BgpSession],
+    igp: IgpView,
+    max_rounds: int | None = None,
+) -> BgpPrefixSolution:
+    """Propagate one prefix to a fixpoint over the session graph.
+
+    ``origins`` maps originating routers to their initial attribute
+    bundles.  Loopback (multihop) sessions whose endpoints cannot
+    reach each other through the IGP are skipped.
+    """
+    live_sessions = [
+        s
+        for s in sessions
+        if s.direct
+        or (
+            igp.cost_to(s.local, s.peer_ip) < INFINITY
+            and igp.cost_to(s.peer, s.local_ip) < INFINITY
+        )
+    ]
+    routers = {s.local for s in live_sessions} | {s.peer for s in live_sessions}
+    routers.update(origins)
+    if max_rounds is None:
+        max_rounds = 2 * max(len(routers), 1) + 10
+
+    candidates: dict[str, dict[str, BgpCandidate]] = {r: {} for r in routers}
+    for router, bundle in origins.items():
+        candidates.setdefault(router, {})[LOCAL_KEY] = BgpCandidate(
+            bundle=bundle,
+            next_hop=None,
+            from_peer=None,
+            ebgp=False,
+            peer_router_id=0,
+        )
+    best: dict[str, BgpCandidate | None] = {
+        router: _decision(router, candidates[router], igp) for router in candidates
+    }
+
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            raise BgpConvergenceError(
+                f"BGP did not converge for {prefix} within {max_rounds} rounds"
+            )
+        changed_routers: set[str] = set()
+        for session in live_sessions:
+            message = _export(snapshot, session, best.get(session.local))
+            candidate = _import(snapshot, session, message)
+            receiver = candidates.setdefault(session.peer, {})
+            previous = receiver.get(session.local)
+            if candidate is None:
+                if previous is not None:
+                    del receiver[session.local]
+                    changed_routers.add(session.peer)
+            elif previous != candidate:
+                receiver[session.local] = candidate
+                changed_routers.add(session.peer)
+        if not changed_routers:
+            break
+        for router in changed_routers:
+            best[router] = _decision(router, candidates[router], igp)
+
+    final_best = {router: b for router, b in best.items() if b is not None}
+    adj_in = {
+        (receiver, sender): candidate
+        for receiver, per_receiver in candidates.items()
+        for sender, candidate in per_receiver.items()
+        if sender != LOCAL_KEY
+    }
+    return BgpPrefixSolution(prefix=prefix, best=final_best, adj_in=adj_in, rounds=rounds)
+
+
+def collect_origins(snapshot) -> dict[Prefix, dict[str, AttributeBundle]]:
+    """Per-prefix origination map from ``network`` statements and
+    connected redistribution."""
+    origins: dict[Prefix, dict[str, AttributeBundle]] = {}
+
+    def originate(router: str, prefix: Prefix, asn: int) -> None:
+        origins.setdefault(prefix, {})[router] = AttributeBundle(
+            prefix=prefix, as_path=(), local_pref=100, origin_asn=asn
+        )
+
+    for router, config in snapshot.configs.items():
+        if config.bgp is None:
+            continue
+        for prefix in config.bgp.originated:
+            originate(router, prefix, config.bgp.asn)
+        if config.bgp.redistribute_connected:
+            for interface, subnet in snapshot.topology.connected_subnets(router):
+                if interface_is_up(snapshot, router, interface.name):
+                    originate(router, subnet, config.bgp.asn)
+    return origins

@@ -1,0 +1,183 @@
+"""Connected and static routes, plus the global address index.
+
+Connected routes come straight from enabled, numbered interfaces.
+Static routes resolve their targets against connected subnets: a
+next-hop static needs a connected subnet containing the next-hop
+address; an interface static forwards onto that interface's link.
+Unresolvable statics are not installed (matching router behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.routing import ADMIN_DISTANCE_CONNECTED, StaticRouteConfig
+from repro.controlplane.rib import DROP_NEXT_HOP, NextHop, Route
+from repro.net.addr import IPv4Address, Prefix
+
+
+@dataclass(frozen=True)
+class AddressEntry:
+    """Where one address lives: (router, interface)."""
+
+    router: str
+    interface: str
+
+
+class AddressIndex:
+    """Global map from interface address -> owning interface.
+
+    Used to resolve BGP peer addresses and static next hops to the
+    routers that own them.
+    """
+
+    def __init__(self, snapshot) -> None:
+        self._by_address: dict[int, AddressEntry] = {}
+        for router in snapshot.topology.routers():
+            for interface in router.interfaces.values():
+                if interface.address is not None:
+                    self._by_address[interface.address.value] = AddressEntry(
+                        router.name, interface.name
+                    )
+
+    def owner(self, address: IPv4Address | int) -> AddressEntry | None:
+        """The interface carrying ``address``, if any."""
+        return self._by_address.get(int(address))
+
+
+def interface_is_up(snapshot, router: str, interface_name: str) -> bool:
+    """Operational state of an interface.
+
+    Requires: administratively enabled locally, the link (if cabled)
+    enabled, and the far-side interface administratively enabled too —
+    an admin-down interface drops carrier for both ends of the cable.
+    """
+    config = snapshot.configs.get(router)
+    if config is not None and not config.interface_config(interface_name).enabled:
+        return False
+    link = snapshot.topology.link_of_interface(router, interface_name)
+    if link is None:
+        return True
+    if not snapshot.topology.link_enabled(link):
+        return False
+    peer_router, peer_interface = link.other_end(router)
+    peer_config = snapshot.configs.get(peer_router)
+    if peer_config is not None and not peer_config.interface_config(peer_interface).enabled:
+        return False
+    return True
+
+
+def connected_routes(snapshot, router: str) -> dict[Prefix, Route]:
+    """Connected routes of one router (subnets of up interfaces)."""
+    routes: dict[Prefix, Route] = {}
+    for interface, subnet in snapshot.topology.connected_subnets(router):
+        if not interface_is_up(snapshot, router, interface.name):
+            continue
+        hop = NextHop(interface=interface.name)
+        existing = routes.get(subnet)
+        if existing is not None:
+            hops = existing.next_hops | {hop}
+            routes[subnet] = existing.with_next_hops(frozenset(hops))
+        else:
+            routes[subnet] = Route(
+                prefix=subnet,
+                protocol="connected",
+                admin_distance=ADMIN_DISTANCE_CONNECTED,
+                metric=0,
+                next_hops=frozenset({hop}),
+            )
+    return routes
+
+
+def resolve_static(
+    snapshot,
+    router: str,
+    static: StaticRouteConfig,
+    connected: dict[Prefix, Route],
+    address_index: AddressIndex,
+) -> Route | None:
+    """Turn one static route config into an installable route.
+
+    Returns None when the target cannot be resolved (down interface,
+    next hop outside every connected subnet).
+    """
+    if static.drop:
+        return Route(
+            prefix=static.prefix,
+            protocol="static",
+            admin_distance=static.admin_distance,
+            metric=0,
+            next_hops=frozenset({DROP_NEXT_HOP}),
+        )
+    if static.interface is not None:
+        if static.interface not in snapshot.topology.router(router).interfaces:
+            return None
+        if not interface_is_up(snapshot, router, static.interface):
+            return None
+        peer = snapshot.topology.interface_peer(router, static.interface)
+        hop = NextHop(
+            interface=static.interface,
+            ip=peer.address if peer is not None else None,
+            neighbor=peer.router if peer is not None else None,
+        )
+        return Route(
+            prefix=static.prefix,
+            protocol="static",
+            admin_distance=static.admin_distance,
+            metric=0,
+            next_hops=frozenset({hop}),
+        )
+    # Next-hop static: find a connected subnet containing the address,
+    # longest prefix first.
+    assert static.next_hop is not None
+    target = static.next_hop.value
+    best: Prefix | None = None
+    for subnet in connected:
+        if subnet.contains_address(target):
+            if best is None or subnet.length > best.length:
+                best = subnet
+    if best is None:
+        return None
+    out_interfaces = connected[best].next_hops
+    owner = address_index.owner(static.next_hop)
+    hops = set()
+    for attached in out_interfaces:
+        hops.add(
+            NextHop(
+                interface=attached.interface,
+                ip=static.next_hop,
+                neighbor=owner.router if owner is not None else None,
+            )
+        )
+    return Route(
+        prefix=static.prefix,
+        protocol="static",
+        admin_distance=static.admin_distance,
+        metric=0,
+        next_hops=frozenset(hops),
+    )
+
+
+def static_routes(
+    snapshot,
+    router: str,
+    connected: dict[Prefix, Route],
+    address_index: AddressIndex,
+) -> dict[Prefix, Route]:
+    """All installable static routes of one router.
+
+    When several statics cover the same prefix, the lowest admin
+    distance wins (floating statics).
+    """
+    routes: dict[Prefix, Route] = {}
+    config = snapshot.configs.get(router)
+    if config is None:
+        return routes
+    for static in config.static_routes:
+        route = resolve_static(snapshot, router, static, connected, address_index)
+        if route is None:
+            continue
+        existing = routes.get(route.prefix)
+        if existing is None or route.admin_distance < existing.admin_distance:
+            routes[route.prefix] = route
+    return routes

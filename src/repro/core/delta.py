@@ -1,0 +1,301 @@
+"""The delta report: what a change did to the network.
+
+Both analysis paths — the incremental analyzer and the snapshot-diff
+baseline — produce a :class:`DeltaReport` with identical semantics, so
+tests can require them to agree tuple-for-tuple:
+
+- **RIB delta**: per router, per prefix, (best route before, after).
+- **FIB delta**: per router, per prefix, (entry before, after).
+- **Reachability delta**: a canonical piecewise description of the
+  destination space — sorted, coalesced
+  :class:`ReachSegment` values listing the (source, owner) pairs that
+  appeared/disappeared, plus loop and blackhole churn.
+
+Reachability canonicalization is what makes the two paths comparable:
+they decompose the space into different atoms, so deltas are re-cut at
+the union of both boundary sets and merged back greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controlplane.rib import Route
+from repro.dataplane.fib import FibEntry
+from repro.dataplane.reachability import AtomReachability
+from repro.net.addr import Prefix
+
+Pair = tuple[str, str]  # (source router, owner router)
+
+
+@dataclass(frozen=True)
+class ReachSegment:
+    """Behaviour change over one destination interval ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+    added: frozenset[Pair] = frozenset()
+    removed: frozenset[Pair] = frozenset()
+    loops_added: frozenset[str] = frozenset()
+    loops_removed: frozenset[str] = frozenset()
+    blackholes_added: frozenset[str] = frozenset()
+    blackholes_removed: frozenset[str] = frozenset()
+
+    def payload(self) -> tuple:
+        """Everything except the interval (used for coalescing)."""
+        return (
+            self.added,
+            self.removed,
+            self.loops_added,
+            self.loops_removed,
+            self.blackholes_added,
+            self.blackholes_removed,
+        )
+
+    def is_empty(self) -> bool:
+        return all(not part for part in self.payload())
+
+    def __str__(self) -> str:
+        parts = [f"[{self.lo}, {self.hi})"]
+        if self.added:
+            parts.append(f"+{len(self.added)} pairs")
+        if self.removed:
+            parts.append(f"-{len(self.removed)} pairs")
+        if self.loops_added or self.loops_removed:
+            parts.append(
+                f"loops +{len(self.loops_added)}/-{len(self.loops_removed)}"
+            )
+        if self.blackholes_added or self.blackholes_removed:
+            parts.append(
+                f"blackholes +{len(self.blackholes_added)}"
+                f"/-{len(self.blackholes_removed)}"
+            )
+        return " ".join(parts)
+
+
+def _segment_between(
+    lo: int,
+    hi: int,
+    before: AtomReachability | None,
+    after: AtomReachability | None,
+) -> ReachSegment:
+    """The behaviour delta of one elementary interval."""
+    pairs_before = before.pair_set() if before is not None else frozenset()
+    pairs_after = after.pair_set() if after is not None else frozenset()
+    loops_before = before.loop_routers if before is not None else frozenset()
+    loops_after = after.loop_routers if after is not None else frozenset()
+    bh_before = before.blackhole_routers if before is not None else frozenset()
+    bh_after = after.blackhole_routers if after is not None else frozenset()
+    return ReachSegment(
+        lo=lo,
+        hi=hi,
+        added=pairs_after - pairs_before,
+        removed=pairs_before - pairs_after,
+        loops_added=loops_after - loops_before,
+        loops_removed=loops_before - loops_after,
+        blackholes_added=bh_after - bh_before,
+        blackholes_removed=bh_before - bh_after,
+    )
+
+
+def diff_reach_coverage(
+    before: list[tuple[int, int, AtomReachability]],
+    after: list[tuple[int, int, AtomReachability]],
+) -> list[ReachSegment]:
+    """Canonical reachability delta between two piecewise coverings.
+
+    ``before``/``after`` list (lo, hi, reachability) pieces, each
+    sorted and internally disjoint but cut at *different* boundaries
+    and possibly covering different (equal-union for comparability is
+    NOT required — uncovered regions are treated as unchanged)
+    regions.  The result is re-cut at the union of boundaries,
+    non-empty deltas kept, and adjacent equal-payload segments merged.
+    """
+    points: set[int] = set()
+    for lo, hi, _ in before:
+        points.add(lo)
+        points.add(hi)
+    for lo, hi, _ in after:
+        points.add(lo)
+        points.add(hi)
+    ordered = sorted(points)
+
+    def coverage_at(pieces: list[tuple[int, int, AtomReachability]], lo: int):
+        # Pieces are sorted; simple scan with an index would be faster,
+        # but bisect keeps this reusable for unsorted callers.
+        from bisect import bisect_right
+
+        los = [p[0] for p in pieces]
+        index = bisect_right(los, lo) - 1
+        if index >= 0:
+            p_lo, p_hi, reach = pieces[index]
+            if p_lo <= lo < p_hi:
+                return reach
+        return None
+
+    before_sorted = sorted(before, key=lambda p: p[0])
+    after_sorted = sorted(after, key=lambda p: p[0])
+    segments: list[ReachSegment] = []
+    for index in range(len(ordered) - 1):
+        lo, hi = ordered[index], ordered[index + 1]
+        piece_before = coverage_at(before_sorted, lo)
+        piece_after = coverage_at(after_sorted, lo)
+        if piece_before is None and piece_after is None:
+            continue
+        # A region covered on one side only cannot be diffed honestly;
+        # it means the caller scoped the two sides differently.  Treat
+        # the missing side as "unchanged" by skipping.
+        if piece_before is None or piece_after is None:
+            continue
+        segment = _segment_between(lo, hi, piece_before, piece_after)
+        if not segment.is_empty():
+            segments.append(segment)
+    return coalesce_segments(segments)
+
+
+def coalesce_segments(segments: list[ReachSegment]) -> list[ReachSegment]:
+    """Merge adjacent segments with identical payloads."""
+    merged: list[ReachSegment] = []
+    for segment in sorted(segments, key=lambda s: s.lo):
+        if (
+            merged
+            and merged[-1].hi == segment.lo
+            and merged[-1].payload() == segment.payload()
+        ):
+            previous = merged.pop()
+            merged.append(
+                ReachSegment(
+                    lo=previous.lo,
+                    hi=segment.hi,
+                    added=segment.added,
+                    removed=segment.removed,
+                    loops_added=segment.loops_added,
+                    loops_removed=segment.loops_removed,
+                    blackholes_added=segment.blackholes_added,
+                    blackholes_removed=segment.blackholes_removed,
+                )
+            )
+        else:
+            merged.append(segment)
+    return merged
+
+
+class DeltaReport:
+    """Everything one change did, plus how long it took to find out."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.rib_changes: dict[str, dict[Prefix, tuple[Route | None, Route | None]]] = {}
+        self.fib_changes: dict[str, dict[Prefix, tuple[FibEntry | None, FibEntry | None]]] = {}
+        self.reach_segments: list[ReachSegment] = []
+        self.timings: dict[str, float] = {}
+        self.counters: dict[str, int] = {}
+
+    # -- recording (collapses transient flips) -------------------------------
+
+    def record_rib(
+        self,
+        router: str,
+        prefix: Prefix,
+        before: Route | None,
+        after: Route | None,
+    ) -> None:
+        """Note a best-route transition, collapsing A->B->A churn."""
+        per_router = self.rib_changes.setdefault(router, {})
+        existing = per_router.get(prefix)
+        original = existing[0] if existing is not None else before
+        if original == after:
+            per_router.pop(prefix, None)
+        else:
+            per_router[prefix] = (original, after)
+
+    def record_fib(
+        self,
+        router: str,
+        prefix: Prefix,
+        before: FibEntry | None,
+        after: FibEntry | None,
+    ) -> None:
+        """Note a FIB transition, collapsing A->B->A churn."""
+        per_router = self.fib_changes.setdefault(router, {})
+        existing = per_router.get(prefix)
+        original = existing[0] if existing is not None else before
+        if original == after:
+            per_router.pop(prefix, None)
+        else:
+            per_router[prefix] = (original, after)
+
+    # -- summaries ---------------------------------------------------------------
+
+    def num_rib_changes(self) -> int:
+        return sum(len(v) for v in self.rib_changes.values())
+
+    def num_fib_changes(self) -> int:
+        return sum(len(v) for v in self.fib_changes.values())
+
+    def num_pair_changes(self) -> tuple[int, int]:
+        """(pairs gained, pairs lost), interval-weighted not counted."""
+        gained = sum(len(s.added) for s in self.reach_segments)
+        lost = sum(len(s.removed) for s in self.reach_segments)
+        return gained, lost
+
+    def is_empty(self) -> bool:
+        """True if the change had no observable effect."""
+        return (
+            not self.num_rib_changes()
+            and not self.num_fib_changes()
+            and not self.reach_segments
+        )
+
+    # -- comparison between analysis paths ---------------------------------------
+
+    def behavior_signature(self) -> tuple:
+        """A hashable summary two correct analyses must agree on.
+
+        Covers FIB deltas and canonical reachability segments; RIB
+        deltas are included too since both paths build the same Route
+        values.
+        """
+        fib = tuple(
+            (router, prefix, changes[0], changes[1])
+            for router in sorted(self.fib_changes)
+            for prefix, changes in sorted(
+                self.fib_changes[router].items(), key=lambda kv: kv[0]
+            )
+        )
+        rib = tuple(
+            (router, prefix, changes[0], changes[1])
+            for router in sorted(self.rib_changes)
+            for prefix, changes in sorted(
+                self.rib_changes[router].items(), key=lambda kv: kv[0]
+            )
+        )
+        reach = tuple(
+            (s.lo, s.hi) + tuple(map(tuple, map(sorted, s.payload())))
+            for s in self.reach_segments
+        )
+        return (rib, fib, reach)
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        gained, lost = self.num_pair_changes()
+        lines = [
+            f"DeltaReport({self.label or 'unlabelled'}):",
+            f"  RIB changes: {self.num_rib_changes()} "
+            f"across {len(self.rib_changes)} routers",
+            f"  FIB changes: {self.num_fib_changes()} "
+            f"across {len(self.fib_changes)} routers",
+            f"  reachability: {len(self.reach_segments)} segments, "
+            f"+{gained}/-{lost} (src, dst-owner) pairs",
+        ]
+        for segment in self.reach_segments[:10]:
+            lines.append(f"    {segment}")
+        if len(self.reach_segments) > 10:
+            lines.append(f"    ... {len(self.reach_segments) - 10} more")
+        if self.timings:
+            timing = ", ".join(f"{k}={v * 1000:.2f}ms" for k, v in self.timings.items())
+            lines.append(f"  timings: {timing}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()

@@ -1,0 +1,132 @@
+"""Network snapshots: topology + device configurations.
+
+A snapshot is the unit both analyses consume: the Batfish-style
+baseline simulates two snapshots and diffs; the differential analyzer
+keeps one live snapshot and applies primitive edits to it.
+
+Snapshots round-trip to a directory layout resembling a real config
+repository::
+
+    snapshot/
+      topology.txt      # routers, interfaces, links
+      configs.txt       # one ``device`` block per router
+
+so examples can operate on on-disk state.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.config.device import DeviceConfig
+from repro.config.text import parse_configs, serialize_configs
+from repro.net.addr import IPv4Address
+from repro.topology.model import Topology, TopologyError
+
+
+@dataclass
+class Snapshot:
+    """One version of the network: physical topology + configs."""
+
+    topology: Topology
+    configs: dict[str, DeviceConfig] = field(default_factory=dict)
+
+    def config(self, router: str) -> DeviceConfig:
+        """The config of ``router``, created empty on first access."""
+        if router not in self.configs:
+            if not self.topology.has_router(router):
+                raise TopologyError(f"unknown router {router!r}")
+            self.configs[router] = DeviceConfig(router)
+        return self.configs[router]
+
+    def clone(self) -> "Snapshot":
+        """A deep copy sharing no mutable state."""
+        return Snapshot(
+            topology=self.topology.clone(),
+            configs={name: c.clone() for name, c in self.configs.items()},
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Write ``topology.txt`` and ``configs.txt`` under ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, "topology.txt"), "w") as handle:
+            handle.write(serialize_topology(self.topology))
+        with open(os.path.join(directory, "configs.txt"), "w") as handle:
+            handle.write(serialize_configs(self.configs))
+
+    @classmethod
+    def load(cls, directory: str) -> "Snapshot":
+        """Read a snapshot previously written by :meth:`save`."""
+        with open(os.path.join(directory, "topology.txt")) as handle:
+            topology = parse_topology(handle.read())
+        with open(os.path.join(directory, "configs.txt")) as handle:
+            configs = parse_configs(handle.read())
+        return cls(topology=topology, configs=configs)
+
+    def summary(self) -> str:
+        """One-line description for logs and examples."""
+        return (
+            f"Snapshot({self.topology.num_routers()} routers, "
+            f"{self.topology.num_links(include_disabled=True)} links, "
+            f"{len(self.configs)} configs)"
+        )
+
+
+def serialize_topology(topology: Topology) -> str:
+    """Render a topology as line-oriented text."""
+    lines: list[str] = []
+    for router in topology.routers():
+        lines.append(f"router {router.name}")
+        for interface in router.interfaces.values():
+            if interface.address is not None:
+                lines.append(
+                    f"  interface {interface.name} "
+                    f"{interface.address}/{interface.prefix_length}"
+                )
+            else:
+                lines.append(f"  interface {interface.name}")
+    for link in topology.links(include_disabled=True):
+        state = "" if topology.link_enabled(link) else " down"
+        lines.append(
+            f"link {link.side_a[0]} {link.side_a[1]} "
+            f"{link.side_b[0]} {link.side_b[1]}{state}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_topology(text: str) -> Topology:
+    """Parse the output of :func:`serialize_topology`."""
+    topology = Topology()
+    current_router: str | None = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == "router" and len(tokens) == 2:
+            current_router = tokens[1]
+            topology.add_router(current_router)
+        elif tokens[0] == "interface" and current_router is not None:
+            if len(tokens) == 3 and "/" in tokens[2]:
+                address_text, _, length_text = tokens[2].partition("/")
+                topology.add_interface(
+                    current_router,
+                    tokens[1],
+                    IPv4Address(address_text),
+                    int(length_text),
+                )
+            elif len(tokens) == 2:
+                topology.add_interface(current_router, tokens[1])
+            else:
+                raise TopologyError(f"line {line_number}: bad interface: {raw!r}")
+        elif tokens[0] == "link" and len(tokens) in (5, 6):
+            enabled = len(tokens) == 5 or tokens[5] != "down"
+            topology.add_link(
+                tokens[1], tokens[2], tokens[3], tokens[4], enabled=enabled
+            )
+        else:
+            raise TopologyError(f"line {line_number}: bad topology line: {raw!r}")
+    return topology

@@ -1,0 +1,61 @@
+"""A from-scratch Datalog engine with incremental evaluation.
+
+This is the reproduction's stand-in for the differential-Datalog
+runtime the paper builds on.  It provides:
+
+- :mod:`~repro.datalog.ast` — terms, atoms, literals, rules, programs,
+  with safety checking and body planning;
+- :mod:`~repro.datalog.database` — Z-set relations (tuple -> signed
+  multiplicity) with on-demand hash indexes;
+- :mod:`~repro.datalog.engine` — stratified semi-naive evaluation with
+  negation and comparison/assignment builtins;
+- :mod:`~repro.datalog.incremental` — incremental view maintenance:
+  counting for non-recursive strata, DRed (delete/re-derive) for
+  recursive strata.
+
+Quick taste::
+
+    from repro.datalog import Variable as V, Program, Rule, atom, Database
+
+    X, Y, Z = V("X"), V("Y"), V("Z")
+    program = Program([
+        Rule(atom("path", X, Y), [atom("edge", X, Y)]),
+        Rule(atom("path", X, Z), [atom("path", X, Y), atom("edge", Y, Z)]),
+    ])
+    db = Database()
+    db.relation("edge", 2).load([(1, 2), (2, 3)])
+    program.evaluate(db)
+    assert (1, 3) in db.relation("path", 2)
+"""
+
+from repro.datalog.ast import (
+    Atom,
+    Comparison,
+    DatalogError,
+    Let,
+    Negation,
+    Program,
+    Rule,
+    Variable,
+    atom,
+    negated,
+)
+from repro.datalog.database import Database, Relation
+from repro.datalog.incremental import Delta, IncrementalProgram
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "Database",
+    "DatalogError",
+    "Delta",
+    "IncrementalProgram",
+    "Let",
+    "Negation",
+    "Program",
+    "Relation",
+    "Rule",
+    "Variable",
+    "atom",
+    "negated",
+]

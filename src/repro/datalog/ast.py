@@ -1,0 +1,408 @@
+"""Datalog abstract syntax: terms, atoms, rules, programs.
+
+Terms are either :class:`Variable` instances or arbitrary hashable
+Python constants.  Rule bodies may contain positive atoms, negated
+atoms (:class:`Negation`), comparisons, and assignments
+(:class:`Let`).  Rules are *planned* at construction: the body is
+reordered so that every negation, comparison, and assignment runs only
+once its variables are bound, and safety (all head variables bound by
+positive atoms or assignments) is verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+
+class DatalogError(ValueError):
+    """Raised for malformed rules or unstratifiable programs."""
+
+
+class Variable:
+    """A Datalog variable, identified by name."""
+
+    __slots__ = ("name",)
+    _interned: dict[str, "Variable"] = {}
+
+    def __new__(cls, name: str) -> "Variable":
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        instance = super().__new__(cls)
+        object.__setattr__(instance, "name", name)
+        cls._interned[name] = instance
+        return instance
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Variable is immutable")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def is_variable(term: object) -> bool:
+    """True if the term is a Datalog variable."""
+    return isinstance(term, Variable)
+
+
+Binding = dict[Variable, Any]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``relation(t1, ..., tn)`` — in a head or positive body position."""
+
+    relation: str
+    terms: tuple[Any, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[Variable]:
+        """All variables appearing in the atom."""
+        return {t for t in self.terms if is_variable(t)}
+
+    def substitute(self, binding: Binding) -> tuple[Any, ...]:
+        """Ground the terms under ``binding`` (must be complete)."""
+        return tuple(
+            binding[t] if is_variable(t) else t for t in self.terms
+        )
+
+    def match(self, row: Sequence[Any], binding: Binding) -> Binding | None:
+        """Extend ``binding`` to unify the atom with a concrete row.
+
+        Returns the extended binding, or None on mismatch.  The input
+        binding is not mutated.
+        """
+        extended = dict(binding)
+        for term, value in zip(self.terms, row):
+            if is_variable(term):
+                if term in extended:
+                    if extended[term] != value:
+                        return None
+                else:
+                    extended[term] = value
+            elif term != value:
+                return None
+        return extended
+
+    def bound_positions(self, bound_vars: set[Variable]) -> tuple[int, ...]:
+        """Term positions that are constants or already-bound vars."""
+        positions = []
+        for index, term in enumerate(self.terms):
+            if not is_variable(term) or term in bound_vars:
+                positions.append(index)
+        return tuple(positions)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+def atom(relation: str, *terms: Any) -> Atom:
+    """Convenience constructor: ``atom("edge", X, Y)``."""
+    return Atom(relation, tuple(terms))
+
+
+@dataclass(frozen=True)
+class Negation:
+    """``not relation(...)`` — stratified negative body literal."""
+
+    atom: Atom
+
+    def variables(self) -> set[Variable]:
+        return self.atom.variables()
+
+    def __str__(self) -> str:
+        return f"not {self.atom}"
+
+
+def negated(relation: str, *terms: Any) -> Negation:
+    """Convenience constructor for a negated literal."""
+    return Negation(Atom(relation, tuple(terms)))
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A comparison between two (possibly variable) terms."""
+
+    op: str
+    left: Any
+    right: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise DatalogError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> set[Variable]:
+        return {t for t in (self.left, self.right) if is_variable(t)}
+
+    def holds(self, binding: Binding) -> bool:
+        """Evaluate under a binding covering all variables."""
+        left = binding[self.left] if is_variable(self.left) else self.left
+        right = binding[self.right] if is_variable(self.right) else self.right
+        return _COMPARATORS[self.op](left, right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Let:
+    """``var := fn(args...)`` — deterministic assignment builtin."""
+
+    var: Variable
+    fn: Callable[..., Any]
+    args: tuple[Any, ...]
+
+    def input_variables(self) -> set[Variable]:
+        return {t for t in self.args if is_variable(t)}
+
+    def evaluate(self, binding: Binding) -> Any:
+        """Compute the assigned value under a binding."""
+        values = [
+            binding[t] if is_variable(t) else t for t in self.args
+        ]
+        return self.fn(*values)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        name = getattr(self.fn, "__name__", "fn")
+        return f"{self.var} := {name}({inner})"
+
+
+BodyItem = Atom | Negation | Comparison | Let
+
+
+class Rule:
+    """``head :- body`` with a precomputed safe evaluation plan.
+
+    The plan keeps positive atoms in their written order and schedules
+    each negation/comparison/assignment at the earliest point where its
+    variables are bound.  Construction raises :class:`DatalogError` if
+    no safe schedule exists or the head is unsafe.
+    """
+
+    __slots__ = ("head", "body", "plan", "bound_before")
+
+    def __init__(self, head: Atom, body: Iterable[BodyItem]) -> None:
+        self.head = head
+        self.body = tuple(body)
+        self.plan = self._make_plan()
+        # Variables guaranteed bound before each plan step executes.
+        bound: set[Variable] = set()
+        before: list[frozenset[Variable]] = []
+        for item in self.plan:
+            before.append(frozenset(bound))
+            if isinstance(item, Atom):
+                bound.update(item.variables())
+            elif isinstance(item, Let):
+                bound.add(item.var)
+        self.bound_before = tuple(before)
+
+    def positive_atoms(self) -> list[Atom]:
+        """The positive body atoms, in written order."""
+        return [item for item in self.body if isinstance(item, Atom)]
+
+    def negated_atoms(self) -> list[Atom]:
+        """The atoms under negation."""
+        return [item.atom for item in self.body if isinstance(item, Negation)]
+
+    def body_relations(self) -> set[str]:
+        """All relations referenced in the body."""
+        relations = {a.relation for a in self.positive_atoms()}
+        relations.update(a.relation for a in self.negated_atoms())
+        return relations
+
+    def _make_plan(self) -> tuple[BodyItem, ...]:
+        positives = [item for item in self.body if isinstance(item, Atom)]
+        guards = [item for item in self.body if not isinstance(item, Atom)]
+        plan: list[BodyItem] = []
+        bound: set[Variable] = set()
+        pending = list(guards)
+
+        def schedule_ready() -> None:
+            progress = True
+            while progress:
+                progress = False
+                for guard in list(pending):
+                    if isinstance(guard, Let):
+                        needed = guard.input_variables()
+                    else:
+                        needed = guard.variables()
+                    if needed <= bound:
+                        plan.append(guard)
+                        pending.remove(guard)
+                        if isinstance(guard, Let):
+                            bound.add(guard.var)
+                        progress = True
+
+        schedule_ready()
+        for positive in positives:
+            plan.append(positive)
+            bound.update(positive.variables())
+            schedule_ready()
+        if pending:
+            raise DatalogError(
+                f"rule {self}: unsafe guards {[str(g) for g in pending]} "
+                "(variables never bound by positive atoms)"
+            )
+        head_vars = self.head.variables()
+        if not head_vars <= bound:
+            unsafe = {v.name for v in head_vars - bound}
+            raise DatalogError(f"rule {self}: unsafe head variables {unsafe}")
+        return tuple(plan)
+
+    def __str__(self) -> str:
+        body_text = ", ".join(str(item) for item in self.body)
+        return f"{self.head} :- {body_text}."
+
+    def __repr__(self) -> str:
+        return f"Rule({self})"
+
+
+class Program:
+    """A set of rules, stratified at construction.
+
+    ``strata`` is a list of lists of relation names, bottom-up;
+    negation never points within or above its own stratum (checked).
+    EDB relations (never derived) occupy an implicit stratum below all
+    others.
+    """
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules = list(rules)
+        self.idb: set[str] = {rule.head.relation for rule in self.rules}
+        self.rules_by_head: dict[str, list[Rule]] = {}
+        for rule in self.rules:
+            self.rules_by_head.setdefault(rule.head.relation, []).append(rule)
+        self.strata = self._stratify()
+        self.stratum_of: dict[str, int] = {}
+        for level, relations in enumerate(self.strata):
+            for relation in relations:
+                self.stratum_of[relation] = level
+
+    def edb_relations(self) -> set[str]:
+        """Relations referenced but never derived."""
+        referenced: set[str] = set()
+        for rule in self.rules:
+            referenced.update(rule.body_relations())
+        return referenced - self.idb
+
+    def _stratify(self) -> list[list[str]]:
+        # Dependency edges between IDB relations: head depends on body.
+        positive_deps: dict[str, set[str]] = {rel: set() for rel in self.idb}
+        negative_deps: dict[str, set[str]] = {rel: set() for rel in self.idb}
+        for rule in self.rules:
+            head = rule.head.relation
+            for positive in rule.positive_atoms():
+                if positive.relation in self.idb:
+                    positive_deps[head].add(positive.relation)
+            for negative in rule.negated_atoms():
+                if negative.relation in self.idb:
+                    negative_deps[head].add(negative.relation)
+
+        # Tarjan SCC over the combined graph.
+        order: list[str] = []
+        lowlink: dict[str, int] = {}
+        number: dict[str, int] = {}
+        on_stack: dict[str, bool] = {}
+        stack: list[str] = []
+        counter = [0]
+        components: list[list[str]] = []
+
+        def strongconnect(node: str) -> None:
+            # Iterative Tarjan to dodge recursion limits on deep graphs.
+            work = [(node, iter(sorted(positive_deps[node] | negative_deps[node])))]
+            number[node] = lowlink[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack[node] = True
+            while work:
+                current, edges = work[-1]
+                advanced = False
+                for succ in edges:
+                    if succ not in number:
+                        number[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack[succ] = True
+                        work.append(
+                            (succ, iter(sorted(positive_deps[succ] | negative_deps[succ])))
+                        )
+                        advanced = True
+                        break
+                    if on_stack.get(succ):
+                        lowlink[current] = min(lowlink[current], number[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+                if lowlink[current] == number[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == current:
+                            break
+                    components.append(component)
+
+        for relation in sorted(self.idb):
+            if relation not in number:
+                strongconnect(relation)
+
+        component_of: dict[str, int] = {}
+        for index, component in enumerate(components):
+            for relation in component:
+                component_of[relation] = index
+
+        # Negation inside an SCC => not stratifiable.
+        for head, negatives in negative_deps.items():
+            for negative in negatives:
+                if component_of[head] == component_of[negative]:
+                    raise DatalogError(
+                        f"program not stratifiable: {head} depends negatively "
+                        f"on {negative} within a recursive component"
+                    )
+
+        # One stratum per SCC.  Tarjan emits an SCC only after every
+        # SCC it depends on has been emitted (successors = dependencies
+        # finish first), so `components` is already in evaluation order.
+        return [sorted(component) for component in components]
+
+    def rules_for_stratum(self, level: int) -> list[Rule]:
+        """All rules whose head lives in stratum ``level``."""
+        relations = set(self.strata[level])
+        return [rule for rule in self.rules if rule.head.relation in relations]
+
+    def stratum_is_recursive(self, level: int) -> bool:
+        """True if some rule in the stratum reads its own stratum."""
+        relations = set(self.strata[level])
+        for rule in self.rules_for_stratum(level):
+            if any(a.relation in relations for a in rule.positive_atoms()):
+                return True
+        return False
+
+    def evaluate(self, database: "Database") -> None:  # noqa: F821
+        """Full (from-scratch) evaluation; see engine.evaluate_program."""
+        from repro.datalog.engine import evaluate_program
+
+        evaluate_program(self, database)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

@@ -1,0 +1,253 @@
+"""Monotone cost Datalog: Datalog over the (min, +) semiring.
+
+Plain Datalog cannot express shortest paths (min-aggregation inside
+recursion is not stratifiable).  Control-plane-as-Datalog systems use
+a *monotone* extension instead: every tuple of a cost relation carries
+a numeric cost, rules combine body costs with a monotone function, and
+the least fixpoint keeps the minimum cost per key.  Because the
+combine functions are non-decreasing, the fixpoint can be computed
+Dijkstra-style — settle tuples in global cost order, never revisit.
+
+This module implements that engine.  The OSPF layer uses it (in
+tests/benchmarks) as the semantic reference for SPF, mirroring how the
+paper's system expresses route computation as Datalog rules::
+
+    dist(S, S) min= 0                      :- node(S)
+    dist(S, V) min= dist(S, U) + link(U,V)
+
+Plain (cost-free) relations from a :class:`~repro.datalog.database
+.Database` may appear in rule bodies as filters/joins.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.datalog.ast import (
+    Atom,
+    Binding,
+    Comparison,
+    DatalogError,
+    Variable,
+    is_variable,
+)
+from repro.datalog.database import Database, Row
+
+
+@dataclass(frozen=True)
+class CostAtom:
+    """A body atom over a cost relation.
+
+    Matches key tuples of ``atom.relation``; the matched tuple's cost
+    is bound to ``cost_var`` for use in the rule's cost expression.
+    """
+
+    atom: Atom
+    cost_var: Variable
+
+    def __str__(self) -> str:
+        return f"{self.atom}@{self.cost_var}"
+
+
+class CostRule:
+    """``head min= cost_expr :- body``.
+
+    ``body`` mixes :class:`CostAtom` (cost relations), plain
+    :class:`~repro.datalog.ast.Atom` (set relations from the plain
+    database), and :class:`~repro.datalog.ast.Comparison` guards.
+    ``cost`` maps the binding (cost variables included) to the derived
+    cost; it must be monotone non-decreasing in every cost variable —
+    the engine's correctness depends on it.
+    """
+
+    def __init__(
+        self,
+        head: Atom,
+        body: Iterable[CostAtom | Atom | Comparison],
+        cost: Callable[[Binding], float],
+    ) -> None:
+        self.head = head
+        self.body = tuple(body)
+        self.cost = cost
+        self.cost_atoms = [item for item in self.body if isinstance(item, CostAtom)]
+        self.plain_atoms = [item for item in self.body if isinstance(item, Atom)]
+        self.guards = [item for item in self.body if isinstance(item, Comparison)]
+        bound: set[Variable] = set()
+        for item in self.body:
+            if isinstance(item, CostAtom):
+                bound.update(item.atom.variables())
+                bound.add(item.cost_var)
+            elif isinstance(item, Atom):
+                bound.update(item.variables())
+        unsafe = self.head.variables() - bound
+        if unsafe:
+            raise DatalogError(
+                f"cost rule {self.head}: unsafe variables "
+                f"{{{', '.join(v.name for v in unsafe)}}}"
+            )
+
+    def __str__(self) -> str:
+        body_text = ", ".join(str(item) for item in self.body)
+        return f"{self.head} min= cost :- {body_text}."
+
+
+CostTable = dict[str, dict[Row, float]]
+
+
+class CostProgram:
+    """A set of cost rules evaluated to the least (min, +) fixpoint."""
+
+    def __init__(self, rules: Iterable[CostRule]) -> None:
+        self.rules = list(rules)
+        self.idb = {rule.head.relation for rule in self.rules}
+        # Occurrence index: cost relation -> [(rule, cost-atom index)].
+        self._uses: dict[str, list[tuple[CostRule, int]]] = {}
+        for rule in self.rules:
+            for index, cost_atom in enumerate(rule.cost_atoms):
+                self._uses.setdefault(cost_atom.atom.relation, []).append(
+                    (rule, index)
+                )
+
+    def evaluate(
+        self,
+        database: Database,
+        base_costs: CostTable | None = None,
+    ) -> CostTable:
+        """Least fixpoint over plain facts plus base cost facts.
+
+        ``base_costs`` provides EDB cost relations (e.g. weighted
+        edges).  Returns the full cost table, EDB relations included.
+        """
+        settled: CostTable = {}
+        heap: list[tuple[float, str, Row]] = []
+        best: dict[tuple[str, Row], float] = {}
+
+        def offer(relation: str, key: Row, cost: float) -> None:
+            slot = (relation, key)
+            if cost < best.get(slot, float("inf")):
+                best[slot] = cost
+                heapq.heappush(heap, (cost, relation, key))
+
+        for relation, rows in (base_costs or {}).items():
+            for key, cost in rows.items():
+                offer(relation, key, cost)
+
+        # Rules with no cost atoms seed from plain facts alone.
+        for rule in self.rules:
+            if rule.cost_atoms:
+                continue
+            for binding in self._match_plain(rule, database, {}):
+                if all(guard.holds(binding) for guard in rule.guards):
+                    offer(
+                        rule.head.relation,
+                        rule.head.substitute(binding),
+                        rule.cost(binding),
+                    )
+
+        while heap:
+            cost, relation, key = heapq.heappop(heap)
+            table = settled.setdefault(relation, {})
+            if key in table:
+                continue  # already settled at a lower or equal cost
+            table[key] = cost
+            for rule, driver_index in self._uses.get(relation, ()):
+                driver = rule.cost_atoms[driver_index]
+                binding = driver.atom.match(key, {})
+                if binding is None:
+                    continue
+                binding[driver.cost_var] = cost
+                self._fire(rule, driver_index, binding, database, settled, offer)
+        return settled
+
+    # -- rule firing -------------------------------------------------------
+
+    def _fire(
+        self,
+        rule: CostRule,
+        driver_index: int,
+        binding: Binding,
+        database: Database,
+        settled: CostTable,
+        offer: Callable[[str, Row, float], None],
+    ) -> None:
+        """Extend a driver binding over the remaining body and derive."""
+
+        def extend_cost_atoms(index: int, current: Binding) -> Iterable[Binding]:
+            if index == len(rule.cost_atoms):
+                yield current
+                return
+            if index == driver_index:
+                yield from extend_cost_atoms(index + 1, current)
+                return
+            cost_atom = rule.cost_atoms[index]
+            table = settled.get(cost_atom.atom.relation, {})
+            # Settled tables are plain dicts; scan with match (costly
+            # only for very wide rules, which routing rules are not).
+            for key, key_cost in table.items():
+                extended = cost_atom.atom.match(key, current)
+                if extended is None:
+                    continue
+                if (
+                    cost_atom.cost_var in extended
+                    and extended[cost_atom.cost_var] != key_cost
+                ):
+                    continue
+                extended[cost_atom.cost_var] = key_cost
+                yield from extend_cost_atoms(index + 1, extended)
+
+        for with_costs in extend_cost_atoms(0, binding):
+            for full in self._match_plain(rule, database, with_costs):
+                if all(guard.holds(full) for guard in rule.guards):
+                    offer(
+                        rule.head.relation,
+                        rule.head.substitute(full),
+                        rule.cost(full),
+                    )
+
+    def _match_plain(
+        self, rule: CostRule, database: Database, binding: Binding
+    ) -> Iterable[Binding]:
+        """Join the rule's plain atoms against the database."""
+
+        def walk(index: int, current: Binding) -> Iterable[Binding]:
+            if index == len(rule.plain_atoms):
+                yield current
+                return
+            atom = rule.plain_atoms[index]
+            if not database.has_relation(atom.relation):
+                return
+            relation = database.relation(atom.relation)
+            bound_vars = {
+                term
+                for term in atom.terms
+                if is_variable(term) and term in current
+            }
+            positions = atom.bound_positions(bound_vars)
+            key = tuple(
+                current[t] if is_variable(t) else t
+                for i, t in enumerate(atom.terms)
+                if i in positions
+            )
+            for row in relation.lookup(positions, key):
+                extended = atom.match(row, current)
+                if extended is not None:
+                    yield from walk(index + 1, extended)
+
+        yield from walk(0, dict(binding))
+
+
+def sum_of(*terms: Any) -> Callable[[Binding], float]:
+    """Cost expression: the sum of variables and constants."""
+
+    def compute(binding: Binding) -> float:
+        total = 0.0
+        for term in terms:
+            total += binding[term] if is_variable(term) else term
+        return total
+
+    return compute
+
+
+CONSTANT_ZERO = sum_of()

@@ -1,0 +1,311 @@
+"""Stratified semi-naive Datalog evaluation.
+
+Evaluation walks the program's strata (one SCC per stratum, in
+dependency order).  Non-recursive strata are evaluated rule-by-rule
+with *counting* semantics: each distinct body binding contributes +1
+to the head row's multiplicity, so the incremental engine can later
+run the counting algorithm on them.  Recursive strata are evaluated
+with semi-naive iteration under set semantics (multiplicity pinned to
+one), because counting does not terminate on recursion; the
+incremental engine maintains those with DRed instead.
+
+The join machinery (:func:`enumerate_bindings`) is shared with the
+incremental engine: each plan step reads from a :class:`View`, and the
+caller decides which view (full / old / delta) backs each step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.datalog.ast import (
+    Atom,
+    Binding,
+    Comparison,
+    Let,
+    Negation,
+    Program,
+    Rule,
+)
+from repro.datalog.database import Database, Relation, Row
+
+
+class View:
+    """Read interface one plan step evaluates against."""
+
+    def lookup(self, positions: tuple[int, ...], key: Row) -> Iterable[Row]:
+        """Rows whose values at ``positions`` equal ``key``."""
+        raise NotImplementedError
+
+    def contains(self, row: Row) -> bool:
+        """Set-semantics membership (used by negation)."""
+        raise NotImplementedError
+
+
+class FullView(View):
+    """The current contents of a stored relation."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+
+    def lookup(self, positions: tuple[int, ...], key: Row) -> Iterable[Row]:
+        return self.relation.lookup(positions, key)
+
+    def contains(self, row: Row) -> bool:
+        return row in self.relation
+
+
+class SetView(View):
+    """A transient set of rows (e.g. a semi-naive delta)."""
+
+    __slots__ = ("_rows", "_indexes")
+
+    def __init__(self, rows: Iterable[Row]) -> None:
+        self._rows = set(rows)
+        self._indexes: dict[tuple[int, ...], dict[Row, list[Row]]] = {}
+
+    def lookup(self, positions: tuple[int, ...], key: Row) -> Iterable[Row]:
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                row_key = tuple(row[i] for i in positions)
+                index.setdefault(row_key, []).append(row)
+            self._indexes[positions] = index
+        return index.get(key, [])
+
+    def contains(self, row: Row) -> bool:
+        return row in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+
+class OldView(View):
+    """A relation as it stood *before* a recorded set of flips.
+
+    ``flips`` maps row -> +1 (row was inserted) or -1 (row was
+    deleted).  Old state = current state with insertions removed and
+    deletions restored.
+    """
+
+    __slots__ = ("relation", "flips", "_deleted_indexes")
+
+    def __init__(self, relation: Relation, flips: dict[Row, int]) -> None:
+        self.relation = relation
+        self.flips = flips
+        self._deleted_indexes: dict[tuple[int, ...], dict[Row, list[Row]]] = {}
+
+    def lookup(self, positions: tuple[int, ...], key: Row) -> Iterable[Row]:
+        for row in self.relation.lookup(positions, key):
+            if self.flips.get(row) != 1:  # not freshly inserted
+                yield row
+        index = self._deleted_indexes.get(positions)
+        if index is None:
+            index = {}
+            for row, sign in self.flips.items():
+                if sign == -1:
+                    row_key = tuple(row[i] for i in positions)
+                    index.setdefault(row_key, []).append(row)
+            self._deleted_indexes[positions] = index
+        yield from index.get(key, [])
+
+    def contains(self, row: Row) -> bool:
+        sign = self.flips.get(row)
+        if sign == 1:
+            return False
+        if sign == -1:
+            return True
+        return row in self.relation
+
+
+ViewChooser = Callable[[int, Atom], View]
+
+
+def enumerate_bindings(
+    rule: Rule,
+    view_for: ViewChooser,
+    negation_view_for: ViewChooser | None = None,
+) -> Iterator[Binding]:
+    """All body bindings of ``rule`` under the chosen views.
+
+    ``view_for`` picks the view for each positive atom (by plan index);
+    ``negation_view_for`` (default: same chooser) picks the view each
+    negation is checked against.
+    """
+    if negation_view_for is None:
+        negation_view_for = view_for
+    plan = rule.plan
+    bound_before = rule.bound_before
+
+    def walk(step: int, binding: Binding) -> Iterator[Binding]:
+        if step == len(plan):
+            yield binding
+            return
+        item = plan[step]
+        if isinstance(item, Atom):
+            positions = item.bound_positions(set(bound_before[step]))
+            key = _ground_key(item, positions, binding)
+            view = view_for(step, item)
+            for row in view.lookup(positions, key):
+                extended = item.match(row, binding)
+                if extended is not None:
+                    yield from walk(step + 1, extended)
+        elif isinstance(item, Negation):
+            grounded = item.atom.substitute(binding)
+            if not negation_view_for(step, item.atom).contains(grounded):
+                yield from walk(step + 1, binding)
+        elif isinstance(item, Comparison):
+            if item.holds(binding):
+                yield from walk(step + 1, binding)
+        elif isinstance(item, Let):
+            value = item.evaluate(binding)
+            existing = binding.get(item.var, _MISSING)
+            if existing is _MISSING:
+                extended = dict(binding)
+                extended[item.var] = value
+                yield from walk(step + 1, extended)
+            elif existing == value:
+                yield from walk(step + 1, binding)
+        else:  # pragma: no cover - plan items are exhaustive
+            raise TypeError(f"unknown plan item {item!r}")
+
+    yield from walk(0, {})
+
+
+_MISSING = object()
+
+
+def _ground_key(item: Atom, positions: tuple[int, ...], binding: Binding) -> Row:
+    """Values at the bound positions of ``item`` under ``binding``."""
+    from repro.datalog.ast import is_variable
+
+    values = []
+    for index in positions:
+        term = item.terms[index]
+        values.append(binding[term] if is_variable(term) else term)
+    return tuple(values)
+
+
+def _ensure_relations(program: Program, database: Database) -> None:
+    """Create every referenced relation so lookups never KeyError."""
+    arities: dict[str, int] = {}
+    for rule in program.rules:
+        atoms = [rule.head] + rule.positive_atoms() + rule.negated_atoms()
+        for item in atoms:
+            known = arities.get(item.relation)
+            if known is None:
+                arities[item.relation] = item.arity
+            elif known != item.arity:
+                raise ValueError(
+                    f"relation {item.relation!r} used with arities "
+                    f"{known} and {item.arity}"
+                )
+    for name, arity in arities.items():
+        database.relation(name, arity)
+
+
+def evaluate_program(program: Program, database: Database) -> None:
+    """From-scratch evaluation of all IDB relations.
+
+    IDB relations are cleared first, then strata are computed bottom-up
+    — counting multiplicities for non-recursive strata, set semantics
+    for recursive ones.
+    """
+    _ensure_relations(program, database)
+    for name in program.idb:
+        database.relation(name).clear()
+    for level in range(len(program.strata)):
+        if program.stratum_is_recursive(level):
+            _evaluate_recursive_stratum(program, database, level)
+        else:
+            _evaluate_flat_stratum(program, database, level)
+
+
+def _full_chooser(database: Database) -> ViewChooser:
+    views: dict[str, FullView] = {}
+
+    def choose(_step: int, item: Atom) -> View:
+        view = views.get(item.relation)
+        if view is None:
+            view = FullView(database.relation(item.relation))
+            views[item.relation] = view
+        return view
+
+    return choose
+
+
+def _evaluate_flat_stratum(
+    program: Program, database: Database, level: int
+) -> None:
+    chooser = _full_chooser(database)
+    for rule in program.rules_for_stratum(level):
+        head_relation = database.relation(rule.head.relation)
+        for binding in enumerate_bindings(rule, chooser):
+            head_relation.add(rule.head.substitute(binding), 1)
+
+
+def _evaluate_recursive_stratum(
+    program: Program, database: Database, level: int
+) -> None:
+    recursive = set(program.strata[level])
+    rules = program.rules_for_stratum(level)
+    chooser = _full_chooser(database)
+
+    # Initialization: rules evaluated with recursive inputs as they
+    # stand (empty), i.e. only derivations not requiring the stratum.
+    delta: dict[str, set[Row]] = {name: set() for name in recursive}
+    for rule in rules:
+        head_relation = database.relation(rule.head.relation)
+        for binding in enumerate_bindings(rule, chooser):
+            row = rule.head.substitute(binding)
+            if row not in head_relation:
+                head_relation.add(row, 1)
+                delta[rule.head.relation].add(row)
+
+    while any(delta.values()):
+        new_delta: dict[str, set[Row]] = {name: set() for name in recursive}
+        delta_views = {name: SetView(rows) for name, rows in delta.items()}
+        for rule in rules:
+            recursive_steps = [
+                step
+                for step, item in enumerate(rule.plan)
+                if isinstance(item, Atom) and item.relation in recursive
+            ]
+            head_relation = database.relation(rule.head.relation)
+            for driver in recursive_steps:
+
+                def choose(step: int, item: Atom, _driver: int = driver) -> View:
+                    if step == _driver:
+                        return delta_views[item.relation]
+                    return chooser(step, item)
+
+                for binding in enumerate_bindings(rule, choose, chooser):
+                    row = rule.head.substitute(binding)
+                    if row not in head_relation:
+                        head_relation.add(row, 1)
+                        new_delta[rule.head.relation].add(row)
+        delta = new_delta
+
+
+def query(
+    database: Database, relation: str, pattern: tuple[Any, ...] | None = None
+) -> list[Row]:
+    """Rows of ``relation`` matching an optional constant pattern.
+
+    Pattern positions holding ``None`` are wildcards.  Convenience for
+    tests and examples.
+    """
+    stored = database.relation(relation)
+    if pattern is None:
+        return sorted(stored.rows())
+    matches = []
+    for row in stored.rows():
+        if all(p is None or p == v for p, v in zip(pattern, row)):
+            matches.append(row)
+    return sorted(matches)

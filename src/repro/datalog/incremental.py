@@ -1,0 +1,529 @@
+"""Incremental Datalog: counting + DRed view maintenance.
+
+Given a program that has been fully evaluated once, applying a batch of
+EDB insertions/deletions updates every IDB relation *incrementally*:
+
+- **Non-recursive strata** use the counting algorithm.  Full evaluation
+  stored one unit of multiplicity per derivation; a change batch walks
+  each rule once per affected body step, with the classic telescoping
+  view assignment (steps before the driver read the *new* state, steps
+  after it read the *old* state, the driver reads the delta), and
+  adjusts head multiplicities by the signed contribution.  A head row
+  flips in the set-semantics view exactly when its count crosses zero.
+
+- **Recursive strata** (one SCC each) use DRed: overdelete everything
+  whose old derivation touched a deleted row (or a row inserted into a
+  negated relation), then rederive what is still supported, then
+  propagate insertions semi-naively.
+
+The returned :class:`Delta` lists the set-semantics flips of every
+relation, EDB included, so callers can chain analyses off the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.datalog.ast import (
+    Atom,
+    Binding,
+    Comparison,
+    DatalogError,
+    Let,
+    Negation,
+    Program,
+    Rule,
+)
+from repro.datalog.database import Database, Row
+from repro.datalog.engine import (
+    FullView,
+    OldView,
+    SetView,
+    View,
+    _ground_key,
+    evaluate_program,
+)
+
+Flips = dict[str, dict[Row, int]]
+
+
+@dataclass
+class Delta:
+    """Set-semantics changes per relation after one update batch."""
+
+    inserts: dict[str, set[Row]] = field(default_factory=dict)
+    deletes: dict[str, set[Row]] = field(default_factory=dict)
+
+    @classmethod
+    def from_flips(cls, flips: Flips) -> "Delta":
+        delta = cls()
+        for relation, rows in flips.items():
+            for row, sign in rows.items():
+                if sign > 0:
+                    delta.inserts.setdefault(relation, set()).add(row)
+                elif sign < 0:
+                    delta.deletes.setdefault(relation, set()).add(row)
+        return delta
+
+    def inserted(self, relation: str) -> set[Row]:
+        """Rows that appeared in ``relation``."""
+        return self.inserts.get(relation, set())
+
+    def deleted(self, relation: str) -> set[Row]:
+        """Rows that vanished from ``relation``."""
+        return self.deletes.get(relation, set())
+
+    def is_empty(self) -> bool:
+        """True if nothing changed anywhere."""
+        return not any(self.inserts.values()) and not any(self.deletes.values())
+
+    def touched_relations(self) -> set[str]:
+        """Relations with at least one flip."""
+        touched = {rel for rel, rows in self.inserts.items() if rows}
+        touched |= {rel for rel, rows in self.deletes.items() if rows}
+        return touched
+
+    def size(self) -> int:
+        """Total number of flips."""
+        return sum(len(rows) for rows in self.inserts.values()) + sum(
+            len(rows) for rows in self.deletes.values()
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        for relation in sorted(self.touched_relations()):
+            ins = len(self.inserts.get(relation, ()))
+            dels = len(self.deletes.get(relation, ()))
+            parts.append(f"{relation}(+{ins}/-{dels})")
+        return "Delta[" + ", ".join(parts) + "]"
+
+
+def _record_flip(flips: Flips, relation: str, row: Row, sign: int) -> None:
+    """Merge one set-semantics flip, cancelling insert+delete pairs."""
+    if sign == 0:
+        return
+    per_relation = flips.setdefault(relation, {})
+    net = per_relation.get(row, 0) + sign
+    if net == 0:
+        per_relation.pop(row, None)
+    else:
+        per_relation[row] = 1 if net > 0 else -1
+
+
+def _delta_bindings(
+    rule: Rule,
+    view_for: "StepViews",
+    driver_step: int | None = None,
+    driver_view: View | None = None,
+    initial_binding: Binding | None = None,
+) -> Iterator[Binding]:
+    """Enumerate body bindings with one plan step optionally overridden.
+
+    When ``driver_step`` points at a positive atom, that step draws its
+    rows from ``driver_view``.  When it points at a negation, the
+    negation check is replaced by *positive membership* of the grounded
+    atom in ``driver_view`` (the set of rows whose negation status
+    flipped).  All other steps consult ``view_for``.
+    """
+    plan = rule.plan
+    bound_before = rule.bound_before
+
+    def walk(step: int, binding: Binding) -> Iterator[Binding]:
+        if step == len(plan):
+            yield binding
+            return
+        item = plan[step]
+        if isinstance(item, Atom):
+            view = (
+                driver_view
+                if step == driver_step and driver_view is not None
+                else view_for(step, item)
+            )
+            positions = item.bound_positions(set(bound_before[step]))
+            key = _ground_key(item, positions, binding)
+            for row in view.lookup(positions, key):
+                extended = item.match(row, binding)
+                if extended is not None:
+                    yield from walk(step + 1, extended)
+        elif isinstance(item, Negation):
+            grounded = item.atom.substitute(binding)
+            if step == driver_step and driver_view is not None:
+                # Driver on a negation: require the grounded atom to be
+                # one of the flipped rows (sign handled by the caller).
+                if driver_view.contains(grounded):
+                    yield from walk(step + 1, binding)
+            else:
+                if not view_for(step, item.atom).contains(grounded):
+                    yield from walk(step + 1, binding)
+        elif isinstance(item, Comparison):
+            if item.holds(binding):
+                yield from walk(step + 1, binding)
+        else:  # Let
+            value = item.evaluate(binding)
+            if item.var in binding:
+                if binding[item.var] == value:
+                    yield from walk(step + 1, binding)
+            else:
+                extended = dict(binding)
+                extended[item.var] = value
+                yield from walk(step + 1, extended)
+
+    yield from walk(0, dict(initial_binding or {}))
+
+
+class StepViews:
+    """Per-step view chooser for one rule walk.
+
+    ``mode_for(relation)`` returns "new" or "old"; relations without
+    recorded flips always read "new" (identical to old).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        flips: Flips,
+        old_relations: set[str] | None = None,
+        old_before_step: int | None = None,
+    ) -> None:
+        self.database = database
+        self.flips = flips
+        self.old_relations = old_relations or set()
+        self.old_before_step = old_before_step
+        self._full: dict[str, FullView] = {}
+        self._old: dict[str, OldView] = {}
+
+    def full_view(self, relation: str) -> FullView:
+        view = self._full.get(relation)
+        if view is None:
+            view = FullView(self.database.relation(relation))
+            self._full[relation] = view
+        return view
+
+    def old_view(self, relation: str) -> View:
+        per_relation = self.flips.get(relation)
+        if not per_relation:
+            return self.full_view(relation)
+        view = self._old.get(relation)
+        if view is None:
+            view = OldView(self.database.relation(relation), per_relation)
+            self._old[relation] = view
+        return view
+
+    def __call__(self, step: int, item: Atom) -> View:
+        wants_old = item.relation in self.old_relations
+        if self.old_before_step is not None:
+            # Telescoping: steps after the driver read the old state of
+            # *changed* relations; steps before read the new state.
+            wants_old = wants_old or (
+                step > self.old_before_step and item.relation in self.flips
+            )
+        if wants_old:
+            return self.old_view(item.relation)
+        return self.full_view(item.relation)
+
+
+class IncrementalProgram:
+    """A materialized Datalog program supporting delta updates."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        evaluate: bool = True,
+    ) -> None:
+        self.program = program
+        self.database = database
+        if evaluate:
+            evaluate_program(program, database)
+
+    # -- public API -------------------------------------------------------
+
+    def apply(
+        self,
+        inserts: Mapping[str, Iterable[Row]] | None = None,
+        deletes: Mapping[str, Iterable[Row]] | None = None,
+    ) -> Delta:
+        """Apply EDB changes and propagate through every stratum.
+
+        Inserting an already-present row or deleting an absent one is a
+        no-op (EDB relations are sets).  Changing an IDB relation
+        directly is an error — derive it through rules instead.
+        """
+        flips: Flips = {}
+        for relation_name, rows in (deletes or {}).items():
+            self._check_edb(relation_name)
+            relation = self.database.relation(relation_name)
+            for row in rows:
+                if row in relation:
+                    relation.discard(row)
+                    _record_flip(flips, relation_name, row, -1)
+        for relation_name, rows in (inserts or {}).items():
+            self._check_edb(relation_name)
+            relation = self.database.relation(relation_name)
+            for row in rows:
+                if row not in relation:
+                    relation.add(row, 1)
+                    _record_flip(flips, relation_name, row, +1)
+
+        for level in range(len(self.program.strata)):
+            if not self._stratum_inputs_changed(level, flips):
+                continue
+            if self.program.stratum_is_recursive(level):
+                self._update_recursive(level, flips)
+            else:
+                self._update_flat(level, flips)
+        return Delta.from_flips(flips)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_edb(self, relation_name: str) -> None:
+        if relation_name in self.program.idb:
+            raise DatalogError(
+                f"cannot change derived relation {relation_name!r} directly"
+            )
+
+    def _stratum_inputs_changed(self, level: int, flips: Flips) -> bool:
+        changed = {rel for rel, rows in flips.items() if rows}
+        if not changed:
+            return False
+        for rule in self.program.rules_for_stratum(level):
+            if rule.body_relations() & changed:
+                return True
+        return False
+
+    # -- counting (non-recursive strata) -------------------------------------
+
+    def _update_flat(self, level: int, flips: Flips) -> None:
+        stratum_flips: Flips = {}
+        for rule in self.program.rules_for_stratum(level):
+            head_relation = self.database.relation(rule.head.relation)
+            for step, item in enumerate(rule.plan):
+                if isinstance(item, Atom):
+                    changed = flips.get(item.relation)
+                    if not changed:
+                        continue
+                    self._drive_flat_step(
+                        rule, step, changed, flips, stratum_flips,
+                        head_relation, negation=False,
+                    )
+                elif isinstance(item, Negation):
+                    changed = flips.get(item.atom.relation)
+                    if not changed:
+                        continue
+                    self._drive_flat_step(
+                        rule, step, changed, flips, stratum_flips,
+                        head_relation, negation=True,
+                    )
+        for relation_name, rows in stratum_flips.items():
+            for row, sign in rows.items():
+                _record_flip(flips, relation_name, row, sign)
+
+    def _drive_flat_step(
+        self,
+        rule: Rule,
+        step: int,
+        changed: dict[Row, int],
+        flips: Flips,
+        stratum_flips: Flips,
+        head_relation,
+        negation: bool,
+    ) -> None:
+        inserted = [row for row, sign in changed.items() if sign > 0]
+        deleted = [row for row, sign in changed.items() if sign < 0]
+        # A row inserted into a negated relation removes derivations; a
+        # deleted one adds them.  For positive atoms signs are direct.
+        passes = (
+            ((inserted, -1), (deleted, +1))
+            if negation
+            else ((inserted, +1), (deleted, -1))
+        )
+        views = StepViews(self.database, flips, old_before_step=step)
+        for rows, sign in passes:
+            if not rows:
+                continue
+            driver = SetView(rows)
+            for binding in _delta_bindings(rule, views, step, driver):
+                head_row = rule.head.substitute(binding)
+                flip = head_relation.add(head_row, sign)
+                _record_flip(stratum_flips, rule.head.relation, head_row, flip)
+
+    # -- DRed (recursive strata) ----------------------------------------------
+
+    def _update_recursive(self, level: int, flips: Flips) -> None:
+        stratum = set(self.program.strata[level])
+        rules = self.program.rules_for_stratum(level)
+        stratum_flips: Flips = {}
+
+        overdeleted = self._overdelete(stratum, rules, flips)
+        for relation_name, rows in overdeleted.items():
+            relation = self.database.relation(relation_name)
+            for row in rows:
+                relation.discard(row)
+                _record_flip(stratum_flips, relation_name, row, -1)
+
+        self._reinsert(stratum, rules, flips, overdeleted, stratum_flips)
+
+        for relation_name, rows in stratum_flips.items():
+            for row, sign in rows.items():
+                _record_flip(flips, relation_name, row, sign)
+
+    def _overdelete(
+        self,
+        stratum: set[str],
+        rules: list[Rule],
+        flips: Flips,
+    ) -> dict[str, set[Row]]:
+        """Phase 1: everything whose old derivation is now suspect.
+
+        Evaluated entirely over the *old* database: lower-strata
+        relations are viewed pre-flip; stratum relations are still
+        physically unmodified.
+        """
+        overdeleted: dict[str, set[Row]] = {name: set() for name in stratum}
+        views = StepViews(
+            self.database, flips,
+            old_relations={rel for rel in flips if rel not in stratum},
+        )
+
+        def seed() -> dict[str, set[Row]]:
+            fresh: dict[str, set[Row]] = {name: set() for name in stratum}
+            for rule in rules:
+                head_name = rule.head.relation
+                for step, item in enumerate(rule.plan):
+                    if isinstance(item, Atom):
+                        if item.relation in stratum:
+                            continue  # same-stratum drivers come later
+                        changed = flips.get(item.relation)
+                        if not changed:
+                            continue
+                        rows = [r for r, s in changed.items() if s < 0]
+                    elif isinstance(item, Negation):
+                        changed = flips.get(item.atom.relation)
+                        if not changed:
+                            continue
+                        rows = [r for r, s in changed.items() if s > 0]
+                    else:
+                        continue
+                    if not rows:
+                        continue
+                    for binding in _delta_bindings(
+                        rule, views, step, SetView(rows)
+                    ):
+                        head_row = rule.head.substitute(binding)
+                        if (
+                            head_row in self.database.relation(head_name)
+                            and head_row not in overdeleted[head_name]
+                        ):
+                            fresh[head_name].add(head_row)
+            return fresh
+
+        frontier = seed()
+        while any(frontier.values()):
+            for name, rows in frontier.items():
+                overdeleted[name].update(rows)
+            next_frontier: dict[str, set[Row]] = {name: set() for name in stratum}
+            frontier_views = {
+                name: SetView(rows) for name, rows in frontier.items()
+            }
+            for rule in rules:
+                head_name = rule.head.relation
+                for step, item in enumerate(rule.plan):
+                    if not isinstance(item, Atom) or item.relation not in stratum:
+                        continue
+                    driver = frontier_views.get(item.relation)
+                    if driver is None or not driver._rows:
+                        continue
+                    for binding in _delta_bindings(rule, views, step, driver):
+                        head_row = rule.head.substitute(binding)
+                        if (
+                            head_row in self.database.relation(head_name)
+                            and head_row not in overdeleted[head_name]
+                        ):
+                            next_frontier[head_name].add(head_row)
+            frontier = next_frontier
+        return overdeleted
+
+    def _reinsert(
+        self,
+        stratum: set[str],
+        rules: list[Rule],
+        flips: Flips,
+        overdeleted: dict[str, set[Row]],
+        stratum_flips: Flips,
+    ) -> None:
+        """Phases 2+3: rederive survivors, then propagate insertions.
+
+        Everything is evaluated over the *new* database (lower strata
+        already updated, stratum post-overdeletion).
+        """
+        new_views = StepViews(self.database, flips)
+        frontier: dict[str, set[Row]] = {name: set() for name in stratum}
+
+        def admit(relation_name: str, row: Row) -> None:
+            relation = self.database.relation(relation_name)
+            if row not in relation:
+                relation.add(row, 1)
+                _record_flip(stratum_flips, relation_name, row, +1)
+                frontier[relation_name].add(row)
+
+        # Phase 2a: rederivation of overdeleted rows still supported.
+        for relation_name, rows in overdeleted.items():
+            for row in rows:
+                if self._derivable(relation_name, row, new_views):
+                    admit(relation_name, row)
+
+        # Phase 2b: brand-new derivations enabled by lower-strata flips.
+        for rule in rules:
+            for step, item in enumerate(rule.plan):
+                if isinstance(item, Atom):
+                    if item.relation in stratum:
+                        continue
+                    changed = flips.get(item.relation)
+                    if not changed:
+                        continue
+                    rows = [r for r, s in changed.items() if s > 0]
+                elif isinstance(item, Negation):
+                    changed = flips.get(item.atom.relation)
+                    if not changed:
+                        continue
+                    rows = [r for r, s in changed.items() if s < 0]
+                else:
+                    continue
+                if not rows:
+                    continue
+                for binding in _delta_bindings(
+                    rule, new_views, step, SetView(rows)
+                ):
+                    admit(rule.head.relation, rule.head.substitute(binding))
+
+        # Phase 3: semi-naive propagation inside the stratum.
+        while any(frontier.values()):
+            current = frontier
+            frontier = {name: set() for name in stratum}
+            current_views = {
+                name: SetView(rows) for name, rows in current.items()
+            }
+            for rule in rules:
+                for step, item in enumerate(rule.plan):
+                    if not isinstance(item, Atom) or item.relation not in stratum:
+                        continue
+                    driver = current_views.get(item.relation)
+                    if driver is None or not driver._rows:
+                        continue
+                    for binding in _delta_bindings(
+                        rule, new_views, step, driver
+                    ):
+                        admit(rule.head.relation, rule.head.substitute(binding))
+
+    def _derivable(
+        self, relation_name: str, row: Row, views: StepViews
+    ) -> bool:
+        """True if some rule derives ``row`` from the current state."""
+        for rule in self.program.rules_by_head.get(relation_name, ()):
+            initial = rule.head.match(row, {})
+            if initial is None:
+                continue
+            for _ in _delta_bindings(rule, views, initial_binding=initial):
+                return True
+        return False

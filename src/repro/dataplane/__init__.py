@@ -1,0 +1,31 @@
+"""Data-plane analysis: FIBs, atoms, reachability.
+
+The forwarding state of every router is decomposed into *atoms* —
+maximal destination-address intervals on which every FIB and every
+bound ACL behaves uniformly (the delta-net construction).  Each atom
+has one forwarding graph over the routers; reachability, loop, and
+blackhole questions are answered per atom and aggregated.
+
+The incremental path maintains the atom table under FIB/ACL deltas:
+cut points are reference-counted, split atoms inherit the actions of
+their parent for routers whose FIB did not change, and per-atom
+reachability is recomputed only for atoms whose forwarding graph
+actually changed.
+"""
+
+from repro.dataplane.fib import Fib, FibEntry
+from repro.dataplane.atoms import Atom, AtomTable
+from repro.dataplane.forwarding import Action, DataPlane, TargetKind
+from repro.dataplane.reachability import AtomReachability, ReachabilityIndex
+
+__all__ = [
+    "Action",
+    "Atom",
+    "AtomReachability",
+    "AtomTable",
+    "DataPlane",
+    "Fib",
+    "FibEntry",
+    "ReachabilityIndex",
+    "TargetKind",
+]

@@ -1,0 +1,151 @@
+"""Forwarding tables with longest-prefix-match lookup.
+
+A :class:`Fib` stores one router's forwarding entries in a binary trie
+keyed by prefix bits, giving O(32) longest-prefix-match and cheap
+insert/remove — the operations the incremental layer hammers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.controlplane.rib import NextHop
+from repro.net.addr import Prefix
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    """One forwarding entry: a prefix and its resolved next hops.
+
+    ``next_hops`` may contain forwarding hops (neighbor set), a local
+    delivery (neighbor None, drop False), or a drop.  ``protocol``
+    records which routing protocol installed the entry (useful in
+    reports).
+    """
+
+    prefix: Prefix
+    next_hops: frozenset[NextHop]
+    protocol: str = ""
+
+    def is_drop(self) -> bool:
+        """True if every next hop discards."""
+        return bool(self.next_hops) and all(nh.drop for nh in self.next_hops)
+
+    def forwards_to(self) -> frozenset[str]:
+        """Neighbor routers packets are sent to."""
+        return frozenset(
+            nh.neighbor for nh in self.next_hops if nh.neighbor is not None
+        )
+
+    def __str__(self) -> str:
+        hops = ", ".join(str(nh) for nh in sorted(self.next_hops))
+        return f"{self.prefix} -> {{{hops}}}"
+
+
+class _TrieNode:
+    __slots__ = ("children", "entry")
+
+    def __init__(self) -> None:
+        self.children: list["_TrieNode | None"] = [None, None]
+        self.entry: FibEntry | None = None
+
+
+class Fib:
+    """One router's forwarding table."""
+
+    def __init__(self, router: str) -> None:
+        self.router = router
+        self._root = _TrieNode()
+        self._entries: dict[Prefix, FibEntry] = {}
+
+    # -- writes -------------------------------------------------------------
+
+    def install(self, entry: FibEntry) -> FibEntry | None:
+        """Insert or replace the entry for its prefix.
+
+        Returns the entry previously installed for the same prefix (or
+        None).
+        """
+        node = self._root
+        prefix = entry.prefix
+        for position in range(prefix.length):
+            bit = prefix.bit(position)
+            child = node.children[bit]
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        previous = node.entry
+        node.entry = entry
+        self._entries[prefix] = entry
+        return previous
+
+    def remove(self, prefix: Prefix) -> FibEntry | None:
+        """Delete the entry for ``prefix``; returns it (or None).
+
+        Trie nodes are left in place (they are tiny and reinsertion is
+        common under churn); the entry pointer is cleared.
+        """
+        if prefix not in self._entries:
+            return None
+        node: _TrieNode | None = self._root
+        for position in range(prefix.length):
+            assert node is not None
+            node = node.children[prefix.bit(position)]
+            if node is None:
+                return None
+        assert node is not None
+        previous = node.entry
+        node.entry = None
+        del self._entries[prefix]
+        return previous
+
+    # -- reads ----------------------------------------------------------------
+
+    def lookup(self, address: int) -> FibEntry | None:
+        """Longest-prefix-match for a destination address."""
+        node: _TrieNode | None = self._root
+        best = self._root.entry
+        for position in range(32):
+            assert node is not None
+            bit = (address >> (31 - position)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.entry is not None:
+                best = node.entry
+        return best
+
+    def entry_for(self, prefix: Prefix) -> FibEntry | None:
+        """Exact-match entry for a prefix."""
+        return self._entries.get(prefix)
+
+    def entries(self) -> Iterator[FibEntry]:
+        """All installed entries, in prefix order."""
+        for prefix in sorted(self._entries):
+            yield self._entries[prefix]
+
+    def prefixes(self) -> set[Prefix]:
+        """All installed prefixes."""
+        return set(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._entries
+
+    def __str__(self) -> str:
+        lines = [f"FIB {self.router} ({len(self)} entries):"]
+        lines.extend(f"  {entry}" for entry in self.entries())
+        return "\n".join(lines)
+
+    def lookup_linear(self, address: int) -> FibEntry | None:
+        """Reference LPM by scanning all entries (oracle for tests)."""
+        best: FibEntry | None = None
+        for prefix, entry in self._entries.items():
+            if prefix.contains_address(address):
+                if best is None or prefix.length > best.prefix.length:
+                    best = entry
+        return best

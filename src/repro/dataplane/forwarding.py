@@ -1,0 +1,317 @@
+"""Per-atom forwarding behaviour, with ACLs applied.
+
+:class:`DataPlane` owns the atom table and a lazy cache of per-atom,
+per-router :class:`Action` values.  An action is what one router does
+with packets of one atom: forward to neighbours (ECMP), deliver onto a
+connected subnet, drop explicitly (null route or ACL deny), or have no
+matching entry at all (an implicit drop — a *blackhole* in reports).
+
+ACL handling: ACLs bound to interfaces contribute their rules'
+destination boundaries to the atom table, so within one atom each
+bound ACL is constant (PERMIT, DENY, or MIXED — the latter when the
+decision depends on non-destination fields).  An egress ACL denying
+the atom kills the corresponding forward target; a MIXED verdict keeps
+the target but marks the action, and reports surface the ambiguity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config.acl import Acl, AclAction
+from repro.dataplane.atoms import Atom, AtomTable
+from repro.dataplane.fib import Fib, FibEntry
+from repro.net.addr import Prefix
+
+
+class TargetKind(enum.Enum):
+    """What happens to a packet on one path out of a router."""
+
+    FORWARD = "forward"
+    DELIVER = "deliver"
+    DROP = "drop"
+
+
+@dataclass(frozen=True, order=True)
+class Target:
+    """One outcome of a router's action (one ECMP leg)."""
+
+    kind: TargetKind
+    neighbor: str | None = None
+    interface: str | None = None
+
+    def __str__(self) -> str:
+        if self.kind is TargetKind.FORWARD:
+            return f"->{self.neighbor}[{self.interface}]"
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class Action:
+    """A router's complete behaviour for one atom."""
+
+    targets: frozenset[Target]
+    mixed: bool = False  # some ACL verdict depended on non-dst fields
+
+    def forward_neighbors(self) -> frozenset[str]:
+        """Neighbours reachable on some ECMP leg."""
+        return frozenset(
+            t.neighbor
+            for t in self.targets
+            if t.kind is TargetKind.FORWARD and t.neighbor is not None
+        )
+
+    def delivers(self) -> bool:
+        """True if some leg delivers locally."""
+        return any(t.kind is TargetKind.DELIVER for t in self.targets)
+
+    def is_blackhole(self) -> bool:
+        """True if no entry matched at all (implicit drop)."""
+        return not self.targets
+
+    def drops_everything(self) -> bool:
+        """True if every leg (if any) discards."""
+        return bool(self.targets) and all(
+            t.kind is TargetKind.DROP for t in self.targets
+        )
+
+
+NO_MATCH = Action(frozenset())
+
+
+class DataPlane:
+    """The atom-decomposed forwarding state of a whole snapshot."""
+
+    def __init__(self, snapshot, fibs: dict[str, Fib]) -> None:
+        self.snapshot = snapshot
+        self.fibs = fibs
+        self.atom_table = AtomTable()
+        # Per-atom action cache: atom -> router -> Action.  Populated
+        # lazily; routers absent from an atom's map are recomputed on
+        # demand.
+        self._actions: dict[Atom, dict[str, Action]] = {}
+        self._register_initial_intervals()
+
+    # -- construction -------------------------------------------------------
+
+    def _register_initial_intervals(self) -> None:
+        for fib in self.fibs.values():
+            for entry in fib.entries():
+                self.atom_table.register_prefix(entry.prefix)
+        for router, interface, _direction, acl in self._acl_bindings():
+            for rule in acl.rules:
+                lo, hi = rule.dst.interval()
+                self.atom_table.register(lo, hi)
+
+    def _acl_bindings(self):
+        """(router, interface, direction, Acl) for every live binding."""
+        for router, config in self.snapshot.configs.items():
+            for interface_name, settings in config.interfaces.items():
+                for direction, name in (
+                    ("in", settings.acl_in),
+                    ("out", settings.acl_out),
+                ):
+                    if name is None:
+                        continue
+                    acl = config.acls.get(name)
+                    if acl is None:
+                        continue  # dangling binding: treated as absent
+                    yield router, interface_name, direction, acl
+
+    # -- action computation ----------------------------------------------------
+
+    def action(self, router: str, atom: Atom) -> Action:
+        """The (cached) behaviour of ``router`` for ``atom``."""
+        per_atom = self._actions.setdefault(atom, {})
+        cached = per_atom.get(router)
+        if cached is None:
+            cached = self._compute_action(router, atom)
+            per_atom[router] = cached
+        return cached
+
+    def actions_for_atom(self, atom: Atom) -> dict[str, Action]:
+        """Behaviour of every router for one atom."""
+        return {
+            router: self.action(router, atom)
+            for router in self.snapshot.topology.router_names()
+        }
+
+    def _acl_verdict(self, router: str, acl_name: str | None, atom: Atom) -> AclAction:
+        """A bound ACL's verdict for the atom (PERMIT if unbound)."""
+        if acl_name is None:
+            return AclAction.PERMIT
+        config = self.snapshot.configs.get(router)
+        if config is None:
+            return AclAction.PERMIT
+        acl = config.acls.get(acl_name)
+        if acl is None:
+            return AclAction.PERMIT
+        return acl_verdict_for_interval(acl, atom.representative)
+
+    def _compute_action(self, router: str, atom: Atom) -> Action:
+        fib = self.fibs.get(router)
+        if fib is None:
+            return NO_MATCH
+        entry = fib.lookup(atom.representative)
+        if entry is None:
+            return NO_MATCH
+        topology = self.snapshot.topology
+        config = self.snapshot.configs.get(router)
+        targets: set[Target] = set()
+        mixed = False
+        for hop in entry.next_hops:
+            if hop.drop:
+                targets.add(Target(TargetKind.DROP))
+                continue
+            if hop.neighbor is None:
+                targets.add(Target(TargetKind.DELIVER, interface=hop.interface))
+                continue
+            # Egress ACL on our side.
+            out_verdict = AclAction.PERMIT
+            if config is not None:
+                settings = config.interface_config(hop.interface)
+                out_verdict = self._acl_verdict(router, settings.acl_out, atom)
+            if out_verdict is AclAction.DENY:
+                targets.add(Target(TargetKind.DROP, interface=hop.interface))
+                continue
+            if out_verdict is AclAction.MIXED:
+                mixed = True
+            # Ingress ACL on the neighbour's receiving interface.
+            in_verdict = AclAction.PERMIT
+            peer = topology.interface_peer(router, hop.interface)
+            if peer is not None:
+                peer_config = self.snapshot.configs.get(peer.router)
+                if peer_config is not None:
+                    peer_settings = peer_config.interface_config(peer.name)
+                    in_verdict = self._acl_verdict(
+                        peer.router, peer_settings.acl_in, atom
+                    )
+            if in_verdict is AclAction.DENY:
+                targets.add(Target(TargetKind.DROP, interface=hop.interface))
+                continue
+            if in_verdict is AclAction.MIXED:
+                mixed = True
+            targets.add(
+                Target(
+                    TargetKind.FORWARD,
+                    neighbor=hop.neighbor,
+                    interface=hop.interface,
+                )
+            )
+        return Action(targets=frozenset(targets), mixed=mixed)
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def _apply_structure(
+        self,
+        splits: list[tuple[Atom, list[Atom]]],
+        merges: list[tuple[Atom, list[Atom]]],
+    ) -> set[Atom]:
+        """Propagate atom splits/merges through the action cache.
+
+        Sub-atoms of a split inherit the parent's cached actions (the
+        parent was uniform, so any router whose FIB/ACLs did not change
+        behaves identically on the halves).  Merged atoms start cold.
+        Returns the set of structurally new atoms.
+        """
+        structural: set[Atom] = set()
+        for parent, subs in splits:
+            inherited = self._actions.pop(parent, None)
+            for sub in subs:
+                structural.add(sub)
+                if inherited is not None:
+                    self._actions[sub] = dict(inherited)
+        for merged, subs in merges:
+            for sub in subs:
+                self._actions.pop(sub, None)
+            structural.add(merged)
+        return structural
+
+    def update_fib_entry(
+        self, router: str, prefix: Prefix, entry: FibEntry | None
+    ) -> set[Atom]:
+        """Install/replace/remove one FIB entry; returns dirty atoms.
+
+        Dirty atoms are those whose forwarding graph may have changed:
+        atoms overlapping the prefix (the router's action there is
+        invalidated) plus atoms created or destroyed by cut-point
+        changes.
+        """
+        fib = self.fibs.setdefault(router, Fib(router))
+        had = prefix in fib
+        if entry is None:
+            if not had:
+                return set()
+            fib.remove(prefix)
+            merges = self.atom_table.unregister_prefix(prefix)
+            structural = self._apply_structure([], merges)
+        else:
+            fib.install(entry)
+            splits: list[tuple[Atom, list[Atom]]] = []
+            if not had:
+                splits = self.atom_table.register_prefix(prefix)
+            structural = self._apply_structure(splits, [])
+        lo, hi = prefix.interval()
+        dirty = set(self.atom_table.atoms_overlapping(lo, hi)) | structural
+        for atom in dirty:
+            per_atom = self._actions.get(atom)
+            if per_atom is not None:
+                per_atom.pop(router, None)
+        return dirty
+
+    def acl_interval_structure(
+        self, lo: int, hi: int, register: bool
+    ) -> set[Atom]:
+        """Maintain atom *boundaries* for one ACL rule interval.
+
+        Registers/unregisters the interval's cut points so atoms stay
+        aligned with the ACL's verdict boundaries.  Split sub-atoms
+        inherit their parent's actions (the boundary itself does not
+        change behaviour); only structurally new atoms are returned.
+        Behaviour invalidation is separate — see
+        :meth:`invalidate_span` — because a permit rule's boundaries
+        must not dirty regions whose verdict did not change.
+        """
+        if register:
+            splits = self.atom_table.register(lo, hi)
+            return self._apply_structure(splits, [])
+        merges = self.atom_table.unregister(lo, hi)
+        return self._apply_structure([], merges)
+
+    def invalidate_span(self, lo: int, hi: int) -> set[Atom]:
+        """Drop all cached actions in ``[lo, hi)``; returns the atoms.
+
+        Used for ACL verdict changes, which can affect both ends of a
+        link (egress ACL here, ingress ACL on the peer) — per-router
+        surgery is not worth the bookkeeping.
+        """
+        dirty = set(self.atom_table.atoms_overlapping(lo, hi))
+        for atom in dirty:
+            self._actions.pop(atom, None)
+        return dirty
+
+    def invalidate_router(self, router: str) -> None:
+        """Forget every cached action of one router (config rewired)."""
+        for per_atom in self._actions.values():
+            per_atom.pop(router, None)
+
+    def stats(self) -> dict[str, int]:
+        """Counters for reports and benchmarks."""
+        return {
+            "atoms": self.atom_table.num_atoms(),
+            "fib_entries": sum(len(fib) for fib in self.fibs.values()),
+            "routers": len(self.fibs),
+        }
+
+
+def acl_verdict_for_interval(acl: Acl, representative: int) -> AclAction:
+    """The ACL's projected verdict at one destination address.
+
+    Valid for a whole atom when the atom table contains the ACL's rule
+    boundaries (the projection is constant between boundaries).
+    """
+    for interval_set, action in acl.project_dst():
+        if interval_set.contains(representative):
+            return action
+    return AclAction.DENY  # unreachable: projection covers the space

@@ -1,0 +1,213 @@
+"""Per-atom reachability, loop, and blackhole analysis.
+
+For one atom, the data plane induces a directed graph over routers
+(the union of ECMP forward legs).  The questions answered here:
+
+- **Reachability**: for each *owner* (router that delivers the atom
+  locally), which source routers have some path to it?  Computed with
+  one reverse BFS per owner — O(E) per owner per atom.
+- **Loops**: routers sitting on a forwarding cycle (non-trivial SCCs
+  or self-loops of the forward graph).
+- **Blackholes**: routers with no matching FIB entry for the atom.
+
+:class:`ReachabilityIndex` caches per-atom results and exposes
+invalidation hooks for the incremental layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dataplane.atoms import Atom
+from repro.dataplane.forwarding import DataPlane
+
+
+@dataclass(frozen=True)
+class AtomReachability:
+    """Converged data-plane behaviour of one atom."""
+
+    atom: Atom
+    owners: frozenset[str]
+    # owner -> all routers with some forwarding path to it (owner incl.)
+    sources: dict[str, frozenset[str]]
+    loop_routers: frozenset[str]
+    blackhole_routers: frozenset[str]
+    mixed_routers: frozenset[str]
+
+    def reaches(self, source: str, owner: str) -> bool:
+        """True if ``source`` can reach delivery at ``owner``."""
+        return source in self.sources.get(owner, frozenset())
+
+    def pair_set(self) -> frozenset[tuple[str, str]]:
+        """All (source, owner) reachable pairs, for diffing."""
+        return frozenset(
+            (source, owner)
+            for owner, sources in self.sources.items()
+            for source in sources
+        )
+
+
+def compute_atom_reachability(dataplane: DataPlane, atom: Atom) -> AtomReachability:
+    """Analyse one atom from scratch."""
+    actions = dataplane.actions_for_atom(atom)
+    forward: dict[str, frozenset[str]] = {}
+    owners: set[str] = set()
+    blackholes: set[str] = set()
+    mixed: set[str] = set()
+    for router, action in actions.items():
+        forward[router] = action.forward_neighbors()
+        if action.delivers():
+            owners.add(router)
+        if action.is_blackhole():
+            blackholes.add(router)
+        if action.mixed:
+            mixed.add(router)
+
+    reverse: dict[str, set[str]] = {router: set() for router in forward}
+    for router, neighbors in forward.items():
+        for neighbor in neighbors:
+            if neighbor in reverse:
+                reverse[neighbor].add(router)
+
+    sources: dict[str, frozenset[str]] = {}
+    for owner in owners:
+        seen = {owner}
+        stack = [owner]
+        while stack:
+            node = stack.pop()
+            for predecessor in reverse[node]:
+                if predecessor not in seen:
+                    seen.add(predecessor)
+                    stack.append(predecessor)
+        sources[owner] = frozenset(seen)
+
+    loop_routers = _cycle_routers(forward)
+    return AtomReachability(
+        atom=atom,
+        owners=frozenset(owners),
+        sources=sources,
+        loop_routers=loop_routers,
+        blackhole_routers=frozenset(blackholes),
+        mixed_routers=frozenset(mixed),
+    )
+
+
+def _cycle_routers(forward: dict[str, frozenset[str]]) -> frozenset[str]:
+    """Routers on a forwarding cycle (iterative Tarjan SCC)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    cyclic: set[str] = set()
+
+    for start in forward:
+        if start in index:
+            continue
+        work: list[tuple[str, Iterable[str]]] = [(start, iter(forward[start]))]
+        index[start] = lowlink[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for succ in edges:
+                if succ not in forward:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(forward[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    cyclic.update(component)
+                elif component and component[0] in forward[component[0]]:
+                    cyclic.add(component[0])  # self-loop
+    return frozenset(cyclic)
+
+
+class ReachabilityIndex:
+    """Cached per-atom reachability over a :class:`DataPlane`."""
+
+    def __init__(self, dataplane: DataPlane) -> None:
+        self.dataplane = dataplane
+        self._cache: dict[Atom, AtomReachability] = {}
+
+    def for_atom(self, atom: Atom) -> AtomReachability:
+        """Reachability of one atom (cached)."""
+        cached = self._cache.get(atom)
+        if cached is None:
+            cached = compute_atom_reachability(self.dataplane, atom)
+            self._cache[atom] = cached
+        return cached
+
+    def compute_all(self) -> dict[Atom, AtomReachability]:
+        """Analyse every live atom (the baseline's full pass)."""
+        return {
+            atom: self.for_atom(atom) for atom in self.dataplane.atom_table.atoms()
+        }
+
+    def invalidate(self, atoms: Iterable[Atom]) -> None:
+        """Drop cached results for dirty atoms."""
+        for atom in atoms:
+            self._cache.pop(atom, None)
+
+    def cached_atoms(self) -> set[Atom]:
+        """Atoms currently analysed."""
+        return set(self._cache)
+
+    def entries_overlapping(
+        self, spans: Iterable[tuple[int, int]]
+    ) -> list[tuple[int, int, AtomReachability]]:
+        """Cached results whose atom overlaps any of ``spans``.
+
+        Keys may be *stale* atoms (from before a structural change);
+        that is exactly what the incremental differ needs: the
+        pre-change behaviour of the dirty region.
+        """
+        span_list = [s for s in spans if s[0] < s[1]]
+        results = []
+        for atom, reach in self._cache.items():
+            for lo, hi in span_list:
+                if atom.lo < hi and lo < atom.hi:
+                    results.append((atom.lo, atom.hi, reach))
+                    break
+        return results
+
+    def purge_overlapping(self, spans: Iterable[tuple[int, int]]) -> None:
+        """Drop every cached result overlapping any of ``spans``
+        (including stale keys left behind by splits/merges)."""
+        span_list = [s for s in spans if s[0] < s[1]]
+        stale = [
+            atom
+            for atom in self._cache
+            if any(atom.lo < hi and lo < atom.hi for lo, hi in span_list)
+        ]
+        for atom in stale:
+            del self._cache[atom]
+
+    def reaches(self, source: str, owner: str, address: int) -> bool:
+        """Point query: can ``source`` reach ``owner`` for ``address``?"""
+        atom = self.dataplane.atom_table.atom_containing(address)
+        return self.for_atom(atom).reaches(source, owner)

@@ -1,0 +1,259 @@
+"""IPv4 addresses and CIDR prefixes.
+
+These are deliberately lightweight value types (hashable, ordered,
+immutable) rather than wrappers around :mod:`ipaddress`: the data-plane
+layers manipulate millions of prefix objects and the hot paths need
+cheap integer arithmetic.
+
+An :class:`IPv4Address` is a thin wrapper over an ``int`` in
+``[0, 2**32)``.  A :class:`Prefix` is a (network-int, length) pair with
+the host bits already masked off; it exposes the half-open integer
+interval ``[first, last+1)`` used by the atom decomposition.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator
+
+_MAX = (1 << 32) - 1
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or prefixes."""
+
+
+def _parse_dotted_quad(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"expected dotted quad, got {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"non-numeric octet in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_dotted_quad(value: int) -> str:
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+@total_ordering
+class IPv4Address:
+    """An IPv4 address backed by a single integer.
+
+    Accepts either an ``int`` in ``[0, 2**32)`` or a dotted-quad
+    string.  Instances are immutable, hashable, and totally ordered by
+    numeric value.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int | str) -> None:
+        if isinstance(value, str):
+            value = _parse_dotted_quad(value)
+        if not isinstance(value, int):
+            raise AddressError(f"cannot build address from {value!r}")
+        if value < 0 or value > _MAX:
+            raise AddressError(f"address {value} out of 32-bit range")
+        object.__setattr__(self, "_value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IPv4Address is immutable")
+
+    @property
+    def value(self) -> int:
+        """The address as an integer."""
+        return self._value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        return _format_dotted_quad(self._value)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self._value + offset)
+
+
+@total_ordering
+class Prefix:
+    """A CIDR prefix, e.g. ``10.1.0.0/16``.
+
+    The network integer is stored with host bits masked to zero, so two
+    prefixes constructed from different host addresses inside the same
+    network compare equal.  Ordering is (network, length), which places
+    a prefix immediately before its subprefixes — convenient for trie
+    construction and deterministic iteration.
+    """
+
+    __slots__ = ("_network", "_length")
+
+    def __init__(self, network: int | str | IPv4Address, length: int | None = None) -> None:
+        if isinstance(network, str) and "/" in network:
+            if length is not None:
+                raise AddressError("length given twice")
+            addr_text, _, len_text = network.partition("/")
+            if not len_text.isdigit():
+                raise AddressError(f"bad prefix length in {network!r}")
+            network = _parse_dotted_quad(addr_text)
+            length = int(len_text)
+        elif isinstance(network, str):
+            network = _parse_dotted_quad(network)
+        elif isinstance(network, IPv4Address):
+            network = network.value
+        if length is None:
+            raise AddressError("prefix length required")
+        if not 0 <= length <= 32:
+            raise AddressError(f"prefix length {length} out of range")
+        if network < 0 or network > _MAX:
+            raise AddressError(f"network {network} out of 32-bit range")
+        mask = _MAX ^ ((1 << (32 - length)) - 1) if length else 0
+        object.__setattr__(self, "_network", network & mask)
+        object.__setattr__(self, "_length", length)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Prefix is immutable")
+
+    @property
+    def network(self) -> int:
+        """Network address as an integer (host bits zero)."""
+        return self._network
+
+    @property
+    def length(self) -> int:
+        """Prefix length in bits (0..32)."""
+        return self._length
+
+    @property
+    def mask(self) -> int:
+        """Netmask as an integer."""
+        if self._length == 0:
+            return 0
+        return _MAX ^ ((1 << (32 - self._length)) - 1)
+
+    @property
+    def first(self) -> int:
+        """Lowest address covered (== network)."""
+        return self._network
+
+    @property
+    def last(self) -> int:
+        """Highest address covered (broadcast for the prefix)."""
+        return self._network | ((1 << (32 - self._length)) - 1)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self._length)
+
+    def interval(self) -> tuple[int, int]:
+        """Half-open integer interval ``(first, last + 1)``."""
+        return (self.first, self.last + 1)
+
+    def contains_address(self, address: int | IPv4Address) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        value = int(address)
+        return self.first <= value <= self.last
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or nested inside this prefix."""
+        return (
+            self._length <= other._length
+            and (other._network & self.mask) == self._network
+        )
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        return self.contains_prefix(other) or other.contains_prefix(self)
+
+    def parent(self) -> "Prefix":
+        """The enclosing prefix one bit shorter.
+
+        Raises :class:`AddressError` for ``0.0.0.0/0``, which has no
+        parent.
+        """
+        if self._length == 0:
+            raise AddressError("0.0.0.0/0 has no parent")
+        return Prefix(self._network, self._length - 1)
+
+    def children(self) -> tuple["Prefix", "Prefix"]:
+        """The two subprefixes one bit longer (low half, high half)."""
+        if self._length == 32:
+            raise AddressError("/32 has no children")
+        half = 1 << (32 - self._length - 1)
+        return (
+            Prefix(self._network, self._length + 1),
+            Prefix(self._network | half, self._length + 1),
+        )
+
+    def bit(self, position: int) -> int:
+        """The address bit at ``position`` (0 == most significant)."""
+        if not 0 <= position < 32:
+            raise AddressError(f"bit position {position} out of range")
+        return (self._network >> (31 - position)) & 1
+
+    def __str__(self) -> str:
+        return f"{_format_dotted_quad(self._network)}/{self._length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self._network == other._network and self._length == other._length
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self._network, self._length) < (other._network, other._length)
+
+    def __hash__(self) -> int:
+        return hash((self._network, self._length))
+
+
+DEFAULT_ROUTE = Prefix(0, 0)
+
+
+def iter_subprefixes(prefix: Prefix, length: int) -> Iterator[Prefix]:
+    """Yield all subprefixes of ``prefix`` at the given ``length``.
+
+    Used by topology generators to carve host subnets out of an
+    allocation block.  Raises :class:`AddressError` if ``length`` is
+    shorter than the prefix itself.
+    """
+    if length < prefix.length:
+        raise AddressError(
+            f"cannot enumerate /{length} inside {prefix} (too short)"
+        )
+    step = 1 << (32 - length)
+    for network in range(prefix.first, prefix.last + 1, step):
+        yield Prefix(network, length)

@@ -1,0 +1,197 @@
+"""Multi-field header spaces.
+
+Reachability questions sometimes need more than a destination address:
+ACLs match on (src, dst, protocol, dst port).  A :class:`HeaderSpace`
+is a product of per-field :class:`~repro.net.interval.IntervalSet`
+constraints; the full space in a field is represented implicitly, so a
+destination-only query stays cheap.
+
+Fields and their domains:
+
+- ``src``:   source IPv4 address, 0 .. 2**32
+- ``dst``:   destination IPv4 address, 0 .. 2**32
+- ``proto``: IP protocol number, 0 .. 256
+- ``dport``: destination transport port, 0 .. 65536
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.net.addr import Prefix
+from repro.net.interval import IntervalSet
+
+FIELDS = ("src", "dst", "proto", "dport")
+
+_FIELD_SPANS: dict[str, tuple[int, int]] = {
+    "src": (0, 1 << 32),
+    "dst": (0, 1 << 32),
+    "proto": (0, 256),
+    "dport": (0, 65536),
+}
+
+
+def field_full(field: str) -> IntervalSet:
+    """The full domain of ``field`` as an IntervalSet."""
+    lo, hi = _FIELD_SPANS[field]
+    return IntervalSet.span(lo, hi)
+
+
+class HeaderSpace:
+    """A rectangular set of packet headers (product of field sets).
+
+    A field absent from the constraint map is unconstrained.  The empty
+    header space is canonicalized: if any stored field set is empty,
+    the whole space is empty and the constraint map is cleared with an
+    ``_empty`` flag set instead.
+    """
+
+    __slots__ = ("_constraints", "_empty")
+
+    def __init__(self, constraints: Mapping[str, IntervalSet] | None = None) -> None:
+        cleaned: dict[str, IntervalSet] = {}
+        empty = False
+        for field, value in (constraints or {}).items():
+            if field not in _FIELD_SPANS:
+                raise KeyError(f"unknown header field {field!r}")
+            if value.is_empty():
+                empty = True
+                break
+            if value == field_full(field):
+                continue  # unconstrained; keep implicit
+            cleaned[field] = value
+        object.__setattr__(self, "_constraints", {} if empty else cleaned)
+        object.__setattr__(self, "_empty", empty)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("HeaderSpace is immutable")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def full(cls) -> "HeaderSpace":
+        """All packets."""
+        return cls()
+
+    @classmethod
+    def empty(cls) -> "HeaderSpace":
+        """No packets."""
+        space = cls()
+        object.__setattr__(space, "_empty", True)
+        return space
+
+    @classmethod
+    def dst_prefix(cls, prefix: Prefix) -> "HeaderSpace":
+        """Packets destined to ``prefix``."""
+        lo, hi = prefix.interval()
+        return cls({"dst": IntervalSet.span(lo, hi)})
+
+    @classmethod
+    def src_prefix(cls, prefix: Prefix) -> "HeaderSpace":
+        """Packets sourced from ``prefix``."""
+        lo, hi = prefix.interval()
+        return cls({"src": IntervalSet.span(lo, hi)})
+
+    @classmethod
+    def protocol(cls, proto: int) -> "HeaderSpace":
+        """Packets of one IP protocol."""
+        return cls({"proto": IntervalSet.point(proto)})
+
+    @classmethod
+    def dport_range(cls, lo: int, hi: int) -> "HeaderSpace":
+        """Packets with destination port in ``[lo, hi]`` (inclusive)."""
+        return cls({"dport": IntervalSet.span(lo, hi + 1)})
+
+    # -- queries -------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True if no packet matches."""
+        return self._empty
+
+    def field(self, name: str) -> IntervalSet:
+        """The constraint on ``name`` (full domain if unconstrained)."""
+        if self._empty:
+            return IntervalSet.empty()
+        return self._constraints.get(name, field_full(name))
+
+    def constrained_fields(self) -> tuple[str, ...]:
+        """Fields carrying a non-trivial constraint."""
+        return tuple(f for f in FIELDS if f in self._constraints)
+
+    def contains_packet(self, packet: Mapping[str, int]) -> bool:
+        """True if a concrete packet (field -> value) matches."""
+        if self._empty:
+            return False
+        for field, constraint in self._constraints.items():
+            if field not in packet:
+                raise KeyError(f"packet missing field {field!r}")
+            if not constraint.contains(packet[field]):
+                return False
+        return True
+
+    # -- algebra -------------------------------------------------------
+
+    def intersect(self, other: "HeaderSpace") -> "HeaderSpace":
+        """Packets in both spaces."""
+        if self._empty or other._empty:
+            return HeaderSpace.empty()
+        merged: dict[str, IntervalSet] = dict(self._constraints)
+        for field, constraint in other._constraints.items():
+            if field in merged:
+                merged[field] = merged[field].intersection(constraint)
+            else:
+                merged[field] = constraint
+        return HeaderSpace(merged)
+
+    def overlaps(self, other: "HeaderSpace") -> bool:
+        """True if the two spaces share at least one packet."""
+        return not self.intersect(other).is_empty()
+
+    def subtract_field(self, field: str, removed: IntervalSet) -> "HeaderSpace":
+        """Remove ``removed`` from one field's constraint.
+
+        Note this stays rectangular because only a single field is
+        touched; general header-space difference is a union of
+        rectangles and is handled at the ACL layer instead.
+        """
+        if self._empty:
+            return self
+        remaining = self.field(field).difference(removed)
+        merged = dict(self._constraints)
+        merged[field] = remaining
+        return HeaderSpace(merged)
+
+    # -- dunder --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeaderSpace):
+            return NotImplemented
+        return self._empty == other._empty and self._constraints == other._constraints
+
+    def __hash__(self) -> int:
+        return hash((self._empty, tuple(sorted(self._constraints.items(), key=lambda kv: kv[0]))))
+
+    def __str__(self) -> str:
+        if self._empty:
+            return "∅"
+        if not self._constraints:
+            return "⊤"
+        parts = [f"{field}∈{value}" for field, value in sorted(self._constraints.items())]
+        return " ∧ ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"HeaderSpace({self._constraints!r})" if not self._empty else "HeaderSpace.empty()"
+
+
+def union_of_dst(spaces: Iterable[HeaderSpace]) -> IntervalSet:
+    """Union of the destination constraints of many header spaces.
+
+    Helper used when projecting a set of match conditions down to the
+    destination axis for atom decomposition.
+    """
+    result = IntervalSet.empty()
+    for space in spaces:
+        if space.is_empty():
+            continue
+        result = result.union(space.field("dst"))
+    return result

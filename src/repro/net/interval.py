@@ -1,0 +1,252 @@
+"""Half-open integer intervals and interval sets.
+
+The data plane reasons about *sets of destination addresses*.  Rather
+than bit-vectors over 2**32 points, we represent such sets as sorted
+lists of disjoint half-open intervals ``[lo, hi)`` — the same trick
+delta-net uses for its atoms.  All set algebra (union, intersection,
+difference, complement) is linear in the number of interval endpoints.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+FULL_SPAN = (0, 1 << 32)
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open interval ``[lo, hi)`` over the integers.
+
+    Empty intervals (``lo >= hi``) are rejected at construction so that
+    every :class:`Interval` instance denotes at least one point.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo >= self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi})")
+
+    @property
+    def size(self) -> int:
+        """Number of points covered."""
+        return self.hi - self.lo
+
+    def contains(self, point: int) -> bool:
+        """True if ``point`` lies inside the interval."""
+        return self.lo <= point < self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one point."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlapping region, or None if disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo >= hi:
+            return None
+        return Interval(lo, hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi})"
+
+
+def _normalize(pairs: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Sort, drop empties, and coalesce adjacent/overlapping pairs."""
+    cleaned = sorted((lo, hi) for lo, hi in pairs if lo < hi)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in cleaned:
+        if merged and lo <= merged[-1][1]:
+            prev_lo, prev_hi = merged[-1]
+            merged[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class IntervalSet:
+    """An immutable set of integers stored as disjoint sorted intervals.
+
+    Supports the usual set algebra plus fast point membership via
+    binary search.  Instances are hashable, so they can key atom maps.
+    """
+
+    __slots__ = ("_pairs", "_hash")
+
+    def __init__(self, pairs: Iterable[tuple[int, int]] = ()) -> None:
+        object.__setattr__(self, "_pairs", tuple(_normalize(pairs)))
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IntervalSet is immutable")
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set."""
+        return _EMPTY
+
+    @classmethod
+    def full(cls) -> "IntervalSet":
+        """The full 32-bit address span."""
+        return _FULL
+
+    @classmethod
+    def point(cls, value: int) -> "IntervalSet":
+        """A singleton set ``{value}``."""
+        return cls([(value, value + 1)])
+
+    @classmethod
+    def span(cls, lo: int, hi: int) -> "IntervalSet":
+        """The set ``[lo, hi)``."""
+        return cls([(lo, hi)])
+
+    @property
+    def pairs(self) -> Sequence[tuple[int, int]]:
+        """The underlying sorted disjoint (lo, hi) pairs."""
+        return self._pairs
+
+    @property
+    def size(self) -> int:
+        """Total number of points covered."""
+        return sum(hi - lo for lo, hi in self._pairs)
+
+    def is_empty(self) -> bool:
+        """True if the set covers no points."""
+        return not self._pairs
+
+    def intervals(self) -> Iterator[Interval]:
+        """Iterate the member intervals in ascending order."""
+        for lo, hi in self._pairs:
+            yield Interval(lo, hi)
+
+    def contains(self, point: int) -> bool:
+        """Binary-search point membership."""
+        # Find the first pair whose lo is > point, step back one.
+        los = [lo for lo, _ in self._pairs]
+        index = bisect_right(los, point) - 1
+        if index < 0:
+            return False
+        lo, hi = self._pairs[index]
+        return lo <= point < hi
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Set union."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return IntervalSet(list(self._pairs) + list(other._pairs))
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection via a linear merge of both pair lists."""
+        result: list[tuple[int, int]] = []
+        i, j = 0, 0
+        a, b = self._pairs, other._pairs
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo < hi:
+                result.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(result)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Points in self but not in other."""
+        return self.intersection(other.complement())
+
+    def complement(self) -> "IntervalSet":
+        """The complement within the 32-bit address span."""
+        result: list[tuple[int, int]] = []
+        cursor = FULL_SPAN[0]
+        for lo, hi in self._pairs:
+            if cursor < lo:
+                result.append((cursor, lo))
+            cursor = max(cursor, hi)
+        if cursor < FULL_SPAN[1]:
+            result.append((cursor, FULL_SPAN[1]))
+        return IntervalSet(result)
+
+    def overlaps(self, other: "IntervalSet") -> bool:
+        """True if the two sets share at least one point."""
+        i, j = 0, 0
+        a, b = self._pairs, other._pairs
+        while i < len(a) and j < len(b):
+            if a[i][0] < b[j][1] and b[j][0] < a[i][1]:
+                return True
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        """True if every point of self is in other."""
+        return self.difference(other).is_empty()
+
+    def min_point(self) -> int:
+        """The smallest member; raises ValueError if empty."""
+        if not self._pairs:
+            raise ValueError("empty interval set has no minimum")
+        return self._pairs[0][0]
+
+    def sample_points(self, per_interval: int = 1) -> list[int]:
+        """A small representative sample (lo of each interval).
+
+        With ``per_interval > 1``, also samples the last point and an
+        interior midpoint of each interval when they are distinct.
+        """
+        points: list[int] = []
+        for lo, hi in self._pairs:
+            points.append(lo)
+            if per_interval > 1 and hi - lo > 1:
+                points.append(hi - 1)
+            if per_interval > 2 and hi - lo > 2:
+                points.append((lo + hi) // 2)
+        return points
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(self, "_hash", hash(self._pairs))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __str__(self) -> str:
+        if not self._pairs:
+            return "{}"
+        return " ∪ ".join(f"[{lo},{hi})" for lo, hi in self._pairs)
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({list(self._pairs)!r})"
+
+
+_EMPTY = IntervalSet()
+_FULL = IntervalSet([FULL_SPAN])
+
+
+def cut_points(sets: Iterable[IntervalSet]) -> list[int]:
+    """All distinct interval endpoints across ``sets``, sorted.
+
+    The atom decomposition slices the address space at exactly these
+    points; consecutive cut points bound one atom candidate.
+    """
+    points: set[int] = {FULL_SPAN[0], FULL_SPAN[1]}
+    for interval_set in sets:
+        for lo, hi in interval_set.pairs:
+            points.add(lo)
+            points.add(hi)
+    return sorted(points)

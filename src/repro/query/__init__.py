@@ -1,0 +1,22 @@
+"""User-facing queries over converged network state.
+
+- :mod:`~repro.query.trace` — packet-level forwarding traces: inject a
+  concrete packet at a router and follow every ECMP branch through
+  FIB lookups and exact (4-field) ACL evaluation to its fates
+  (delivered / dropped / blackholed / looping).
+- :mod:`~repro.query.paths` — differential path queries: how did the
+  forwarding DAG between two routers change across a delta report?
+"""
+
+from repro.query.trace import Hop, PacketTrace, TraceOutcome, trace_packet
+from repro.query.paths import PathDiff, forwarding_paths, path_diff
+
+__all__ = [
+    "Hop",
+    "PacketTrace",
+    "PathDiff",
+    "TraceOutcome",
+    "forwarding_paths",
+    "path_diff",
+    "trace_packet",
+]

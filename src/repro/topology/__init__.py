@@ -1,0 +1,35 @@
+"""Network topology substrate.
+
+A :class:`~repro.topology.model.Topology` is the physical layer of a
+snapshot: routers, their interfaces, and point-to-point links.  The
+:mod:`~repro.topology.generators` module builds the topology families
+used throughout the evaluation (fat-tree fabrics, the Internet2 WAN,
+random graphs, rings, grids, stars, lines), assigning addresses from
+deterministic allocation pools so runs are reproducible.
+"""
+
+from repro.topology.model import Interface, Link, Router, Topology, TopologyError
+from repro.topology.generators import (
+    fat_tree,
+    grid,
+    internet2,
+    line,
+    random_gnm,
+    ring,
+    star,
+)
+
+__all__ = [
+    "Interface",
+    "Link",
+    "Router",
+    "Topology",
+    "TopologyError",
+    "fat_tree",
+    "grid",
+    "internet2",
+    "line",
+    "random_gnm",
+    "ring",
+    "star",
+]

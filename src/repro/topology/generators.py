@@ -1,0 +1,391 @@
+"""Topology generators for the evaluation families.
+
+Each generator returns a :class:`Fabric`: the wired topology plus the
+structural metadata (router roles, host subnets, pod membership) that
+the scenario builders in :mod:`repro.workloads` need to attach protocol
+configuration.  Address assignment is deterministic: point-to-point
+links draw /31s from ``10.0.0.0/8``, host subnets draw /24s from
+``172.16.0.0/12``, and loopbacks draw /32s from ``192.168.0.0/16``, all
+in creation order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Address, Prefix
+from repro.topology.model import Topology, TopologyError
+
+P2P_POOL = Prefix("10.0.0.0/8")
+HOST_POOL = Prefix("172.16.0.0/12")
+LOOPBACK_POOL = Prefix("192.168.0.0/16")
+
+
+@dataclass
+class Fabric:
+    """A generated topology plus structural metadata.
+
+    - ``roles`` maps router name -> role string (``core``, ``agg``,
+      ``edge``, ``wan``, ...).
+    - ``host_subnets`` maps edge router -> the /24s it serves (the
+      destinations reachability questions are asked about).
+    - ``pods`` maps pod index -> router names (fat-tree only).
+    - ``kind`` records which generator produced the fabric.
+    """
+
+    topology: Topology
+    kind: str
+    roles: dict[str, str] = field(default_factory=dict)
+    host_subnets: dict[str, list[Prefix]] = field(default_factory=dict)
+    pods: dict[int, list[str]] = field(default_factory=dict)
+
+    def routers_with_role(self, role: str) -> list[str]:
+        """All routers carrying ``role``."""
+        return [name for name, r in self.roles.items() if r == role]
+
+    def all_host_subnets(self) -> list[Prefix]:
+        """Every host subnet in the fabric, in a stable order."""
+        subnets: list[Prefix] = []
+        for router in sorted(self.host_subnets):
+            subnets.extend(self.host_subnets[router])
+        return subnets
+
+
+class AddressAllocator:
+    """Deterministic sequential address allocation from fixed pools."""
+
+    def __init__(self) -> None:
+        self._next_p2p = P2P_POOL.first
+        self._next_host = HOST_POOL.first
+        self._next_loopback = LOOPBACK_POOL.first
+
+    def p2p_pair(self) -> tuple[IPv4Address, IPv4Address, int]:
+        """Two addresses of a fresh /31 and the prefix length (31)."""
+        base = self._next_p2p
+        self._next_p2p += 2
+        if self._next_p2p > P2P_POOL.last + 1:
+            raise TopologyError("p2p address pool exhausted")
+        return IPv4Address(base), IPv4Address(base + 1), 31
+
+    def host_subnet(self) -> Prefix:
+        """A fresh /24 host subnet."""
+        base = self._next_host
+        self._next_host += 256
+        if self._next_host > HOST_POOL.last + 1:
+            raise TopologyError("host subnet pool exhausted")
+        return Prefix(base, 24)
+
+    def loopback(self) -> IPv4Address:
+        """A fresh /32 loopback address."""
+        value = self._next_loopback
+        self._next_loopback += 1
+        if self._next_loopback > LOOPBACK_POOL.last + 1:
+            raise TopologyError("loopback pool exhausted")
+        return IPv4Address(value)
+
+
+def _wire(
+    topology: Topology,
+    allocator: AddressAllocator,
+    router1: str,
+    router2: str,
+    index1: int,
+    index2: int,
+) -> None:
+    """Cable router1.eth<index1> to router2.eth<index2> over a /31."""
+    addr1, addr2, length = allocator.p2p_pair()
+    name1, name2 = f"eth{index1}", f"eth{index2}"
+    topology.add_interface(router1, name1, addr1, length)
+    topology.add_interface(router2, name2, addr2, length)
+    topology.add_link(router1, name1, router2, name2)
+
+
+def _attach_host_subnet(
+    fabric: Fabric, allocator: AddressAllocator, router: str, index: int
+) -> Prefix:
+    """Add a host-facing interface carrying a fresh /24 to ``router``."""
+    subnet = allocator.host_subnet()
+    gateway = IPv4Address(subnet.first + 1)
+    fabric.topology.add_interface(router, f"host{index}", gateway, 24)
+    fabric.host_subnets.setdefault(router, []).append(subnet)
+    return subnet
+
+
+def _add_loopback(topology: Topology, allocator: AddressAllocator, router: str) -> None:
+    topology.add_interface(router, "lo0", allocator.loopback(), 32)
+
+
+def fat_tree(k: int, host_subnets_per_edge: int = 1) -> Fabric:
+    """A k-ary fat-tree data-center fabric (k even, k >= 2).
+
+    Produces ``(k/2)**2`` core routers and ``k`` pods of ``k/2``
+    aggregation plus ``k/2`` edge routers.  Every edge router serves
+    ``host_subnets_per_edge`` /24 subnets.  Total routers:
+    ``5k**2/4``.
+    """
+    if k < 2 or k % 2:
+        raise TopologyError(f"fat-tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    fabric = Fabric(Topology(), kind=f"fat_tree_k{k}")
+    topology = fabric.topology
+    allocator = AddressAllocator()
+
+    cores = [f"core{i}" for i in range(half * half)]
+    for core in cores:
+        topology.add_router(core)
+        fabric.roles[core] = "core"
+        _add_loopback(topology, allocator, core)
+
+    for pod in range(k):
+        aggs = [f"agg{pod}_{i}" for i in range(half)]
+        edges = [f"edge{pod}_{i}" for i in range(half)]
+        fabric.pods[pod] = aggs + edges
+        for router in aggs + edges:
+            topology.add_router(router)
+            _add_loopback(topology, allocator, router)
+        for router in aggs:
+            fabric.roles[router] = "agg"
+        for router in edges:
+            fabric.roles[router] = "edge"
+
+        # Edge <-> agg full bipartite inside the pod.
+        for e_index, edge in enumerate(edges):
+            for a_index, agg in enumerate(aggs):
+                _wire(topology, allocator, edge, agg, a_index, e_index)
+        # Agg <-> core: agg i uplinks to cores [i*half, (i+1)*half).
+        for a_index, agg in enumerate(aggs):
+            for uplink in range(half):
+                core = cores[a_index * half + uplink]
+                _wire(topology, allocator, agg, core, half + uplink, pod)
+        # Host subnets on edges.
+        for edge in edges:
+            for subnet_index in range(host_subnets_per_edge):
+                _attach_host_subnet(fabric, allocator, edge, subnet_index)
+
+    return fabric
+
+
+# The Internet2 / Abilene research WAN: nine PoPs, the classic link map.
+_INTERNET2_NODES = (
+    "SEAT", "LOSA", "SALT", "HOUS", "KANS", "CHIC", "ATLA", "WASH", "NEWY",
+)
+_INTERNET2_LINKS = (
+    ("SEAT", "LOSA"), ("SEAT", "SALT"),
+    ("LOSA", "HOUS"), ("LOSA", "SALT"),
+    ("SALT", "KANS"), ("HOUS", "KANS"), ("HOUS", "ATLA"),
+    ("KANS", "CHIC"), ("CHIC", "NEWY"), ("CHIC", "ATLA"),
+    ("ATLA", "WASH"), ("WASH", "NEWY"),
+)
+
+
+def internet2(host_subnets_per_pop: int = 2) -> Fabric:
+    """The Internet2 (Abilene) research WAN: 9 PoPs, 12 links.
+
+    Every PoP serves ``host_subnets_per_pop`` /24 customer subnets;
+    scenario builders attach eBGP customers on top of this fabric.
+    """
+    fabric = Fabric(Topology(), kind="internet2")
+    topology = fabric.topology
+    allocator = AddressAllocator()
+    for node in _INTERNET2_NODES:
+        topology.add_router(node)
+        fabric.roles[node] = "wan"
+        _add_loopback(topology, allocator, node)
+    port_counter = {node: 0 for node in _INTERNET2_NODES}
+    for left, right in _INTERNET2_LINKS:
+        _wire(topology, allocator, left, right, port_counter[left], port_counter[right])
+        port_counter[left] += 1
+        port_counter[right] += 1
+    for node in _INTERNET2_NODES:
+        for index in range(host_subnets_per_pop):
+            _attach_host_subnet(fabric, allocator, node, index)
+    return fabric
+
+
+# A GÉANT-like European research WAN: 22 PoPs.  The link map follows
+# the published GÉANT core topology's shape (dual rings west/east with
+# cross-links); exact fidelity to a given year is not claimed —
+# DESIGN.md documents the approximation.
+_GEANT_NODES = (
+    "LON", "AMS", "BRU", "PAR", "GEN", "FRA", "MIL", "MAD", "LIS",
+    "DUB", "CPH", "STO", "HEL", "TAL", "RIG", "KAU", "WAR", "PRA",
+    "VIE", "BUD", "BUC", "ATH",
+)
+_GEANT_LINKS = (
+    ("LON", "AMS"), ("LON", "PAR"), ("LON", "DUB"),
+    ("AMS", "BRU"), ("AMS", "FRA"), ("AMS", "CPH"),
+    ("BRU", "PAR"),
+    ("PAR", "GEN"), ("PAR", "MAD"),
+    ("GEN", "MIL"), ("GEN", "FRA"),
+    ("FRA", "CPH"), ("FRA", "PRA"), ("FRA", "VIE"),
+    ("MIL", "VIE"), ("MIL", "MAD"),
+    ("MAD", "LIS"), ("LIS", "LON"),
+    ("DUB", "AMS"),
+    ("CPH", "STO"), ("STO", "HEL"), ("HEL", "TAL"),
+    ("TAL", "RIG"), ("RIG", "KAU"), ("KAU", "WAR"),
+    ("WAR", "PRA"), ("PRA", "VIE"), ("VIE", "BUD"),
+    ("BUD", "BUC"), ("BUC", "ATH"), ("ATH", "MIL"),
+    ("STO", "FRA"), ("WAR", "FRA"), ("BUD", "PRA"),
+)
+
+
+def geant(host_subnets_per_pop: int = 1) -> Fabric:
+    """A GÉANT-like European WAN: 22 PoPs, 34 links."""
+    fabric = Fabric(Topology(), kind="geant")
+    topology = fabric.topology
+    allocator = AddressAllocator()
+    for node in _GEANT_NODES:
+        topology.add_router(node)
+        fabric.roles[node] = "wan"
+        _add_loopback(topology, allocator, node)
+    port_counter = {node: 0 for node in _GEANT_NODES}
+    for left, right in _GEANT_LINKS:
+        _wire(topology, allocator, left, right, port_counter[left], port_counter[right])
+        port_counter[left] += 1
+        port_counter[right] += 1
+    for node in _GEANT_NODES:
+        for index in range(host_subnets_per_pop):
+            _attach_host_subnet(fabric, allocator, node, index)
+    return fabric
+
+
+def line(n: int, host_subnets_per_router: int = 1) -> Fabric:
+    """A chain of ``n`` routers: r0 -- r1 -- ... -- r(n-1)."""
+    if n < 1:
+        raise TopologyError("line needs at least one router")
+    fabric = Fabric(Topology(), kind=f"line_{n}")
+    allocator = AddressAllocator()
+    names = [f"r{i}" for i in range(n)]
+    for name in names:
+        fabric.topology.add_router(name)
+        fabric.roles[name] = "node"
+        _add_loopback(fabric.topology, allocator, name)
+    for i in range(n - 1):
+        _wire(fabric.topology, allocator, names[i], names[i + 1], 1, 0)
+    for name in names:
+        for index in range(host_subnets_per_router):
+            _attach_host_subnet(fabric, allocator, name, index)
+    return fabric
+
+
+def ring(n: int, host_subnets_per_router: int = 1) -> Fabric:
+    """A cycle of ``n`` routers (n >= 3)."""
+    if n < 3:
+        raise TopologyError("ring needs at least three routers")
+    fabric = Fabric(Topology(), kind=f"ring_{n}")
+    allocator = AddressAllocator()
+    names = [f"r{i}" for i in range(n)]
+    for name in names:
+        fabric.topology.add_router(name)
+        fabric.roles[name] = "node"
+        _add_loopback(fabric.topology, allocator, name)
+    for i in range(n):
+        _wire(fabric.topology, allocator, names[i], names[(i + 1) % n], 1, 0)
+    for name in names:
+        for index in range(host_subnets_per_router):
+            _attach_host_subnet(fabric, allocator, name, index)
+    return fabric
+
+
+def star(n_leaves: int, host_subnets_per_leaf: int = 1) -> Fabric:
+    """A hub router with ``n_leaves`` spokes."""
+    if n_leaves < 1:
+        raise TopologyError("star needs at least one leaf")
+    fabric = Fabric(Topology(), kind=f"star_{n_leaves}")
+    allocator = AddressAllocator()
+    fabric.topology.add_router("hub")
+    fabric.roles["hub"] = "hub"
+    _add_loopback(fabric.topology, allocator, "hub")
+    for i in range(n_leaves):
+        leaf = f"leaf{i}"
+        fabric.topology.add_router(leaf)
+        fabric.roles[leaf] = "leaf"
+        _add_loopback(fabric.topology, allocator, leaf)
+        _wire(fabric.topology, allocator, "hub", leaf, i, 0)
+        for index in range(host_subnets_per_leaf):
+            _attach_host_subnet(fabric, allocator, leaf, index)
+    return fabric
+
+
+def grid(rows: int, cols: int, host_subnets_per_router: int = 0) -> Fabric:
+    """A rows x cols mesh; router ``g<r>_<c>`` links right and down."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid needs positive dimensions")
+    fabric = Fabric(Topology(), kind=f"grid_{rows}x{cols}")
+    allocator = AddressAllocator()
+    for r in range(rows):
+        for c in range(cols):
+            name = f"g{r}_{c}"
+            fabric.topology.add_router(name)
+            fabric.roles[name] = "node"
+            _add_loopback(fabric.topology, allocator, name)
+    for r in range(rows):
+        for c in range(cols):
+            name = f"g{r}_{c}"
+            if c + 1 < cols:
+                _wire(fabric.topology, allocator, name, f"g{r}_{c + 1}", 0, 1)
+            if r + 1 < rows:
+                _wire(fabric.topology, allocator, name, f"g{r + 1}_{c}", 2, 3)
+    if host_subnets_per_router:
+        for r in range(rows):
+            for c in range(cols):
+                for index in range(host_subnets_per_router):
+                    _attach_host_subnet(fabric, allocator, f"g{r}_{c}", index)
+    return fabric
+
+
+def random_gnm(
+    n: int,
+    m: int,
+    seed: int = 0,
+    host_subnets_per_router: int = 1,
+    ensure_connected: bool = True,
+) -> Fabric:
+    """A random graph with ``n`` routers and ``m`` extra links.
+
+    With ``ensure_connected`` (the default) a random spanning tree is
+    wired first, then ``m`` additional distinct router pairs are
+    cabled, so the fabric is connected whenever ``n >= 1``.
+    """
+    if n < 1:
+        raise TopologyError("random graph needs at least one router")
+    rng = random.Random(seed)
+    fabric = Fabric(Topology(), kind=f"gnm_{n}_{m}_s{seed}")
+    allocator = AddressAllocator()
+    names = [f"r{i}" for i in range(n)]
+    for name in names:
+        fabric.topology.add_router(name)
+        fabric.roles[name] = "node"
+        _add_loopback(fabric.topology, allocator, name)
+
+    port = {name: 0 for name in names}
+    wired: set[frozenset[str]] = set()
+
+    def cable(a: str, b: str) -> None:
+        _wire(fabric.topology, allocator, a, b, port[a], port[b])
+        port[a] += 1
+        port[b] += 1
+        wired.add(frozenset((a, b)))
+
+    if ensure_connected and n > 1:
+        shuffled = names[:]
+        rng.shuffle(shuffled)
+        for i in range(1, n):
+            cable(shuffled[i], shuffled[rng.randrange(i)])
+
+    attempts = 0
+    added = 0
+    max_edges = n * (n - 1) // 2
+    while added < m and len(wired) < max_edges and attempts < 50 * (m + 1):
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        if frozenset((a, b)) in wired:
+            continue
+        cable(a, b)
+        added += 1
+
+    for name in names:
+        for index in range(host_subnets_per_router):
+            _attach_host_subnet(fabric, allocator, name, index)
+    return fabric

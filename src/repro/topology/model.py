@@ -1,0 +1,310 @@
+"""Routers, interfaces, links, and the topology graph.
+
+The topology is *physical only*: it knows which interfaces exist and
+which pairs of interfaces are cabled together, plus an enabled flag per
+link (the subject of ``LinkUp``/``LinkDown`` changes).  Protocol
+configuration lives in :mod:`repro.config`; address assignment is done
+by the generators but stored here on the interface, because both the
+control plane (connected routes) and the data plane (subnet ownership)
+need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.net.addr import IPv4Address, Prefix
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topology operations."""
+
+
+@dataclass
+class Interface:
+    """A router interface, optionally numbered.
+
+    ``address``/``prefix_length`` describe the interface subnet; a
+    loopback or unnumbered interface leaves them ``None``.
+    """
+
+    router: str
+    name: str
+    address: IPv4Address | None = None
+    prefix_length: int | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Globally unique (router, interface-name) pair."""
+        return (self.router, self.name)
+
+    @property
+    def subnet(self) -> Prefix | None:
+        """The connected subnet, or None if unnumbered."""
+        if self.address is None or self.prefix_length is None:
+            return None
+        return Prefix(self.address.value, self.prefix_length)
+
+    def __str__(self) -> str:
+        suffix = f" {self.address}/{self.prefix_length}" if self.address else ""
+        return f"{self.router}[{self.name}]{suffix}"
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected point-to-point link between two interfaces.
+
+    Endpoints are stored in sorted order so that the same cable always
+    produces the same :class:`Link` value regardless of argument order.
+    """
+
+    side_a: tuple[str, str]
+    side_b: tuple[str, str]
+
+    @staticmethod
+    def of(end1: tuple[str, str], end2: tuple[str, str]) -> "Link":
+        """Build a link with canonical endpoint ordering."""
+        if end1 == end2:
+            raise TopologyError(f"link endpoints identical: {end1}")
+        a, b = sorted((end1, end2))
+        return Link(a, b)
+
+    @property
+    def routers(self) -> tuple[str, str]:
+        """The two routers joined by the link."""
+        return (self.side_a[0], self.side_b[0])
+
+    def other_end(self, router: str) -> tuple[str, str]:
+        """The endpoint on the far side from ``router``."""
+        if self.side_a[0] == router:
+            return self.side_b
+        if self.side_b[0] == router:
+            return self.side_a
+        raise TopologyError(f"{router} is not on link {self}")
+
+    def endpoint_on(self, router: str) -> tuple[str, str]:
+        """The endpoint on ``router``'s side."""
+        if self.side_a[0] == router:
+            return self.side_a
+        if self.side_b[0] == router:
+            return self.side_b
+        raise TopologyError(f"{router} is not on link {self}")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.side_a[0]}[{self.side_a[1]}]--"
+            f"{self.side_b[0]}[{self.side_b[1]}]"
+        )
+
+
+@dataclass
+class Router:
+    """A network device: a name plus its interfaces."""
+
+    name: str
+    interfaces: dict[str, Interface] = field(default_factory=dict)
+
+    def interface(self, name: str) -> Interface:
+        """Look up one interface; raises TopologyError if missing."""
+        try:
+            return self.interfaces[name]
+        except KeyError:
+            raise TopologyError(f"{self.name} has no interface {name!r}") from None
+
+
+class Topology:
+    """The physical network graph.
+
+    Mutable on purpose: snapshots clone the topology before applying
+    changes.  Lookup structures (per-interface link map, adjacency) are
+    maintained eagerly so queries stay O(1)/O(degree).
+    """
+
+    def __init__(self) -> None:
+        self._routers: dict[str, Router] = {}
+        self._links: dict[Link, bool] = {}
+        self._link_by_interface: dict[tuple[str, str], Link] = {}
+
+    # -- construction --------------------------------------------------
+
+    def add_router(self, name: str) -> Router:
+        """Create a router; idempotent if it already exists."""
+        if name not in self._routers:
+            self._routers[name] = Router(name)
+        return self._routers[name]
+
+    def add_interface(
+        self,
+        router: str,
+        name: str,
+        address: IPv4Address | str | int | None = None,
+        prefix_length: int | None = None,
+    ) -> Interface:
+        """Create an interface on ``router`` (router auto-created)."""
+        device = self.add_router(router)
+        if name in device.interfaces:
+            raise TopologyError(f"{router} already has interface {name!r}")
+        if address is not None and not isinstance(address, IPv4Address):
+            address = IPv4Address(address)
+        interface = Interface(router, name, address, prefix_length)
+        device.interfaces[name] = interface
+        return interface
+
+    def add_link(
+        self,
+        router1: str,
+        interface1: str,
+        router2: str,
+        interface2: str,
+        enabled: bool = True,
+    ) -> Link:
+        """Cable two existing interfaces together."""
+        for router, interface in ((router1, interface1), (router2, interface2)):
+            self.router(router).interface(interface)  # validates existence
+            key = (router, interface)
+            if key in self._link_by_interface:
+                raise TopologyError(f"interface {key} already cabled")
+        link = Link.of((router1, interface1), (router2, interface2))
+        self._links[link] = enabled
+        self._link_by_interface[link.side_a] = link
+        self._link_by_interface[link.side_b] = link
+        return link
+
+    # -- mutation -------------------------------------------------------
+
+    def set_link_enabled(self, link: Link, enabled: bool) -> None:
+        """Administratively enable or disable a link."""
+        if link not in self._links:
+            raise TopologyError(f"unknown link {link}")
+        self._links[link] = enabled
+
+    # -- queries --------------------------------------------------------
+
+    def router(self, name: str) -> Router:
+        """Look up one router; raises TopologyError if missing."""
+        try:
+            return self._routers[name]
+        except KeyError:
+            raise TopologyError(f"unknown router {name!r}") from None
+
+    def has_router(self, name: str) -> bool:
+        """True if a router with this name exists."""
+        return name in self._routers
+
+    def routers(self) -> Iterator[Router]:
+        """All routers, in insertion order."""
+        return iter(self._routers.values())
+
+    def router_names(self) -> list[str]:
+        """All router names, in insertion order."""
+        return list(self._routers)
+
+    def links(self, include_disabled: bool = False) -> Iterator[Link]:
+        """All links (by default only enabled ones)."""
+        for link, enabled in self._links.items():
+            if enabled or include_disabled:
+                yield link
+
+    def link_enabled(self, link: Link) -> bool:
+        """True if the link is administratively up."""
+        if link not in self._links:
+            raise TopologyError(f"unknown link {link}")
+        return self._links[link]
+
+    def link_of_interface(self, router: str, interface: str) -> Link | None:
+        """The link cabled to an interface, or None if uncabled."""
+        return self._link_by_interface.get((router, interface))
+
+    def find_link(self, router1: str, router2: str) -> Link | None:
+        """The first enabled link between two routers, if any."""
+        for link in self.links():
+            if set(link.routers) == {router1, router2}:
+                return link
+        return None
+
+    def neighbors(self, router: str) -> Iterator[tuple[str, Link]]:
+        """(neighbor router, link) pairs over enabled links."""
+        device = self.router(router)
+        for name in device.interfaces:
+            link = self._link_by_interface.get((router, name))
+            if link is None or not self._links[link]:
+                continue
+            yield link.other_end(router)[0], link
+
+    def interface_peer(self, router: str, interface: str) -> Interface | None:
+        """The interface on the far end of an enabled link, if any."""
+        link = self._link_by_interface.get((router, interface))
+        if link is None or not self._links[link]:
+            return None
+        peer_router, peer_interface = link.other_end(router)
+        return self.router(peer_router).interface(peer_interface)
+
+    def connected_subnets(self, router: str) -> Iterator[tuple[Interface, Prefix]]:
+        """Numbered interfaces and their subnets for one router."""
+        for interface in self.router(router).interfaces.values():
+            subnet = interface.subnet
+            if subnet is not None:
+                yield interface, subnet
+
+    def num_routers(self) -> int:
+        """Router count."""
+        return len(self._routers)
+
+    def num_links(self, include_disabled: bool = False) -> int:
+        """Link count (enabled only unless asked otherwise)."""
+        if include_disabled:
+            return len(self._links)
+        return sum(1 for enabled in self._links.values() if enabled)
+
+    # -- copying --------------------------------------------------------
+
+    def clone(self) -> "Topology":
+        """A deep copy sharing no mutable state with the original."""
+        copy = Topology()
+        for router in self._routers.values():
+            copy.add_router(router.name)
+            for interface in router.interfaces.values():
+                copy.add_interface(
+                    interface.router,
+                    interface.name,
+                    interface.address,
+                    interface.prefix_length,
+                )
+        for link, enabled in self._links.items():
+            copy.add_link(
+                link.side_a[0], link.side_a[1],
+                link.side_b[0], link.side_b[1],
+                enabled=enabled,
+            )
+        return copy
+
+    def __str__(self) -> str:
+        return (
+            f"Topology({self.num_routers()} routers, "
+            f"{self.num_links(include_disabled=True)} links)"
+        )
+
+
+def validate_addressing(topology: Topology) -> list[str]:
+    """Sanity-check address assignment; returns a list of problems.
+
+    Checks that both ends of every link sit in the same subnet and
+    carry distinct addresses.  Generators are expected to produce a
+    clean bill; the config text parser uses this to flag bad input.
+    """
+    problems: list[str] = []
+    for link in topology.links(include_disabled=True):
+        ends = []
+        for router, name in (link.side_a, link.side_b):
+            ends.append(topology.router(router).interface(name))
+        first, second = ends
+        if first.subnet is None or second.subnet is None:
+            continue  # unnumbered link: nothing to check
+        if first.subnet != second.subnet:
+            problems.append(
+                f"link {link}: subnet mismatch {first.subnet} vs {second.subnet}"
+            )
+        elif first.address == second.address:
+            problems.append(f"link {link}: duplicate address {first.address}")
+    return problems

@@ -1,0 +1,29 @@
+"""Evaluation workloads: configured scenarios and change generators.
+
+:mod:`~repro.workloads.scenarios` turns the raw fabrics from
+:mod:`repro.topology.generators` into fully configured snapshots (the
+datasets of the evaluation); :mod:`~repro.workloads.changes` draws the
+randomized change sequences the benchmarks replay.
+"""
+
+from repro.workloads.scenarios import (
+    Scenario,
+    fat_tree_ospf,
+    geant_ospf,
+    internet2_bgp,
+    line_static,
+    ring_ospf,
+    random_ospf,
+)
+from repro.workloads.changes import ChangeGenerator
+
+__all__ = [
+    "ChangeGenerator",
+    "Scenario",
+    "fat_tree_ospf",
+    "geant_ospf",
+    "internet2_bgp",
+    "line_static",
+    "random_ospf",
+    "ring_ospf",
+]

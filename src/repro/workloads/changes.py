@@ -1,0 +1,270 @@
+"""Randomized change generators for the evaluation.
+
+A :class:`ChangeGenerator` is seeded and tied to one scenario; every
+``random_*`` method returns a :class:`~repro.core.change.Change` that
+is valid against the scenario's *current* snapshot (the caller applies
+it via the analyzer).  Paired operations (fail/recover, add/remove)
+are returned together so benchmarks can restore state between
+iterations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config.acl import AclAction, AclRule
+from repro.config.routing import StaticRouteConfig
+from repro.core.change import (
+    AddAclRule,
+    AddBgpNeighbor,
+    AddStaticRoute,
+    AnnouncePrefix,
+    BindAcl,
+    Change,
+    EnableInterface,
+    LinkDown,
+    LinkUp,
+    RemoveAclRule,
+    RemoveBgpNeighbor,
+    RemoveStaticRoute,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+    WithdrawPrefix,
+)
+from repro.net.addr import Prefix
+from repro.workloads.scenarios import Scenario
+
+SCRATCH_PREFIX_BASE = Prefix("10.254.0.0/16").first
+
+
+class ChangeGenerator:
+    """Draws scenario-valid random changes."""
+
+    def __init__(self, scenario: Scenario, seed: int = 0) -> None:
+        self.scenario = scenario
+        self.rng = random.Random(seed)
+        self._scratch_counter = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _core_links(self) -> list:
+        """Enabled router-to-router links (excluding customer uplinks)."""
+        links = []
+        for link in self.scenario.topology.links():
+            roles = {
+                self.scenario.fabric.roles.get(router, "node")
+                for router in link.routers
+            }
+            if "customer" in roles:
+                continue
+            links.append(link)
+        return links
+
+    def _fresh_prefix(self) -> Prefix:
+        """A /24 never used before by this generator."""
+        prefix = Prefix(SCRATCH_PREFIX_BASE + 256 * self._scratch_counter, 24)
+        self._scratch_counter += 1
+        return prefix
+
+    def _random_router(self, role: str | None = None) -> str:
+        if role is None:
+            names = self.scenario.topology.router_names()
+        else:
+            names = self.scenario.fabric.routers_with_role(role)
+        return self.rng.choice(names)
+
+    def _random_neighbor_hop(self, router: str):
+        """(interface, peer address) of a random up neighbour."""
+        candidates = []
+        for neighbor, link in self.scenario.topology.neighbors(router):
+            local_if = link.endpoint_on(router)[1]
+            peer = self.scenario.topology.interface_peer(router, local_if)
+            if peer is not None and peer.address is not None:
+                candidates.append((local_if, peer.address))
+        if not candidates:
+            raise ValueError(f"{router} has no up neighbours")
+        return self.rng.choice(candidates)
+
+    # -- link changes ----------------------------------------------------------
+
+    def random_link_failure(self) -> tuple[Change, Change]:
+        """A (fail, recover) pair for one random core link."""
+        link = self.rng.choice(self._core_links())
+        (r1, i1), (r2, i2) = link.side_a, link.side_b
+        down = Change.of(
+            LinkDown(r1, r2, i1, i2), label=f"fail {r1}--{r2}"
+        )
+        up = Change.of(LinkUp(r1, r2, i1, i2), label=f"recover {r1}--{r2}")
+        return down, up
+
+    def random_interface_flap(self) -> tuple[Change, Change]:
+        """(shutdown, re-enable) of one random cabled core interface."""
+        link = self.rng.choice(self._core_links())
+        router, interface = self.rng.choice([link.side_a, link.side_b])
+        shutdown = Change.of(
+            ShutdownInterface(router, interface),
+            label=f"{router}[{interface}]: shutdown",
+        )
+        enable = Change.of(
+            EnableInterface(router, interface),
+            label=f"{router}[{interface}]: no shutdown",
+        )
+        return shutdown, enable
+
+    def random_session_flap(self) -> tuple[Change, Change]:
+        """(tear down, restore) of one random customer BGP session.
+
+        Removes the customer-side neighbor statement (taking the whole
+        session down, per two-sided session semantics) and puts it
+        back.
+        """
+        customers = list(self.scenario.customer_asns)
+        if not customers:
+            raise ValueError("scenario has no BGP customers")
+        customer = self.rng.choice(customers)
+        bgp = self.scenario.snapshot.configs[customer].bgp
+        if bgp is None or not bgp.neighbors:
+            raise ValueError(f"{customer} has no BGP sessions")
+        peer_ip = self.rng.choice(sorted(bgp.neighbors, key=lambda ip: ip.value))
+        neighbor = bgp.neighbors[peer_ip].clone()
+        teardown = Change.of(
+            RemoveBgpNeighbor(customer, peer_ip),
+            label=f"{customer}: drop session to {peer_ip}",
+        )
+        restore = Change.of(
+            AddBgpNeighbor(customer, neighbor),
+            label=f"{customer}: restore session to {peer_ip}",
+        )
+        return teardown, restore
+
+    # -- static route changes ------------------------------------------------------
+
+    def random_static_route(self, router: str | None = None) -> tuple[Change, Change]:
+        """(add, remove) of a fresh static route on one router."""
+        if router is None:
+            router = self._random_router()
+        _interface, next_hop = self._random_neighbor_hop(router)
+        route = StaticRouteConfig(prefix=self._fresh_prefix(), next_hop=next_hop)
+        add = Change.of(
+            AddStaticRoute(router, route), label=f"{router}: +static {route.prefix}"
+        )
+        remove = Change.of(
+            RemoveStaticRoute(router, route),
+            label=f"{router}: -static {route.prefix}",
+        )
+        return add, remove
+
+    def static_batch(self, size: int) -> tuple[Change, Change]:
+        """(add, remove) batches of ``size`` fresh statics, spread over
+        random routers — the change-size sweep workload."""
+        adds: list = []
+        removes: list = []
+        for _ in range(size):
+            router = self._random_router()
+            _interface, next_hop = self._random_neighbor_hop(router)
+            route = StaticRouteConfig(
+                prefix=self._fresh_prefix(), next_hop=next_hop
+            )
+            adds.append(AddStaticRoute(router, route))
+            removes.append(RemoveStaticRoute(router, route))
+        return (
+            Change(edits=adds, label=f"+{size} statics"),
+            Change(edits=removes, label=f"-{size} statics"),
+        )
+
+    # -- OSPF changes ---------------------------------------------------------------
+
+    def random_ospf_cost(self) -> Change:
+        """Set a random cost on one random OSPF p2p interface."""
+        for _ in range(100):
+            router = self._random_router()
+            config = self.scenario.snapshot.configs.get(router)
+            if config is None or config.ospf is None:
+                continue
+            active = [
+                name
+                for name, settings in config.ospf.interfaces.items()
+                if settings.enabled and not settings.passive
+            ]
+            if not active:
+                continue
+            interface = self.rng.choice(active)
+            cost = self.rng.randint(1, 50)
+            return Change.of(
+                SetOspfCost(router, interface, cost),
+                label=f"{router}[{interface}]: cost {cost}",
+            )
+        raise ValueError("no OSPF interfaces found in scenario")
+
+    # -- ACL changes ------------------------------------------------------------------
+
+    def random_acl_block(self) -> tuple[Change, Change]:
+        """(block, unblock) of one host subnet on a random transit
+        interface.  The ACL is bound outbound and gets a permit-all
+        backstop so only the targeted subnet is affected."""
+        subnets = self.scenario.fabric.all_host_subnets()
+        victim = self.rng.choice(subnets)
+        router = self._random_router()
+        interfaces = [
+            name
+            for name, link in (
+                (i.name, self.scenario.topology.link_of_interface(router, i.name))
+                for i in self.scenario.topology.router(router).interfaces.values()
+            )
+            if link is not None
+        ]
+        if not interfaces:
+            raise ValueError(f"{router} has no cabled interfaces")
+        interface = self.rng.choice(interfaces)
+        acl_name = f"BLK_{router}_{interface}".upper()
+        deny = AclRule(action=AclAction.DENY, dst=victim)
+        allow = AclRule(action=AclAction.PERMIT, dst=Prefix("0.0.0.0/0"))
+        block = Change.of(
+            AddAclRule(router, acl_name, allow),
+            AddAclRule(router, acl_name, deny, position=0),
+            BindAcl(router, interface, acl_name, "out"),
+            label=f"{router}[{interface}]: block {victim}",
+        )
+        unblock = Change.of(
+            BindAcl(router, interface, None, "out"),
+            RemoveAclRule(router, acl_name, deny),
+            RemoveAclRule(router, acl_name, allow),
+            label=f"{router}[{interface}]: unblock {victim}",
+        )
+        return block, unblock
+
+    # -- BGP changes -------------------------------------------------------------------
+
+    def random_prefix_flap(self) -> tuple[Change, Change]:
+        """(announce, withdraw) of a fresh prefix on a random customer."""
+        customers = list(self.scenario.customer_asns)
+        if not customers:
+            raise ValueError("scenario has no BGP customers")
+        customer = self.rng.choice(customers)
+        prefix = self._fresh_prefix()
+        announce = Change.of(
+            AnnouncePrefix(customer, prefix), label=f"{customer}: +{prefix}"
+        )
+        withdraw = Change.of(
+            WithdrawPrefix(customer, prefix), label=f"{customer}: -{prefix}"
+        )
+        return announce, withdraw
+
+    def dual_homed_pref_flip(self, primary_pref: int = 100, backup_pref: int = 200) -> Change:
+        """Swap the dual-homed customer's primary/backup local-prefs."""
+        if not self.scenario.dual_homed:
+            raise ValueError("scenario has no dual-homed customer")
+        customer = self.scenario.dual_homed[0]
+        edits = []
+        for pop, pref in (("SEAT", primary_pref), ("NEWY", backup_pref)):
+            map_name = None
+            for slot in (0, 1):
+                candidate = f"IMP_{customer.upper()}_{slot}"
+                if candidate in self.scenario.snapshot.configs[pop].route_maps:
+                    map_name = candidate
+                    break
+            if map_name is None:
+                raise ValueError(f"no import map for {customer} on {pop}")
+            edits.append(SetLocalPref(pop, map_name, 10, pref))
+        return Change(edits=edits, label=f"{customer}: local-pref flip")

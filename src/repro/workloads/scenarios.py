@@ -1,0 +1,269 @@
+"""Configured evaluation scenarios.
+
+Each builder takes a fabric (or its parameters), attaches protocol
+configuration, and returns a :class:`Scenario`: the snapshot plus the
+structural metadata change generators need (roles, host subnets,
+customer attachment points).
+
+Scenarios mirror the paper family's datasets:
+
+- ``fat_tree_ospf``   — a data-center fabric running single-area OSPF
+  with ECMP; host subnets live on edge routers.
+- ``internet2_bgp``   — the Internet2 WAN running OSPF + iBGP full
+  mesh over loopbacks, with eBGP customers hanging off the PoPs (one
+  dual-homed customer exercises local-pref policy).
+- ``ring_ospf`` / ``random_ospf`` — smaller IGP-only fabrics used by
+  tests and micro-benchmarks.
+- ``line_static``     — a static-routing chain (pure static substrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.device import DeviceConfig
+from repro.config.routemap import (
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.config.routing import (
+    BgpConfig,
+    BgpNeighborConfig,
+    OspfConfig,
+    OspfInterfaceSettings,
+    StaticRouteConfig,
+)
+from repro.core.snapshot import Snapshot
+from repro.net.addr import IPv4Address, Prefix
+from repro.topology.generators import (
+    Fabric,
+    fat_tree,
+    geant,
+    internet2,
+    line,
+    random_gnm,
+    ring,
+)
+
+WAN_ASN = 64512
+
+
+@dataclass
+class Scenario:
+    """A configured snapshot plus generator metadata."""
+
+    name: str
+    snapshot: Snapshot
+    fabric: Fabric
+    customer_asns: dict[str, int] = field(default_factory=dict)
+    dual_homed: list[str] = field(default_factory=list)
+
+    @property
+    def topology(self):
+        return self.snapshot.topology
+
+
+def _enable_ospf_everywhere(
+    snapshot: Snapshot, fabric: Fabric, area: int = 0, cost: int = 10
+) -> None:
+    """Run OSPF on every interface: p2p active, host/loopback passive."""
+    for router in snapshot.topology.routers():
+        config = snapshot.config(router.name)
+        if config.ospf is None:
+            config.ospf = OspfConfig()
+        for interface in router.interfaces.values():
+            passive = interface.name.startswith(("host", "lo"))
+            config.ospf.interfaces[interface.name] = OspfInterfaceSettings(
+                area=area, cost=1 if passive else cost, passive=passive
+            )
+
+
+def fat_tree_ospf(k: int, host_subnets_per_edge: int = 1) -> Scenario:
+    """A k-ary fat-tree running single-area OSPF with ECMP."""
+    fabric = fat_tree(k, host_subnets_per_edge)
+    snapshot = Snapshot(topology=fabric.topology)
+    _enable_ospf_everywhere(snapshot, fabric)
+    return Scenario(name=fabric.kind, snapshot=snapshot, fabric=fabric)
+
+
+def ring_ospf(n: int) -> Scenario:
+    """An n-router OSPF ring."""
+    fabric = ring(n)
+    snapshot = Snapshot(topology=fabric.topology)
+    _enable_ospf_everywhere(snapshot, fabric)
+    return Scenario(name=fabric.kind, snapshot=snapshot, fabric=fabric)
+
+
+def random_ospf(n: int, m: int, seed: int = 0) -> Scenario:
+    """A connected random OSPF fabric."""
+    fabric = random_gnm(n, m, seed=seed)
+    snapshot = Snapshot(topology=fabric.topology)
+    _enable_ospf_everywhere(snapshot, fabric)
+    return Scenario(name=fabric.kind, snapshot=snapshot, fabric=fabric)
+
+
+def geant_ospf(host_subnets_per_pop: int = 1) -> Scenario:
+    """The GÉANT-like European WAN running single-area OSPF."""
+    fabric = geant(host_subnets_per_pop)
+    snapshot = Snapshot(topology=fabric.topology)
+    _enable_ospf_everywhere(snapshot, fabric)
+    return Scenario(name=fabric.kind, snapshot=snapshot, fabric=fabric)
+
+
+def line_static(n: int) -> Scenario:
+    """A chain routing purely with static routes.
+
+    Every router points left-of-it subnets at its left neighbour and
+    right-of-it subnets at its right neighbour, so all host subnets
+    are mutually reachable without an IGP.
+    """
+    fabric = line(n)
+    snapshot = Snapshot(topology=fabric.topology)
+    names = [f"r{i}" for i in range(n)]
+    for index, router in enumerate(names):
+        config = snapshot.config(router)
+        for other_index, other in enumerate(names):
+            if other_index == index:
+                continue
+            for subnet in fabric.host_subnets.get(other, []):
+                if other_index > index:
+                    peer = snapshot.topology.interface_peer(router, "eth1")
+                else:
+                    peer = snapshot.topology.interface_peer(router, "eth0")
+                if peer is None or peer.address is None:
+                    continue
+                config.add_static_route(
+                    StaticRouteConfig(prefix=subnet, next_hop=peer.address)
+                )
+    return Scenario(name=fabric.kind, snapshot=snapshot, fabric=fabric)
+
+
+def _customer_import_map(config: DeviceConfig, customer_prefixes: list[Prefix],
+                         local_pref: int, map_name: str, plist_name: str) -> None:
+    """Accept the customer's prefixes (plus the scratch /16 used by
+    announce/withdraw workloads), setting local-pref."""
+    config.prefix_lists[plist_name] = PrefixList(
+        plist_name,
+        [PrefixListEntry(prefix=p) for p in customer_prefixes]
+        + [PrefixListEntry(prefix=Prefix("10.254.0.0/16"), ge=24, le=24)],
+    )
+    config.route_maps[map_name] = RouteMap(
+        map_name,
+        [
+            RouteMapClause(
+                seq=10,
+                match_prefix_list=plist_name,
+                set_local_pref=local_pref,
+            )
+        ],
+    )
+
+
+def internet2_bgp(
+    customers_per_pop: int = 1,
+    host_subnets_per_pop: int = 1,
+    prefixes_per_customer: int = 2,
+    redistribute_connected: bool = False,
+) -> Scenario:
+    """The Internet2 WAN with OSPF + iBGP mesh + eBGP customers.
+
+    Every PoP hosts ``customers_per_pop`` single-homed customer
+    routers, each originating ``prefixes_per_customer`` /24s.  One
+    extra customer (``cust_dual``) dual-homes to SEAT and NEWY with
+    local-pref 200 (primary, SEAT) vs 100 (backup, NEWY) on the WAN's
+    import maps — flipping those numbers is the canonical policy
+    change of the evaluation.
+    """
+    fabric = internet2(host_subnets_per_pop)
+    snapshot = Snapshot(topology=fabric.topology)
+    _enable_ospf_everywhere(snapshot, fabric)
+    scenario = Scenario(name="internet2_bgp", snapshot=snapshot, fabric=fabric)
+    topology = snapshot.topology
+    pops = list(fabric.roles)
+
+    # iBGP full mesh over loopbacks.
+    loopbacks = {
+        pop: topology.router(pop).interface("lo0").address for pop in pops
+    }
+    for pop in pops:
+        config = snapshot.config(pop)
+        config.bgp = BgpConfig(
+            asn=WAN_ASN, router_id=loopbacks[pop]  # type: ignore[arg-type]
+        )
+        for other in pops:
+            if other == pop:
+                continue
+            config.bgp.add_neighbor(
+                BgpNeighborConfig(
+                    peer_ip=loopbacks[other],  # type: ignore[arg-type]
+                    remote_asn=WAN_ASN,
+                    next_hop_self=True,
+                )
+            )
+
+    # eBGP customers.  Addressing: reuse the generator pools by hand —
+    # customers take /31 uplinks from 10.200.0.0/16 and originate /24s
+    # from 172.31.0.0/16 (disjoint from the fabric's allocations).
+    uplink_base = Prefix("10.200.0.0/16").first
+    customer_base = Prefix("172.31.0.0/16").first
+    next_uplink = [uplink_base]
+    next_subnet = [customer_base]
+    next_asn = [65001]
+
+    def attach_customer(name: str, pops_to_join: list[str], local_prefs: list[int]) -> None:
+        asn = next_asn[0]
+        next_asn[0] += 1
+        scenario.customer_asns[name] = asn
+        topology.add_router(name)
+        fabric.roles[name] = "customer"
+        config = snapshot.config(name)
+        prefixes: list[Prefix] = []
+        for index in range(prefixes_per_customer):
+            subnet = Prefix(next_subnet[0], 24)
+            next_subnet[0] += 256
+            gateway = IPv4Address(subnet.first + 1)
+            topology.add_interface(name, f"host{index}", gateway, 24)
+            prefixes.append(subnet)
+        router_id = IPv4Address(next_subnet[0] - 256 + 1)
+        config.bgp = BgpConfig(asn=asn, router_id=router_id)
+        if redistribute_connected:
+            # Customer originates whatever is connected (so interface
+            # state drives originations) instead of static network
+            # statements.
+            config.bgp.redistribute_connected = True
+        else:
+            for prefix in prefixes:
+                config.bgp.originated.append(prefix)
+        for slot, (pop, pref) in enumerate(zip(pops_to_join, local_prefs)):
+            cust_ip = IPv4Address(next_uplink[0])
+            pop_ip = IPv4Address(next_uplink[0] + 1)
+            next_uplink[0] += 2
+            cust_if = f"up{slot}"
+            pop_port = f"cust{len(snapshot.config(pop).bgp.neighbors)}"
+            topology.add_interface(name, cust_if, cust_ip, 31)
+            topology.add_interface(pop, pop_port, pop_ip, 31)
+            topology.add_link(name, cust_if, pop, pop_port)
+            config.bgp.add_neighbor(
+                BgpNeighborConfig(peer_ip=pop_ip, remote_asn=WAN_ASN)
+            )
+            pop_config = snapshot.config(pop)
+            map_name = f"IMP_{name.upper()}_{slot}"
+            plist_name = f"PL_{name.upper()}"
+            _customer_import_map(pop_config, prefixes, pref, map_name, plist_name)
+            pop_config.bgp.add_neighbor(
+                BgpNeighborConfig(
+                    peer_ip=cust_ip,
+                    remote_asn=asn,
+                    import_policy=map_name,
+                )
+            )
+        fabric.host_subnets[name] = prefixes
+
+    for pop in pops:
+        for index in range(customers_per_pop):
+            attach_customer(f"cust_{pop.lower()}{index}", [pop], [100])
+    attach_customer("cust_dual", ["SEAT", "NEWY"], [200, 100])
+    scenario.dual_homed.append("cust_dual")
+    return scenario

@@ -1,0 +1,52 @@
+"""Shared fixtures: configured scenarios, cached per session.
+
+Scenario builders are deterministic, but analyzers mutate their
+snapshots — fixtures that need isolation clone before use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.scenarios import (
+    fat_tree_ospf,
+    internet2_bgp,
+    line_static,
+    random_ospf,
+    ring_ospf,
+)
+
+
+@pytest.fixture(scope="session")
+def fat_tree_k4_scenario():
+    return fat_tree_ospf(4)
+
+
+@pytest.fixture(scope="session")
+def internet2_scenario():
+    return internet2_bgp()
+
+
+@pytest.fixture(scope="session")
+def ring8_scenario():
+    return ring_ospf(8)
+
+
+@pytest.fixture(scope="session")
+def line5_scenario():
+    return line_static(5)
+
+
+@pytest.fixture(scope="session")
+def random12_scenario():
+    return random_ospf(12, 10, seed=3)
+
+
+@pytest.fixture()
+def fresh_fat_tree_k4(fat_tree_k4_scenario):
+    """An isolated copy safe to mutate."""
+    import copy
+
+    scenario = copy.copy(fat_tree_k4_scenario)
+    scenario.snapshot = fat_tree_k4_scenario.snapshot.clone()
+    return scenario

@@ -1,0 +1,132 @@
+"""Atom table: partitioning, splits/merges, reference counting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataplane.atoms import SPAN_HI, SPAN_LO, Atom, AtomTable
+from repro.net.addr import Prefix
+
+
+def assert_partitions(table: AtomTable) -> None:
+    """Atoms must tile the whole space, in order, without gaps."""
+    atoms = list(table.atoms())
+    assert atoms[0].lo == SPAN_LO
+    assert atoms[-1].hi == SPAN_HI
+    for left, right in zip(atoms, atoms[1:]):
+        assert left.hi == right.lo
+
+
+class TestBasics:
+    def test_fresh_table_single_atom(self):
+        table = AtomTable()
+        assert table.num_atoms() == 1
+        assert_partitions(table)
+
+    def test_register_splits(self):
+        table = AtomTable()
+        splits = table.register(100, 200)
+        assert table.num_atoms() == 3
+        assert len(splits) == 2
+        assert_partitions(table)
+
+    def test_unregister_merges_back(self):
+        table = AtomTable()
+        table.register(100, 200)
+        merges = table.unregister(100, 200)
+        assert table.num_atoms() == 1
+        assert len(merges) == 2
+        assert_partitions(table)
+
+    def test_refcounting_keeps_shared_points(self):
+        table = AtomTable()
+        table.register(100, 200)
+        table.register(100, 300)  # shares point 100
+        table.unregister(100, 200)
+        # Point 100 still referenced; 200 gone.
+        atoms = list(table.atoms())
+        assert Atom(100, 300) in atoms
+        assert_partitions(table)
+
+    def test_unregister_unknown_point_rejected(self):
+        table = AtomTable()
+        with pytest.raises(ValueError):
+            table.unregister(100, 200)
+
+    def test_atom_containing(self):
+        table = AtomTable()
+        table.register(100, 200)
+        assert table.atom_containing(150) == Atom(100, 200)
+        assert table.atom_containing(99) == Atom(SPAN_LO, 100)
+        with pytest.raises(ValueError):
+            table.atom_containing(-1)
+
+    def test_atoms_overlapping(self):
+        table = AtomTable()
+        table.register(100, 200)
+        table.register(300, 400)
+        overlapping = table.atoms_overlapping(150, 350)
+        assert overlapping == [Atom(100, 200), Atom(200, 300), Atom(300, 400)]
+        assert table.atoms_overlapping(50, 50) == []
+
+    def test_atoms_overlapping_prefix(self):
+        table = AtomTable()
+        prefix = Prefix("10.0.0.0/8")
+        table.register_prefix(prefix)
+        lo, hi = prefix.interval()
+        assert table.atoms_overlapping_prefix(prefix) == [Atom(lo, hi)]
+
+    def test_split_reports_parent_and_halves(self):
+        table = AtomTable()
+        (parent, halves), = table.register(100, SPAN_HI)
+        assert parent == Atom(SPAN_LO, SPAN_HI)
+        assert halves == [Atom(SPAN_LO, 100), Atom(100, SPAN_HI)]
+
+    def test_span_endpoints_never_split(self):
+        table = AtomTable()
+        assert table.register(SPAN_LO, SPAN_HI) == []
+        assert table.num_atoms() == 1
+
+
+_intervals = st.tuples(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+).filter(lambda t: t[0] < t[1])
+
+
+@given(st.lists(_intervals, max_size=20))
+def test_partition_invariant_under_registration(intervals):
+    table = AtomTable()
+    for lo, hi in intervals:
+        table.register(lo, hi)
+    assert_partitions(table)
+    # Every registered boundary is an atom boundary.
+    boundaries = {a.lo for a in table.atoms()} | {a.hi for a in table.atoms()}
+    for lo, hi in intervals:
+        assert lo in boundaries and hi in boundaries
+
+
+@given(st.lists(_intervals, min_size=1, max_size=15), st.randoms())
+def test_register_unregister_round_trip(intervals, rng):
+    table = AtomTable()
+    for lo, hi in intervals:
+        table.register(lo, hi)
+    shuffled = list(intervals)
+    rng.shuffle(shuffled)
+    for lo, hi in shuffled:
+        table.unregister(lo, hi)
+    assert table.num_atoms() == 1
+    assert_partitions(table)
+
+
+@given(st.lists(st.tuples(_intervals, st.booleans()), max_size=30))
+def test_mixed_stream_stays_partitioned(operations):
+    table = AtomTable()
+    live: list[tuple[int, int]] = []
+    for (lo, hi), register in operations:
+        if register or not live:
+            table.register(lo, hi)
+            live.append((lo, hi))
+        else:
+            victim = live.pop()
+            table.unregister(*victim)
+        assert_partitions(table)

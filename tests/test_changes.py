@@ -1,0 +1,196 @@
+"""Primitive edit semantics: application, validation, batching."""
+
+import pytest
+
+from repro.config.acl import AclAction, AclRule
+from repro.config.routemap import RouteMapClause
+from repro.config.routing import BgpNeighborConfig, StaticRouteConfig
+from repro.core.change import (
+    AddAclRule,
+    AddBgpNeighbor,
+    AddRouteMapClause,
+    AddStaticRoute,
+    AnnouncePrefix,
+    BindAcl,
+    Change,
+    ChangeError,
+    DisableOspfInterface,
+    EnableInterface,
+    EnableOspfInterface,
+    LinkDown,
+    LinkUp,
+    RemoveAclRule,
+    RemoveBgpNeighbor,
+    RemoveRouteMapClause,
+    RemoveStaticRoute,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+    WithdrawPrefix,
+)
+from repro.net.addr import IPv4Address, Prefix
+from repro.workloads.scenarios import internet2_bgp, line_static, ring_ospf
+
+
+@pytest.fixture()
+def ring():
+    return ring_ospf(4).snapshot.clone()
+
+
+@pytest.fixture()
+def wan():
+    return internet2_bgp().snapshot.clone()
+
+
+class TestLinkEdits:
+    def test_down_then_up(self, ring):
+        LinkDown("r0", "r1").apply(ring)
+        assert ring.topology.num_links() == 3
+        LinkUp("r0", "r1").apply(ring)
+        assert ring.topology.num_links() == 4
+
+    def test_down_unknown_pair(self, ring):
+        with pytest.raises(ChangeError, match="no link"):
+            LinkDown("r0", "r2").apply(ring)
+
+    def test_down_by_interfaces(self, ring):
+        link = ring.topology.find_link("r0", "r1")
+        (r1, i1), (r2, i2) = link.side_a, link.side_b
+        LinkDown(r1, r2, i1, i2).apply(ring)
+        assert not ring.topology.link_enabled(link)
+
+
+class TestInterfaceEdits:
+    def test_shutdown_twice_rejected(self, ring):
+        ShutdownInterface("r0", "eth0").apply(ring)
+        with pytest.raises(ChangeError, match="already shut"):
+            ShutdownInterface("r0", "eth0").apply(ring)
+
+    def test_enable_when_up_rejected(self, ring):
+        with pytest.raises(ChangeError, match="already up"):
+            EnableInterface("r0", "eth0").apply(ring)
+
+    def test_unknown_interface(self, ring):
+        with pytest.raises(ChangeError, match="no interface"):
+            ShutdownInterface("r0", "eth99").apply(ring)
+
+
+class TestStaticEdits:
+    def test_add_duplicate_rejected(self, ring):
+        route = StaticRouteConfig(Prefix("10.99.0.0/24"), drop=True)
+        AddStaticRoute("r0", route).apply(ring)
+        with pytest.raises(ChangeError, match="duplicate"):
+            AddStaticRoute("r0", route).apply(ring)
+
+    def test_remove_missing_rejected(self, ring):
+        route = StaticRouteConfig(Prefix("10.99.0.0/24"), drop=True)
+        with pytest.raises(ChangeError, match="not present"):
+            RemoveStaticRoute("r0", route).apply(ring)
+
+
+class TestOspfEdits:
+    def test_cost_on_unconfigured_interface(self, ring):
+        with pytest.raises(ChangeError, match="does not run OSPF"):
+            SetOspfCost("r0", "eth99", 5).apply(ring)
+
+    def test_cost_floor(self, ring):
+        with pytest.raises(ChangeError, match=">= 1"):
+            SetOspfCost("r0", "eth0", 0).apply(ring)
+
+    def test_enable_disable_cycle(self, ring):
+        DisableOspfInterface("r0", "eth0").apply(ring)
+        with pytest.raises(ChangeError):
+            DisableOspfInterface("r0", "eth0").apply(ring)
+        # Re-enable replaces the settings wholesale.
+        EnableOspfInterface("r0", "eth0", area=0, cost=7).apply(ring)
+        assert ring.config("r0").ospf.interfaces["eth0"].cost == 7
+        with pytest.raises(ChangeError, match="already runs"):
+            EnableOspfInterface("r0", "eth0").apply(ring)
+
+
+class TestBgpEdits:
+    def test_announce_requires_bgp(self, ring):
+        with pytest.raises(ChangeError, match="does not run BGP"):
+            AnnouncePrefix("r0", Prefix("10.0.0.0/24")).apply(ring)
+
+    def test_announce_withdraw_cycle(self, wan):
+        prefix = Prefix("10.254.50.0/24")
+        AnnouncePrefix("cust_seat0", prefix).apply(wan)
+        with pytest.raises(ChangeError, match="already originates"):
+            AnnouncePrefix("cust_seat0", prefix).apply(wan)
+        WithdrawPrefix("cust_seat0", prefix).apply(wan)
+        with pytest.raises(ChangeError, match="does not originate"):
+            WithdrawPrefix("cust_seat0", prefix).apply(wan)
+
+    def test_neighbor_add_remove(self, wan):
+        peer_ip = IPv4Address("10.200.99.1")
+        neighbor = BgpNeighborConfig(peer_ip=peer_ip, remote_asn=65099)
+        AddBgpNeighbor("SEAT", neighbor).apply(wan)
+        with pytest.raises(ChangeError, match="duplicate"):
+            AddBgpNeighbor("SEAT", neighbor).apply(wan)
+        RemoveBgpNeighbor("SEAT", peer_ip).apply(wan)
+        with pytest.raises(ChangeError, match="no BGP neighbor"):
+            RemoveBgpNeighbor("SEAT", peer_ip).apply(wan)
+
+    def test_local_pref_missing_map(self, wan):
+        with pytest.raises(ChangeError, match="no route-map"):
+            SetLocalPref("SEAT", "GHOST", 10, 100).apply(wan)
+
+    def test_route_map_clause_cycle(self, wan):
+        clause = RouteMapClause(seq=99, set_local_pref=5)
+        AddRouteMapClause("SEAT", "NEWMAP", clause).apply(wan)
+        with pytest.raises(ChangeError, match="already has clause"):
+            AddRouteMapClause("SEAT", "NEWMAP", clause).apply(wan)
+        RemoveRouteMapClause("SEAT", "NEWMAP", 99).apply(wan)
+        with pytest.raises(ChangeError, match="no clause"):
+            RemoveRouteMapClause("SEAT", "NEWMAP", 99).apply(wan)
+
+
+class TestAclEdits:
+    RULE = AclRule(AclAction.DENY, dst=Prefix("172.16.1.0/24"))
+
+    def test_add_creates_acl(self, ring):
+        AddAclRule("r0", "NEW", self.RULE).apply(ring)
+        assert ring.config("r0").acls["NEW"].rules == [self.RULE]
+
+    def test_position_validation(self, ring):
+        with pytest.raises(ChangeError, match="out of range"):
+            AddAclRule("r0", "NEW", self.RULE, position=3).apply(ring)
+
+    def test_remove_missing(self, ring):
+        with pytest.raises(ChangeError, match="no acl"):
+            RemoveAclRule("r0", "GHOST", self.RULE).apply(ring)
+        AddAclRule("r0", "NEW", self.RULE).apply(ring)
+        RemoveAclRule("r0", "NEW", self.RULE).apply(ring)
+        with pytest.raises(ChangeError, match="no rule"):
+            RemoveAclRule("r0", "NEW", self.RULE).apply(ring)
+
+    def test_bind_validation(self, ring):
+        with pytest.raises(ChangeError, match="bad ACL direction"):
+            BindAcl("r0", "eth0", "X", "sideways").apply(ring)
+        with pytest.raises(ChangeError, match="no interface"):
+            BindAcl("r0", "eth99", "X", "out").apply(ring)
+
+
+class TestBatches:
+    def test_atomic_application_order(self):
+        snapshot = line_static(3).snapshot.clone()
+        change = Change.of(
+            AddAclRule("r1", "F", AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0"))),
+            BindAcl("r1", "eth1", "F", "out"),
+            label="ordered",
+        )
+        change.apply(snapshot)
+        assert snapshot.config("r1").interface_config("eth1").acl_out == "F"
+
+    def test_applied_to_copy_leaves_original(self):
+        snapshot = line_static(3).snapshot
+        change = Change.of(LinkDown("r0", "r1"))
+        copy = change.applied_to_copy(snapshot)
+        assert snapshot.topology.num_links() == 2
+        assert copy.topology.num_links() == 1
+
+    def test_describe(self):
+        change = Change.of(LinkDown("a", "b"), label="maintenance")
+        text = change.describe()
+        assert "maintenance" in text and "link down" in text

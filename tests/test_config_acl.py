@@ -1,0 +1,160 @@
+"""ACL semantics: first-match evaluation and destination projection."""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.config.acl import Acl, AclAction, AclRule
+from repro.net.addr import Prefix
+from repro.net.interval import IntervalSet
+
+
+def packet(dst: int, src: int = 0, proto: int = 6, dport: int = 80) -> dict:
+    return {"dst": dst, "src": src, "proto": proto, "dport": dport}
+
+
+class TestRuleMatching:
+    def test_dst_only(self):
+        rule = AclRule(AclAction.PERMIT, dst=Prefix("10.0.0.0/24"))
+        assert rule.matches_packet(packet(Prefix("10.0.0.0/24").first))
+        assert not rule.matches_packet(packet(Prefix("10.0.1.0/24").first))
+        assert rule.dst_only
+
+    def test_src_constraint(self):
+        rule = AclRule(
+            AclAction.DENY, dst=Prefix("0.0.0.0/0"), src=Prefix("10.9.0.0/16")
+        )
+        assert rule.matches_packet(packet(0, src=Prefix("10.9.0.0/16").first))
+        assert not rule.matches_packet(packet(0, src=0))
+        assert not rule.dst_only
+
+    def test_proto_and_port(self):
+        rule = AclRule(
+            AclAction.DENY,
+            dst=Prefix("0.0.0.0/0"),
+            proto=6,
+            dport_lo=80,
+            dport_hi=443,
+        )
+        assert rule.matches_packet(packet(0, proto=6, dport=443))
+        assert not rule.matches_packet(packet(0, proto=17, dport=80))
+        assert not rule.matches_packet(packet(0, proto=6, dport=8080))
+
+    def test_port_bounds_validated(self):
+        with pytest.raises(ValueError):
+            AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0"), dport_lo=10)
+        with pytest.raises(ValueError):
+            AclRule(
+                AclAction.PERMIT, dst=Prefix("0.0.0.0/0"), dport_lo=20, dport_hi=10
+            )
+
+    def test_mixed_not_a_rule_action(self):
+        with pytest.raises(ValueError):
+            AclRule(AclAction.MIXED, dst=Prefix("0.0.0.0/0"))
+
+
+class TestFirstMatch:
+    def test_implicit_deny(self):
+        acl = Acl("empty")
+        assert not acl.permits_packet(packet(0))
+
+    def test_first_match_wins(self):
+        acl = Acl(
+            "shadow",
+            [
+                AclRule(AclAction.DENY, dst=Prefix("10.0.0.0/24")),
+                AclRule(AclAction.PERMIT, dst=Prefix("10.0.0.0/16")),
+            ],
+        )
+        assert not acl.permits_packet(packet(Prefix("10.0.0.0/24").first))
+        assert acl.permits_packet(packet(Prefix("10.0.1.0/24").first))
+
+    def test_permit_all_backstop(self):
+        acl = Acl(
+            "block_one",
+            [
+                AclRule(AclAction.DENY, dst=Prefix("172.16.5.0/24")),
+                AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0")),
+            ],
+        )
+        assert acl.permits_packet(packet(0))
+        assert not acl.permits_packet(packet(Prefix("172.16.5.0/24").first))
+
+
+class TestProjection:
+    def test_projection_covers_space(self):
+        acl = Acl(
+            "sample",
+            [
+                AclRule(AclAction.DENY, dst=Prefix("10.0.0.0/8")),
+                AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0")),
+            ],
+        )
+        total = IntervalSet.empty()
+        for interval_set, _action in acl.project_dst():
+            assert not total.overlaps(interval_set)  # disjoint classes
+            total = total.union(interval_set)
+        assert total == IntervalSet.full()
+
+    def test_denied_dst(self):
+        acl = Acl(
+            "deny_block",
+            [
+                AclRule(AclAction.DENY, dst=Prefix("10.1.0.0/16")),
+                AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0")),
+            ],
+        )
+        denied = acl.denied_dst()
+        lo, hi = Prefix("10.1.0.0/16").interval()
+        assert denied == IntervalSet.span(lo, hi)
+
+    def test_non_dst_rule_marks_mixed(self):
+        acl = Acl(
+            "mixed",
+            [
+                AclRule(
+                    AclAction.DENY,
+                    dst=Prefix("10.1.0.0/16"),
+                    src=Prefix("192.168.0.0/16"),
+                ),
+                AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0")),
+            ],
+        )
+        classes = dict(
+            (action, interval_set) for interval_set, action in acl.project_dst()
+        )
+        lo, hi = Prefix("10.1.0.0/16").interval()
+        assert classes[AclAction.MIXED] == IntervalSet.span(lo, hi)
+
+    def test_empty_acl_projects_all_deny(self):
+        classes = Acl("nothing").project_dst()
+        assert classes == [(IntervalSet.full(), AclAction.DENY)]
+
+
+# Property: for dst-only ACLs, the projection agrees with per-packet
+# evaluation at every class representative.
+_rule_prefixes = st.sampled_from(
+    [
+        Prefix("10.0.0.0/8"),
+        Prefix("10.1.0.0/16"),
+        Prefix("10.1.2.0/24"),
+        Prefix("172.16.0.0/12"),
+        Prefix("0.0.0.0/0"),
+        Prefix("192.168.7.0/24"),
+    ]
+)
+_rules = st.builds(
+    AclRule,
+    action=st.sampled_from([AclAction.PERMIT, AclAction.DENY]),
+    dst=_rule_prefixes,
+)
+
+
+@given(st.lists(_rules, max_size=6))
+def test_projection_matches_pointwise_eval(rules):
+    acl = Acl("prop", rules)
+    for interval_set, action in acl.project_dst():
+        assert action is not AclAction.MIXED  # dst-only rules never mix
+        for representative in interval_set.sample_points(3):
+            permitted = acl.permits_packet(packet(representative))
+            assert permitted == (action is AclAction.PERMIT)

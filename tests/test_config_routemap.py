@@ -1,0 +1,160 @@
+"""Prefix lists, route maps, attribute bundles."""
+
+import pytest
+
+from repro.config.routemap import (
+    AttributeBundle,
+    ClauseAction,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.net.addr import Prefix
+
+
+def bundle(prefix: str = "10.0.0.0/24", **overrides) -> AttributeBundle:
+    return AttributeBundle(prefix=Prefix(prefix), **overrides)
+
+
+class TestAttributeBundle:
+    def test_prepend(self):
+        b = bundle(as_path=(65001,)).prepend(65002, 2)
+        assert b.as_path == (65002, 65002, 65001)
+
+    def test_communities(self):
+        b = bundle().add_communities([(65000, 1), (65000, 2)])
+        b = b.remove_communities([(65000, 1)])
+        assert b.communities == {(65000, 2)}
+
+    def test_loop_check(self):
+        assert bundle(as_path=(1, 2, 3)).path_contains(2)
+        assert not bundle(as_path=(1, 3)).path_contains(2)
+
+    def test_immutability(self):
+        b = bundle()
+        b2 = b.with_local_pref(300)
+        assert b.local_pref == 100 and b2.local_pref == 300
+
+
+class TestPrefixList:
+    def test_exact_match_default(self):
+        plist = PrefixList("p", [PrefixListEntry(prefix=Prefix("10.0.0.0/16"))])
+        assert plist.permits(Prefix("10.0.0.0/16"))
+        assert not plist.permits(Prefix("10.0.0.0/24"))
+
+    def test_ge_le_window(self):
+        entry = PrefixListEntry(prefix=Prefix("10.0.0.0/8"), ge=16, le=24)
+        assert entry.matches(Prefix("10.1.0.0/16"))
+        assert entry.matches(Prefix("10.1.2.0/24"))
+        assert not entry.matches(Prefix("10.0.0.0/8"))
+        assert not entry.matches(Prefix("10.1.2.128/25"))
+
+    def test_ge_without_le_allows_up_to_32(self):
+        entry = PrefixListEntry(prefix=Prefix("10.0.0.0/8"), ge=24)
+        assert entry.matches(Prefix("10.1.2.3/32"))
+
+    def test_first_match_and_implicit_deny(self):
+        plist = PrefixList(
+            "p",
+            [
+                PrefixListEntry(prefix=Prefix("10.9.0.0/16"), permit=False),
+                PrefixListEntry(prefix=Prefix("10.0.0.0/8"), ge=16, le=16),
+            ],
+        )
+        assert not plist.permits(Prefix("10.9.0.0/16"))
+        assert plist.permits(Prefix("10.8.0.0/16"))
+        assert not plist.permits(Prefix("11.0.0.0/16"))
+
+
+class TestRouteMap:
+    def prefix_lists(self):
+        return {
+            "CUST": PrefixList(
+                "CUST", [PrefixListEntry(prefix=Prefix("10.0.0.0/8"), ge=24, le=24)]
+            )
+        }
+
+    def test_permit_with_sets(self):
+        route_map = RouteMap(
+            "m",
+            [
+                RouteMapClause(
+                    seq=10,
+                    match_prefix_list="CUST",
+                    set_local_pref=250,
+                    prepend_count=2,
+                )
+            ],
+        )
+        out = route_map.apply(bundle("10.1.2.0/24"), self.prefix_lists(), 65000)
+        assert out is not None
+        assert out.local_pref == 250
+        assert out.as_path == (65000, 65000)
+
+    def test_implicit_deny(self):
+        route_map = RouteMap(
+            "m", [RouteMapClause(seq=10, match_prefix_list="CUST")]
+        )
+        assert route_map.apply(bundle("11.0.0.0/24"), self.prefix_lists(), 1) is None
+
+    def test_explicit_deny_clause(self):
+        route_map = RouteMap(
+            "m",
+            [
+                RouteMapClause(
+                    seq=5, action=ClauseAction.DENY, match_prefix_list="CUST"
+                ),
+                RouteMapClause(seq=10),
+            ],
+        )
+        assert route_map.apply(bundle("10.1.2.0/24"), self.prefix_lists(), 1) is None
+        assert route_map.apply(bundle("11.0.0.0/24"), self.prefix_lists(), 1) is not None
+
+    def test_community_match(self):
+        route_map = RouteMap(
+            "m",
+            [RouteMapClause(seq=10, match_community=(65000, 666), set_med=50)],
+        )
+        tagged = bundle().add_communities([(65000, 666)])
+        assert route_map.apply(tagged, {}, 1).med == 50
+        assert route_map.apply(bundle(), {}, 1) is None
+
+    def test_clause_sequencing(self):
+        route_map = RouteMap("m")
+        route_map.add_clause(RouteMapClause(seq=20, set_local_pref=1))
+        route_map.add_clause(RouteMapClause(seq=10, set_local_pref=2))
+        assert route_map.apply(bundle(), {}, 1).local_pref == 2
+
+    def test_duplicate_seq_rejected(self):
+        route_map = RouteMap("m", [RouteMapClause(seq=10)])
+        with pytest.raises(ValueError):
+            route_map.add_clause(RouteMapClause(seq=10))
+
+    def test_remove_clause(self):
+        route_map = RouteMap("m", [RouteMapClause(seq=10)])
+        route_map.remove_clause(10)
+        assert route_map.apply(bundle(), {}, 1) is None
+        with pytest.raises(ValueError):
+            route_map.remove_clause(10)
+
+    def test_missing_prefix_list_never_matches(self):
+        route_map = RouteMap(
+            "m", [RouteMapClause(seq=10, match_prefix_list="NOPE")]
+        )
+        assert route_map.apply(bundle(), {}, 1) is None
+
+    def test_community_add_remove_sets(self):
+        route_map = RouteMap(
+            "m",
+            [
+                RouteMapClause(
+                    seq=10,
+                    set_communities_add=frozenset({(1, 2)}),
+                    set_communities_remove=frozenset({(3, 4)}),
+                )
+            ],
+        )
+        tagged = bundle().add_communities([(3, 4)])
+        out = route_map.apply(tagged, {}, 1)
+        assert out.communities == {(1, 2)}

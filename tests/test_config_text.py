@@ -1,0 +1,184 @@
+"""Config text format: round-tripping and parse errors."""
+
+import pytest
+
+from repro.config.acl import Acl, AclAction, AclRule
+from repro.config.device import DeviceConfig, InterfaceConfig
+from repro.config.routemap import (
+    ClauseAction,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.config.routing import (
+    BgpConfig,
+    BgpNeighborConfig,
+    OspfConfig,
+    OspfInterfaceSettings,
+    StaticRouteConfig,
+)
+from repro.config.text import (
+    ConfigParseError,
+    parse_configs,
+    parse_device,
+    serialize_configs,
+    serialize_device,
+)
+from repro.net.addr import IPv4Address, Prefix
+from repro.workloads.scenarios import internet2_bgp
+
+
+def rich_device() -> DeviceConfig:
+    """A device exercising every config feature."""
+    config = DeviceConfig("r1")
+    config.interfaces["eth0"] = InterfaceConfig(enabled=False, acl_in="GUARD")
+    config.interfaces["eth1"] = InterfaceConfig(acl_out="GUARD")
+    config.add_static_route(
+        StaticRouteConfig(Prefix("10.9.0.0/16"), next_hop=IPv4Address("10.0.0.1"))
+    )
+    config.add_static_route(
+        StaticRouteConfig(Prefix("10.8.0.0/16"), interface="eth1", admin_distance=5)
+    )
+    config.add_static_route(StaticRouteConfig(Prefix("10.7.0.0/16"), drop=True))
+    config.ospf = OspfConfig(
+        {
+            "eth1": OspfInterfaceSettings(area=0, cost=10),
+            "lo0": OspfInterfaceSettings(area=1, cost=1, passive=True),
+            "eth2": OspfInterfaceSettings(area=0, cost=20, enabled=False),
+        }
+    )
+    config.bgp = BgpConfig(
+        asn=65001,
+        router_id=IPv4Address("192.168.0.1"),
+        redistribute_connected=True,
+    )
+    config.bgp.add_neighbor(
+        BgpNeighborConfig(
+            peer_ip=IPv4Address("10.0.0.1"),
+            remote_asn=65002,
+            import_policy="IMP",
+            export_policy="EXP",
+            next_hop_self=True,
+        )
+    )
+    config.bgp.originated.append(Prefix("172.16.1.0/24"))
+    config.acls["GUARD"] = Acl(
+        "GUARD",
+        [
+            AclRule(
+                AclAction.DENY,
+                dst=Prefix("172.16.5.0/24"),
+                src=Prefix("192.168.0.0/16"),
+                proto=6,
+                dport_lo=80,
+                dport_hi=443,
+            ),
+            AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0")),
+        ],
+    )
+    config.prefix_lists["PL"] = PrefixList(
+        "PL",
+        [
+            PrefixListEntry(prefix=Prefix("10.0.0.0/8"), ge=24, le=24),
+            PrefixListEntry(prefix=Prefix("0.0.0.0/0"), le=32, permit=False),
+        ],
+    )
+    config.route_maps["IMP"] = RouteMap(
+        "IMP",
+        [
+            RouteMapClause(
+                seq=10,
+                match_prefix_list="PL",
+                match_community=(65001, 100),
+                set_local_pref=200,
+                set_med=5,
+                set_communities_add=frozenset({(65001, 666)}),
+                set_communities_remove=frozenset({(65001, 100)}),
+                prepend_count=2,
+            ),
+            RouteMapClause(seq=20, action=ClauseAction.DENY),
+        ],
+    )
+    config.route_maps["EXP"] = RouteMap("EXP", [RouteMapClause(seq=10)])
+    return config
+
+
+class TestRoundTrip:
+    def test_rich_device_round_trips(self):
+        original = rich_device()
+        text = serialize_device(original)
+        parsed = parse_device(text)
+        assert serialize_device(parsed) == text
+        # Structural spot checks, not just text equality.
+        assert parsed.interfaces["eth0"].enabled is False
+        assert parsed.interfaces["eth0"].acl_in == "GUARD"
+        assert len(parsed.static_routes) == 3
+        assert parsed.ospf.interfaces["eth2"].enabled is False
+        assert parsed.bgp.redistribute_connected
+        neighbor = parsed.bgp.neighbors[IPv4Address("10.0.0.1")]
+        assert neighbor.next_hop_self and neighbor.import_policy == "IMP"
+        rule = parsed.acls["GUARD"].rules[0]
+        assert rule.proto == 6 and rule.dport_hi == 443
+        clause = parsed.route_maps["IMP"].sorted_clauses()[0]
+        assert clause.set_communities_add == {(65001, 666)}
+        assert clause.prepend_count == 2
+
+    def test_whole_scenario_round_trips(self):
+        scenario = internet2_bgp()
+        text = serialize_configs(scenario.snapshot.configs)
+        parsed = parse_configs(text)
+        assert set(parsed) == set(scenario.snapshot.configs)
+        assert serialize_configs(parsed) == text
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# header comment\n"
+            "device r1\n"
+            "\n"
+            "  static 10.0.0.0/24 drop  # trailing comment\n"
+        )
+        config = parse_device(text)
+        assert config.static_routes[0].drop
+
+
+class TestParseErrors:
+    def test_statement_outside_device(self):
+        with pytest.raises(ConfigParseError, match="outside any device"):
+            parse_configs("static 10.0.0.0/24 drop\n")
+
+    def test_duplicate_device(self):
+        with pytest.raises(ConfigParseError, match="duplicate device"):
+            parse_configs("device a\ndevice a\n")
+
+    def test_bad_static_target(self):
+        with pytest.raises(ConfigParseError, match="static route target"):
+            parse_configs("device a\n  static 10.0.0.0/24 nowhere\n")
+
+    def test_bad_neighbor_line(self):
+        with pytest.raises(ConfigParseError):
+            parse_configs(
+                "device a\n  bgp 1 router-id 1.1.1.1\n    neighbor 10.0.0.1\n"
+            )
+
+    def test_acl_rule_requires_dst(self):
+        with pytest.raises(ConfigParseError, match="needs a dst"):
+            parse_configs("device a\n  acl X\n    permit src 10.0.0.0/8\n")
+
+    def test_route_map_statement_outside_clause(self):
+        with pytest.raises(ConfigParseError, match="outside a clause"):
+            parse_configs(
+                "device a\n  route-map M\n    set local-pref 10\n"
+            )
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_configs("device a\n  bogus statement here\n")
+        except ConfigParseError as error:
+            assert error.line_number == 2
+        else:
+            pytest.fail("expected ConfigParseError")
+
+    def test_parse_device_requires_single_block(self):
+        with pytest.raises(ValueError, match="exactly one device"):
+            parse_device("device a\ndevice b\n")

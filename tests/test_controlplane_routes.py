@@ -1,0 +1,251 @@
+"""Connected/static derivation, RIB selection, and OSPF routes."""
+
+import pytest
+
+from repro.config.routing import OspfInterfaceSettings, StaticRouteConfig
+from repro.controlplane.connected import (
+    AddressIndex,
+    connected_routes,
+    resolve_static,
+    static_routes,
+)
+from repro.controlplane.ospf import (
+    OspfConfigError,
+    build_ospf_state,
+    ospf_routes_for_source,
+)
+from repro.controlplane.rib import DROP_NEXT_HOP, NextHop, Rib, Route
+from repro.core.change import LinkDown
+from repro.core.snapshot import Snapshot
+from repro.net.addr import IPv4Address, Prefix
+from repro.workloads.scenarios import fat_tree_ospf, line_static, ring_ospf
+
+
+@pytest.fixture()
+def line3():
+    return line_static(3)
+
+
+class TestConnected:
+    def test_up_interfaces_produce_routes(self, line3):
+        routes = connected_routes(line3.snapshot, "r1")
+        # Two p2p /31s + loopback /32 + host /24.
+        assert len(routes) == 4
+        host = line3.fabric.host_subnets["r1"][0]
+        assert host in routes
+        assert routes[host].protocol == "connected"
+        assert routes[host].admin_distance == 0
+
+    def test_downed_link_removes_route(self, line3):
+        snapshot = line3.snapshot.clone()
+        LinkDown("r0", "r1").apply(snapshot)
+        before = connected_routes(line3.snapshot, "r1")
+        after = connected_routes(snapshot, "r1")
+        assert len(before) - len(after) == 1
+
+    def test_shutdown_interface_removes_route(self, line3):
+        snapshot = line3.snapshot.clone()
+        snapshot.config("r1").ensure_interface("host0").enabled = False
+        routes = connected_routes(snapshot, "r1")
+        host = line3.fabric.host_subnets["r1"][0]
+        assert host not in routes
+
+
+class TestStatic:
+    def test_next_hop_resolution(self, line3):
+        snapshot = line3.snapshot
+        index = AddressIndex(snapshot)
+        connected = connected_routes(snapshot, "r0")
+        peer = snapshot.topology.interface_peer("r0", "eth1")
+        static = StaticRouteConfig(Prefix("10.99.0.0/16"), next_hop=peer.address)
+        route = resolve_static(snapshot, "r0", static, connected, index)
+        assert route is not None
+        hop = next(iter(route.next_hops))
+        assert hop.neighbor == "r1"
+        assert hop.ip == peer.address
+
+    def test_unresolvable_next_hop_not_installed(self, line3):
+        snapshot = line3.snapshot
+        index = AddressIndex(snapshot)
+        connected = connected_routes(snapshot, "r0")
+        static = StaticRouteConfig(
+            Prefix("10.99.0.0/16"), next_hop=IPv4Address("203.0.113.1")
+        )
+        assert resolve_static(snapshot, "r0", static, connected, index) is None
+
+    def test_interface_static(self, line3):
+        snapshot = line3.snapshot
+        index = AddressIndex(snapshot)
+        connected = connected_routes(snapshot, "r0")
+        static = StaticRouteConfig(Prefix("10.99.0.0/16"), interface="eth1")
+        route = resolve_static(snapshot, "r0", static, connected, index)
+        assert route is not None
+        assert next(iter(route.next_hops)).neighbor == "r1"
+
+    def test_null_route(self, line3):
+        snapshot = line3.snapshot
+        index = AddressIndex(snapshot)
+        static = StaticRouteConfig(Prefix("10.99.0.0/16"), drop=True)
+        route = resolve_static(snapshot, "r0", static, {}, index)
+        assert route.next_hops == frozenset({DROP_NEXT_HOP})
+
+    def test_floating_static_lowest_distance_wins(self, line3):
+        snapshot = line3.snapshot.clone()
+        config = snapshot.config("r0")
+        config.static_routes.clear()
+        config.add_static_route(
+            StaticRouteConfig(Prefix("10.99.0.0/16"), drop=True, admin_distance=200)
+        )
+        config.add_static_route(
+            StaticRouteConfig(Prefix("10.99.0.0/16"), interface="eth1")
+        )
+        index = AddressIndex(snapshot)
+        connected = connected_routes(snapshot, "r0")
+        routes = static_routes(snapshot, "r0", connected, index)
+        assert routes[Prefix("10.99.0.0/16")].admin_distance == 1
+
+
+class TestRib:
+    def make_route(self, protocol: str, ad: int, metric: int = 0) -> Route:
+        return Route(
+            prefix=Prefix("10.0.0.0/24"),
+            protocol=protocol,
+            admin_distance=ad,
+            metric=metric,
+            next_hops=frozenset({NextHop(interface="eth0")}),
+        )
+
+    def test_admin_distance_selection(self):
+        rib = Rib("r")
+        rib.install(self.make_route("ospf", 110))
+        rib.install(self.make_route("static", 1))
+        assert rib.best(Prefix("10.0.0.0/24")).protocol == "static"
+
+    def test_withdraw_falls_back(self):
+        rib = Rib("r")
+        rib.install(self.make_route("ospf", 110))
+        rib.install(self.make_route("static", 1))
+        assert rib.withdraw(Prefix("10.0.0.0/24"), "static")
+        assert rib.best(Prefix("10.0.0.0/24")).protocol == "ospf"
+        assert not rib.withdraw(Prefix("10.0.0.0/24"), "static")
+
+    def test_best_excluding(self):
+        rib = Rib("r")
+        rib.install(self.make_route("bgp", 20))
+        rib.install(self.make_route("ospf", 110))
+        assert rib.best(Prefix("10.0.0.0/24")).protocol == "bgp"
+        assert (
+            rib.best_excluding(Prefix("10.0.0.0/24"), frozenset({"bgp"})).protocol
+            == "ospf"
+        )
+
+    def test_len_counts_all_protocols(self):
+        rib = Rib("r")
+        rib.install(self.make_route("ospf", 110))
+        rib.install(self.make_route("static", 1))
+        assert len(rib) == 2
+
+
+class TestOspfRoutes:
+    def test_ring_metrics(self):
+        scenario = ring_ospf(6)
+        state = build_ospf_state(scenario.snapshot)
+        routes = ospf_routes_for_source(state, "r0")
+        # r3's host subnet is 3 hops away; cost 10 per p2p hop plus the
+        # advertised passive-interface cost (1).
+        target = scenario.fabric.host_subnets["r3"][0]
+        assert routes[target].metric == 31
+
+    def test_ring_ecmp_on_opposite_node(self):
+        scenario = ring_ospf(6)
+        state = build_ospf_state(scenario.snapshot)
+        routes = ospf_routes_for_source(state, "r0")
+        target = scenario.fabric.host_subnets["r3"][0]
+        assert len(routes[target].next_hops) == 2  # both ring directions
+
+    def test_fat_tree_cross_pod_ecmp(self):
+        scenario = fat_tree_ospf(4)
+        state = build_ospf_state(scenario.snapshot)
+        routes = ospf_routes_for_source(state, "edge0_0")
+        target = scenario.fabric.host_subnets["edge1_0"][0]
+        # Two aggs reachable first hop, full bisection behind them.
+        assert len(routes[target].next_hops) == 2
+
+    def test_own_subnets_not_in_ospf_routes(self):
+        scenario = ring_ospf(4)
+        state = build_ospf_state(scenario.snapshot)
+        routes = ospf_routes_for_source(state, "r0")
+        own = scenario.fabric.host_subnets["r0"][0]
+        assert own not in routes
+
+    def test_cost_validation(self):
+        scenario = ring_ospf(4)
+        snapshot = scenario.snapshot.clone()
+        snapshot.config("r0").ospf.interfaces["eth0"] = OspfInterfaceSettings(cost=0)
+        with pytest.raises(OspfConfigError):
+            build_ospf_state(snapshot)
+
+    def test_passive_interface_advertised_not_adjacent(self):
+        scenario = ring_ospf(4)
+        state = build_ospf_state(scenario.snapshot)
+        graph = state.graphs[0]
+        # host/lo interfaces are passive: they advertise but never
+        # appear as graph edges (ring has exactly 2 neighbors each).
+        for router in ("r0", "r1", "r2", "r3"):
+            assert len(graph.successors(router)) == 2
+
+
+class TestMultiArea:
+    def build(self) -> Snapshot:
+        """r0 -(area1)- r1 -(area0)- r2 -(area2)- r3; hosts on r0/r3."""
+        from repro.topology.generators import line
+
+        fabric = line(4)
+        snapshot = Snapshot(topology=fabric.topology)
+        areas = {("r0", "eth1"): 1, ("r1", "eth0"): 1,
+                 ("r1", "eth1"): 0, ("r2", "eth0"): 0,
+                 ("r2", "eth1"): 2, ("r3", "eth0"): 2}
+        for router in ("r0", "r1", "r2", "r3"):
+            config = snapshot.config(router)
+            from repro.config.routing import OspfConfig
+
+            config.ospf = OspfConfig()
+            device = snapshot.topology.router(router)
+            for interface in device.interfaces.values():
+                area = areas.get((router, interface.name))
+                if area is None:
+                    # host/lo interfaces: passive in the router's
+                    # primary area.
+                    area = {"r0": 1, "r1": 0, "r2": 0, "r3": 2}[router]
+                    config.ospf.interfaces[interface.name] = OspfInterfaceSettings(
+                        area=area, cost=1, passive=True
+                    )
+                else:
+                    config.ospf.interfaces[interface.name] = OspfInterfaceSettings(
+                        area=area, cost=10
+                    )
+        self.fabric = fabric
+        return snapshot
+
+    def test_inter_area_route_exists(self):
+        snapshot = self.build()
+        state = build_ospf_state(snapshot)
+        assert len(state.areas()) == 3
+        routes = ospf_routes_for_source(state, "r0")
+        target = self.fabric.host_subnets["r3"][0]
+        assert target in routes
+        # 3 hops of cost 10 plus advertised cost 1.
+        assert routes[target].metric == 31
+
+    def test_backbone_router_sees_leaf_areas(self):
+        snapshot = self.build()
+        state = build_ospf_state(snapshot)
+        routes = ospf_routes_for_source(state, "r1")
+        assert self.fabric.host_subnets["r0"][0] in routes
+        assert self.fabric.host_subnets["r3"][0] in routes
+
+    def test_abr_identification(self):
+        snapshot = self.build()
+        state = build_ospf_state(snapshot)
+        assert state.abrs(1) == ["r1"]
+        assert state.abrs(2) == ["r2"]

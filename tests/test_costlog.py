@@ -1,0 +1,141 @@
+"""Monotone cost Datalog: engine semantics and the OSPF reference."""
+
+import random
+
+import pytest
+
+from repro.controlplane.datalog_model import spf_distances_via_datalog
+from repro.controlplane.ospf import build_ospf_state
+from repro.controlplane.rib import NextHop
+from repro.controlplane.spf import SpfGraph, dijkstra
+from repro.datalog.ast import Atom, Comparison, DatalogError, Variable, atom
+from repro.datalog.costlog import CostAtom, CostProgram, CostRule, sum_of
+from repro.datalog.database import Database
+from repro.workloads.scenarios import fat_tree_ospf, ring_ospf
+
+S, U, V = Variable("S"), Variable("U"), Variable("V")
+C1, C2 = Variable("C1"), Variable("C2")
+
+
+def shortest_path_program() -> CostProgram:
+    return CostProgram(
+        [
+            CostRule(atom("dist", S, S), [atom("node", S)], sum_of()),
+            CostRule(
+                atom("dist", S, V),
+                [CostAtom(atom("dist", S, U), C1), CostAtom(atom("link", U, V), C2)],
+                sum_of(C1, C2),
+            ),
+        ]
+    )
+
+
+def evaluate(nodes, links):
+    database = Database()
+    database.relation("node", 1).load({(n,) for n in nodes})
+    return shortest_path_program().evaluate(
+        database, {"link": {k: float(c) for k, c in links.items()}}
+    )
+
+
+class TestEngine:
+    def test_simple_chain(self):
+        result = evaluate("abc", {("a", "b"): 1, ("b", "c"): 2})
+        assert result["dist"][("a", "c")] == 3
+        assert result["dist"][("a", "a")] == 0
+
+    def test_min_of_alternatives(self):
+        result = evaluate(
+            "abc", {("a", "b"): 1, ("b", "c"): 1, ("a", "c"): 5}
+        )
+        assert result["dist"][("a", "c")] == 2
+
+    def test_cycles_terminate(self):
+        result = evaluate("ab", {("a", "b"): 1, ("b", "a"): 1})
+        assert result["dist"][("a", "b")] == 1
+        assert result["dist"][("b", "b")] == 0
+
+    def test_unreachable_absent(self):
+        result = evaluate("abc", {("a", "b"): 1})
+        assert ("a", "c") not in result["dist"]
+
+    def test_guards(self):
+        bounded = CostProgram(
+            [
+                CostRule(atom("dist", S, S), [atom("node", S)], sum_of()),
+                CostRule(
+                    atom("dist", S, V),
+                    [
+                        CostAtom(atom("dist", S, U), C1),
+                        CostAtom(atom("link", U, V), C2),
+                        Comparison("<", C1, 3),
+                    ],
+                    sum_of(C1, C2),
+                ),
+            ]
+        )
+        database = Database()
+        database.relation("node", 1).load({(n,) for n in "abcde"})
+        links = {(x, y): 2.0 for x, y in zip("abcd", "bcde")}
+        result = bounded.evaluate(database, {"link": links})
+        # Extension beyond accumulated cost 3 is cut: a->b (2),
+        # a->c (4, from C1=2 < 3), but not a->d (would need C1=4).
+        assert ("a", "c") in result["dist"]
+        assert ("a", "d") not in result["dist"]
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(DatalogError, match="unsafe"):
+            CostRule(atom("dist", S, V), [atom("node", S)], sum_of())
+
+    def test_base_cost_facts_exposed(self):
+        result = evaluate("ab", {("a", "b"): 7})
+        assert result["link"][("a", "b")] == 7
+
+
+class TestAgainstDijkstra:
+    def _graph(self, edges) -> SpfGraph:
+        graph = SpfGraph()
+        for (u, v), cost in edges.items():
+            graph.set_edge(
+                u, v, cost, frozenset({NextHop(interface=f"{u}:{v}", neighbor=v)})
+            )
+        return graph
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        nodes = [f"n{i}" for i in range(9)]
+        edges = {}
+        for _ in range(20):
+            u, v = rng.sample(nodes, 2)
+            edges[(u, v)] = rng.randint(1, 9)
+        graph = self._graph(edges)
+        for node in nodes:
+            graph.add_node(node)
+        datalog = spf_distances_via_datalog(graph)
+        for source in nodes:
+            dist, _parents = dijkstra(graph, source)
+            for target, cost in dist.items():
+                assert datalog[(source, target)] == cost
+            unreachable = set(nodes) - set(dist)
+            for target in unreachable:
+                assert (source, target) not in datalog
+
+    def test_ospf_area_graph(self):
+        scenario = ring_ospf(6)
+        state = build_ospf_state(scenario.snapshot)
+        graph = state.graphs[0]
+        datalog = spf_distances_via_datalog(graph)
+        for source in graph.nodes():
+            dist, _ = dijkstra(graph, source)
+            got = {t: c for (s, t), c in datalog.items() if s == source}
+            assert got == dist
+
+    def test_fat_tree_area_graph(self):
+        scenario = fat_tree_ospf(4)
+        state = build_ospf_state(scenario.snapshot)
+        graph = state.graphs[0]
+        datalog = spf_distances_via_datalog(graph)
+        dist, _ = dijkstra(graph, "edge0_0")
+        got = {t: c for (s, t), c in datalog.items() if s == "edge0_0"}
+        assert got == dist

@@ -1,0 +1,197 @@
+"""Datalog AST, stratification, and full evaluation."""
+
+import pytest
+
+from repro.datalog.ast import (
+    Comparison,
+    DatalogError,
+    Let,
+    Program,
+    Rule,
+    Variable,
+    atom,
+    negated,
+)
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate_program, query
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+def run(rules, facts):
+    program = Program(rules)
+    db = Database()
+    for name, rows in facts.items():
+        arity = len(next(iter(rows))) if rows else 1
+        db.relation(name, arity).load(rows)
+    evaluate_program(program, db)
+    return db
+
+
+class TestRuleConstruction:
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(DatalogError, match="unsafe head"):
+            Rule(atom("p", X, Y), [atom("q", X)])
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(DatalogError, match="unsafe"):
+            Rule(atom("p", X), [atom("q", X), negated("r", Y)])
+
+    def test_guards_scheduled_after_binding(self):
+        rule = Rule(
+            atom("p", X),
+            [Comparison("<", X, 5), atom("q", X)],
+        )
+        # The comparison must run after q binds X.
+        assert isinstance(rule.plan[0], type(atom("q", X)))
+
+    def test_let_binds_new_variable(self):
+        rule = Rule(
+            atom("p", X, Z),
+            [atom("q", X, Y), Let(Z, lambda a, b: a + b, (X, Y))],
+        )
+        assert rule.plan[-1].var is Z  # type: ignore[union-attr]
+
+    def test_variables_interned(self):
+        assert Variable("Same") is Variable("Same")
+
+
+class TestStratification:
+    def test_negation_cycle_rejected(self):
+        with pytest.raises(DatalogError, match="not stratifiable"):
+            Program(
+                [
+                    Rule(atom("p", X), [atom("e", X), negated("q", X)]),
+                    Rule(atom("q", X), [atom("e", X), negated("p", X)]),
+                ]
+            )
+
+    def test_strata_order_respects_negation(self):
+        program = Program(
+            [
+                Rule(atom("p", X), [atom("e", X)]),
+                Rule(atom("q", X), [atom("e", X), negated("p", X)]),
+            ]
+        )
+        assert program.stratum_of["p"] < program.stratum_of["q"]
+
+    def test_mutual_recursion_single_stratum(self):
+        program = Program(
+            [
+                Rule(atom("even", X), [atom("zero", X)]),
+                Rule(atom("even", Y), [atom("odd", X), atom("succ", X, Y)]),
+                Rule(atom("odd", Y), [atom("even", X), atom("succ", X, Y)]),
+            ]
+        )
+        assert program.stratum_of["even"] == program.stratum_of["odd"]
+        assert program.stratum_is_recursive(program.stratum_of["even"])
+
+    def test_edb_relations(self):
+        program = Program([Rule(atom("p", X), [atom("e", X)])])
+        assert program.edb_relations() == {"e"}
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        db = run(
+            [
+                Rule(atom("path", X, Y), [atom("edge", X, Y)]),
+                Rule(atom("path", X, Z), [atom("path", X, Y), atom("edge", Y, Z)]),
+            ],
+            {"edge": {(1, 2), (2, 3), (3, 4)}},
+        )
+        assert (1, 4) in db.relation("path")
+        assert len(db.relation("path")) == 6
+
+    def test_cyclic_graph_terminates(self):
+        db = run(
+            [
+                Rule(atom("path", X, Y), [atom("edge", X, Y)]),
+                Rule(atom("path", X, Z), [atom("path", X, Y), atom("edge", Y, Z)]),
+            ],
+            {"edge": {(1, 2), (2, 1)}},
+        )
+        assert len(db.relation("path")) == 4
+
+    def test_negation(self):
+        db = run(
+            [
+                Rule(atom("reach", X), [atom("start", X)]),
+                Rule(atom("reach", Y), [atom("reach", X), atom("edge", X, Y)]),
+                Rule(atom("isolated", X), [atom("node", X), negated("reach", X)]),
+            ],
+            {
+                "edge": {(1, 2)},
+                "start": {(1,)},
+                "node": {(1,), (2,), (3,)},
+            },
+        )
+        assert query(db, "isolated") == [(3,)]
+
+    def test_comparison_guards(self):
+        db = run(
+            [
+                Rule(
+                    atom("small", X),
+                    [atom("num", X), Comparison("<", X, 10)],
+                )
+            ],
+            {"num": {(5,), (15,)}},
+        )
+        assert query(db, "small") == [(5,)]
+
+    def test_let_computation(self):
+        db = run(
+            [
+                Rule(
+                    atom("double", X, Z),
+                    [atom("num", X), Let(Z, lambda v: v * 2, (X,))],
+                )
+            ],
+            {"num": {(3,), (4,)}},
+        )
+        assert query(db, "double") == [(3, 6), (4, 8)]
+
+    def test_constants_in_atoms(self):
+        db = run(
+            [Rule(atom("to_three", X), [atom("edge", X, 3)])],
+            {"edge": {(1, 3), (2, 4)}},
+        )
+        assert query(db, "to_three") == [(1,)]
+
+    def test_repeated_variable_in_atom(self):
+        db = run(
+            [Rule(atom("self_loop", X), [atom("edge", X, X)])],
+            {"edge": {(1, 1), (1, 2)}},
+        )
+        assert query(db, "self_loop") == [(1,)]
+
+    def test_counting_multiplicity_for_flat_strata(self):
+        # p(X) derivable two ways -> multiplicity 2 internally, still
+        # one row in the set view.
+        db = run(
+            [
+                Rule(atom("p", X), [atom("a", X)]),
+                Rule(atom("p", X), [atom("b", X)]),
+            ],
+            {"a": {(1,)}, "b": {(1,)}},
+        )
+        assert db.relation("p").multiplicity((1,)) == 2
+        assert len(db.relation("p")) == 1
+
+    def test_query_pattern(self):
+        db = run(
+            [Rule(atom("p", X, Y), [atom("e", X, Y)])],
+            {"e": {(1, 2), (1, 3), (2, 3)}},
+        )
+        assert query(db, "p", (1, None)) == [(1, 2), (1, 3)]
+
+    def test_arity_mismatch_rejected(self):
+        program = Program(
+            [
+                Rule(atom("p", X), [atom("e", X, Y)]),
+                Rule(atom("p", X), [atom("e", X)]),
+            ]
+        )
+        with pytest.raises(ValueError, match="arities"):
+            evaluate_program(program, Database())

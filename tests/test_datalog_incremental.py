@@ -1,0 +1,221 @@
+"""Incremental Datalog: counting + DRed against full re-evaluation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.ast import (
+    Comparison,
+    DatalogError,
+    Program,
+    Rule,
+    Variable,
+    atom,
+    negated,
+)
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate_program
+from repro.datalog.incremental import Delta, IncrementalProgram
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+TC_RULES = [
+    Rule(atom("path", X, Y), [atom("edge", X, Y)]),
+    Rule(atom("path", X, Z), [atom("path", X, Y), atom("edge", Y, Z)]),
+]
+NEG_RULES = TC_RULES + [
+    Rule(
+        atom("unreach", X, Y),
+        [atom("node", X), atom("node", Y), negated("path", X, Y)],
+    ),
+]
+
+
+def reference(rules, facts):
+    db = Database()
+    for name, rows in facts.items():
+        arity = len(next(iter(rows))) if rows else 2
+        db.relation(name, arity).load(rows)
+    evaluate_program(Program(rules), db)
+    return db
+
+
+class TestCounting:
+    """Non-recursive strata use the counting algorithm."""
+
+    RULES = [
+        Rule(atom("join", X, Z), [atom("r", X, Y), atom("s", Y, Z)]),
+        Rule(atom("filtered", X), [atom("r", X, Y), Comparison(">", Y, 5)]),
+    ]
+
+    def make(self, r_rows, s_rows):
+        db = Database()
+        db.relation("r", 2).load(r_rows)
+        db.relation("s", 2).load(s_rows)
+        return db, IncrementalProgram(Program(self.RULES), db)
+
+    def test_insert_propagates(self):
+        db, inc = self.make({(1, 2)}, {(2, 9)})
+        delta = inc.apply(inserts={"r": {(5, 2)}})
+        assert delta.inserted("join") == {(5, 9)}
+
+    def test_delete_propagates(self):
+        db, inc = self.make({(1, 2)}, {(2, 9)})
+        delta = inc.apply(deletes={"s": {(2, 9)}})
+        assert delta.deleted("join") == {(1, 9)}
+
+    def test_multi_derivation_survives_single_delete(self):
+        # join(1, 9) derivable through Y=2 and Y=3.
+        db, inc = self.make({(1, 2), (1, 3)}, {(2, 9), (3, 9)})
+        delta = inc.apply(deletes={"r": {(1, 2)}})
+        assert (1, 9) not in delta.deleted("join")
+        delta = inc.apply(deletes={"r": {(1, 3)}})
+        assert delta.deleted("join") == {(1, 9)}
+
+    def test_comparison_guard_respected(self):
+        db, inc = self.make({(1, 9)}, set())
+        assert (1,) in db.relation("filtered")
+        delta = inc.apply(inserts={"r": {(2, 3)}})
+        assert (2,) not in db.relation("filtered")
+        assert not delta.inserted("filtered")
+
+    def test_duplicate_edb_insert_is_noop(self):
+        db, inc = self.make({(1, 2)}, {(2, 9)})
+        delta = inc.apply(inserts={"r": {(1, 2)}})
+        assert delta.is_empty()
+
+    def test_delete_absent_row_is_noop(self):
+        db, inc = self.make({(1, 2)}, {(2, 9)})
+        delta = inc.apply(deletes={"r": {(7, 7)}})
+        assert delta.is_empty()
+
+    def test_insert_then_delete_in_one_batch(self):
+        db, inc = self.make({(1, 2)}, {(2, 9)})
+        delta = inc.apply(inserts={"r": {(4, 2)}}, deletes={"r": {(1, 2)}})
+        assert delta.inserted("join") == {(4, 9)}
+        assert delta.deleted("join") == {(1, 9)}
+
+    def test_idb_direct_change_rejected(self):
+        db, inc = self.make({(1, 2)}, {(2, 9)})
+        with pytest.raises(DatalogError, match="derived relation"):
+            inc.apply(inserts={"join": {(1, 1)}})
+
+
+class TestDRed:
+    """Recursive strata use delete/re-derive."""
+
+    def make(self, edges):
+        db = Database()
+        db.relation("edge", 2).load(edges)
+        return db, IncrementalProgram(Program(TC_RULES), db)
+
+    def test_deletion_with_alternate_path_rederives(self):
+        # 1->3 via 2 and directly.
+        db, inc = self.make({(1, 2), (2, 3), (1, 3)})
+        delta = inc.apply(deletes={"edge": {(1, 2)}})
+        assert (1, 3) not in delta.deleted("path")
+        assert (1, 2) in delta.deleted("path")
+
+    def test_deletion_breaks_chain(self):
+        db, inc = self.make({(1, 2), (2, 3), (3, 4)})
+        delta = inc.apply(deletes={"edge": {(2, 3)}})
+        assert delta.deleted("path") == {(2, 3), (1, 3), (2, 4), (1, 4)}
+
+    def test_cycle_deletion(self):
+        db, inc = self.make({(1, 2), (2, 1)})
+        inc.apply(deletes={"edge": {(2, 1)}})
+        assert db.relation("path").snapshot() == {(1, 2)}
+
+    def test_insertion_extends_closure(self):
+        db, inc = self.make({(1, 2), (3, 4)})
+        delta = inc.apply(inserts={"edge": {(2, 3)}})
+        assert delta.inserted("path") >= {(2, 3), (1, 3), (2, 4), (1, 4)}
+
+    def test_negation_across_strata(self):
+        db = Database()
+        db.relation("edge", 2).load({(1, 2)})
+        db.relation("node", 1).load({(1,), (2,), (3,)})
+        inc = IncrementalProgram(Program(NEG_RULES), db)
+        assert (1, 3) in db.relation("unreach")
+        delta = inc.apply(inserts={"edge": {(2, 3)}})
+        assert (1, 3) in delta.deleted("unreach")
+        delta = inc.apply(deletes={"edge": {(2, 3)}})
+        assert (1, 3) in delta.inserted("unreach")
+
+
+class TestDeltaType:
+    def test_from_flips_and_accessors(self):
+        delta = Delta.from_flips({"r": {(1,): 1, (2,): -1, (3,): 0}})
+        assert delta.inserted("r") == {(1,)}
+        assert delta.deleted("r") == {(2,)}
+        assert delta.touched_relations() == {"r"}
+        assert delta.size() == 2
+
+    def test_str(self):
+        delta = Delta.from_flips({"r": {(1,): 1}})
+        assert "r(+1/-0)" in str(delta)
+
+
+class TestRandomizedOracle:
+    """The headline property: incremental == from-scratch, always."""
+
+    def _run_stream(self, rules, nodes, seed, steps):
+        rng = random.Random(seed)
+        edges: set = set()
+        db = Database()
+        db.relation("edge", 2)
+        db.relation("node", 1).load({(n,) for n in range(nodes)})
+        inc = IncrementalProgram(Program(rules), db)
+        idb = {rule.head.relation for rule in rules}
+        for _step in range(steps):
+            ins, dels = set(), set()
+            for _ in range(rng.randint(1, 3)):
+                e = (rng.randrange(nodes), rng.randrange(nodes))
+                if e in edges and rng.random() < 0.5:
+                    dels.add(e)
+                else:
+                    ins.add(e)
+            ins -= dels
+            edges = (edges - dels) | ins
+            inc.apply(inserts={"edge": ins}, deletes={"edge": dels})
+            ref = reference(
+                rules, {"edge": edges, "node": {(n,) for n in range(nodes)}}
+            )
+            for relation in idb:
+                assert db.relation(relation).snapshot() == ref.relation(
+                    relation
+                ).snapshot(), (_step, relation)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tc_stream(self, seed):
+        self._run_stream(TC_RULES, nodes=7, seed=seed, steps=50)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_negation_stream(self, seed):
+        self._run_stream(NEG_RULES, nodes=6, seed=seed, steps=40)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.booleans()),
+        min_size=1, max_size=25,
+    ))
+    def test_hypothesis_stream(self, operations):
+        edges: set = set()
+        db = Database()
+        db.relation("edge", 2)
+        db.relation("node", 1).load({(n,) for n in range(5)})
+        inc = IncrementalProgram(Program(NEG_RULES), db)
+        for u, v, insert in operations:
+            if insert:
+                edges.add((u, v))
+                inc.apply(inserts={"edge": {(u, v)}})
+            else:
+                edges.discard((u, v))
+                inc.apply(deletes={"edge": {(u, v)}})
+        ref = Database()
+        ref.relation("edge", 2).load(edges)
+        ref.relation("node", 1).load({(n,) for n in range(5)})
+        evaluate_program(Program(NEG_RULES), ref)
+        assert db.relation("path").snapshot() == ref.relation("path").snapshot()
+        assert db.relation("unreach").snapshot() == ref.relation("unreach").snapshot()

@@ -1,0 +1,66 @@
+"""The Datalog network model vs. the specialized data-plane analysis."""
+
+from repro.controlplane.datalog_model import (
+    DatalogReachability,
+    forwarding_facts,
+    reachability_program,
+)
+from repro.controlplane.simulation import simulate
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.change import Change, LinkDown, LinkUp
+from repro.workloads.scenarios import fat_tree_ospf, line_static, ring_ospf
+
+
+class TestStaticValidation:
+    def test_matches_dataplane_on_ring(self):
+        state = simulate(ring_ospf(6).snapshot)
+        model = DatalogReachability(state.dataplane)
+        assert model.validate_against_dataplane()
+
+    def test_matches_dataplane_on_fat_tree(self):
+        state = simulate(fat_tree_ospf(4).snapshot)
+        model = DatalogReachability(state.dataplane)
+        assert model.validate_against_dataplane()
+
+    def test_program_shape(self):
+        program = reachability_program()
+        assert program.stratum_is_recursive(program.stratum_of["reach"])
+        assert program.edb_relations() == {"fwd", "delivers"}
+
+    def test_facts_cover_owners(self):
+        scenario = line_static(3)
+        state = simulate(scenario.snapshot)
+        _fwd, delivers = forwarding_facts(state.dataplane)
+        target = scenario.fabric.host_subnets["r2"][0]
+        atom = state.dataplane.atom_table.atom_containing(target.first + 1)
+        assert ((atom.lo, atom.hi), "r2") in delivers
+
+
+class TestIncrementalRefresh:
+    def test_refresh_after_link_flap(self):
+        scenario = ring_ospf(5)
+        analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
+        model = DatalogReachability(analyzer.state.dataplane)
+        for change in (
+            Change.of(LinkDown("r0", "r1")),
+            Change.of(LinkUp("r0", "r1")),
+        ):
+            analyzer.analyze(change)
+            dirty = list(analyzer.state.dataplane.atom_table.atoms())
+            model.refresh_atoms(dirty)
+            assert model.validate_against_dataplane()
+
+    def test_refresh_delta_is_scoped(self):
+        scenario = line_static(4)
+        analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
+        model = DatalogReachability(analyzer.state.dataplane)
+        report = analyzer.analyze(Change.of(LinkDown("r2", "r3")))
+        # Refresh only atoms the analyzer touched.
+        touched = [
+            analyzer.state.dataplane.atom_table.atom_containing(s.lo)
+            for s in report.reach_segments
+        ]
+        delta = model.refresh_atoms(touched)
+        assert not delta.is_empty()
+        # The datalog view of the touched atoms matches the dataplane.
+        assert model.validate_against_dataplane(touched)

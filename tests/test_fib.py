@@ -1,0 +1,99 @@
+"""FIB trie: LPM correctness against the linear-scan oracle."""
+
+from hypothesis import given, strategies as st
+
+from repro.controlplane.rib import NextHop
+from repro.dataplane.fib import Fib, FibEntry
+from repro.net.addr import Prefix
+
+
+def entry(prefix: str, target: str = "x") -> FibEntry:
+    return FibEntry(
+        Prefix(prefix), frozenset({NextHop(interface="eth0", neighbor=target)})
+    )
+
+
+class TestTrie:
+    def test_lpm_prefers_longer(self):
+        fib = Fib("r")
+        fib.install(entry("10.0.0.0/8", "coarse"))
+        fib.install(entry("10.1.0.0/16", "fine"))
+        hit = fib.lookup(Prefix("10.1.2.0/24").first)
+        assert next(iter(hit.next_hops)).neighbor == "fine"
+        hit = fib.lookup(Prefix("10.2.0.0/16").first)
+        assert next(iter(hit.next_hops)).neighbor == "coarse"
+
+    def test_no_match_returns_none(self):
+        fib = Fib("r")
+        fib.install(entry("10.0.0.0/8"))
+        assert fib.lookup(Prefix("11.0.0.0/8").first) is None
+
+    def test_default_route_matches_everything(self):
+        fib = Fib("r")
+        fib.install(entry("0.0.0.0/0", "default"))
+        assert fib.lookup(0) is not None
+        assert fib.lookup((1 << 32) - 1) is not None
+
+    def test_install_replaces(self):
+        fib = Fib("r")
+        previous = fib.install(entry("10.0.0.0/8", "one"))
+        assert previous is None
+        previous = fib.install(entry("10.0.0.0/8", "two"))
+        assert next(iter(previous.next_hops)).neighbor == "one"
+        assert len(fib) == 1
+
+    def test_remove(self):
+        fib = Fib("r")
+        fib.install(entry("10.0.0.0/8"))
+        fib.install(entry("10.1.0.0/16"))
+        removed = fib.remove(Prefix("10.1.0.0/16"))
+        assert removed is not None
+        assert fib.lookup(Prefix("10.1.0.0/16").first).prefix == Prefix("10.0.0.0/8")
+        assert fib.remove(Prefix("10.1.0.0/16")) is None
+
+    def test_entries_sorted(self):
+        fib = Fib("r")
+        fib.install(entry("10.1.0.0/16"))
+        fib.install(entry("10.0.0.0/8"))
+        prefixes = [e.prefix for e in fib.entries()]
+        assert prefixes == sorted(prefixes)
+
+    def test_entry_helpers(self):
+        drop = FibEntry(Prefix("10.0.0.0/8"), frozenset({NextHop(drop=True)}))
+        assert drop.is_drop()
+        fwd = entry("10.0.0.0/8", "n1")
+        assert fwd.forwards_to() == {"n1"}
+        assert not fwd.is_drop()
+
+
+_prefixes = st.builds(
+    Prefix,
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+@given(st.sets(_prefixes, max_size=25), st.lists(st.integers(0, (1 << 32) - 1), max_size=15))
+def test_trie_matches_linear_oracle(prefixes, probes):
+    fib = Fib("r")
+    for prefix in prefixes:
+        fib.install(entry(str(prefix)))
+    # Probe random points plus each prefix's boundaries.
+    points = set(probes)
+    for prefix in prefixes:
+        points.add(prefix.first)
+        points.add(prefix.last)
+    for point in points:
+        assert fib.lookup(point) == fib.lookup_linear(point)
+
+
+@given(st.sets(_prefixes, min_size=2, max_size=20))
+def test_trie_after_removals_matches_oracle(prefixes):
+    fib = Fib("r")
+    ordered = sorted(prefixes)
+    for prefix in ordered:
+        fib.install(entry(str(prefix)))
+    for prefix in ordered[::2]:
+        fib.remove(prefix)
+    for prefix in ordered:
+        assert fib.lookup(prefix.first) == fib.lookup_linear(prefix.first)

@@ -1,0 +1,97 @@
+"""OspfIncremental: surgical graph/advertisement maintenance."""
+
+from repro.controlplane.incremental import OspfDirty, OspfIncremental
+from repro.controlplane.simulation import simulate
+from repro.core.change import DisableOspfInterface, LinkDown, SetOspfCost
+from repro.workloads.scenarios import ring_ospf
+
+
+def fresh_state():
+    scenario = ring_ospf(5)
+    state = simulate(scenario.snapshot)
+    return scenario, state, OspfIncremental(state)
+
+
+class TestOspfDirty:
+    def test_merge(self):
+        a = OspfDirty(sources={("r0", 0)}, prefixes={0: {None}})
+        b = OspfDirty(sources={("r1", 0)}, prefixes={1: {None}})
+        a.merge(b)
+        assert a.sources == {("r0", 0), ("r1", 0)}
+        assert set(a.prefixes) == {0, 1}
+
+    def test_is_empty(self):
+        assert OspfDirty().is_empty()
+        assert not OspfDirty(sources={("r0", 0)}).is_empty()
+
+
+class TestRefreshPair:
+    def test_link_down_removes_edges(self):
+        scenario, state, incremental = fresh_state()
+        LinkDown("r0", "r1").apply(state.snapshot)
+        dirty = incremental.refresh_pair("r0", "r1")
+        graph = state.ospf_state.graphs[0]
+        assert graph.cost("r0", "r1") == float("inf")
+        assert graph.cost("r1", "r0") == float("inf")
+        affected = {router for router, _ in dirty.sources}
+        assert affected  # every ring source used that edge somewhere
+
+    def test_noop_refresh_reports_nothing(self):
+        _scenario, _state, incremental = fresh_state()
+        dirty = incremental.refresh_pair("r0", "r1")
+        assert dirty.is_empty()
+
+    def test_cost_change_updates_edge(self):
+        scenario, state, incremental = fresh_state()
+        link = state.snapshot.topology.find_link("r0", "r1")
+        local_if = link.endpoint_on("r0")[1]
+        SetOspfCost("r0", local_if, 42).apply(state.snapshot)
+        dirty = incremental.refresh_pair("r0", "r1")
+        graph = state.ospf_state.graphs[0]
+        assert graph.cost("r0", "r1") == 42
+        assert graph.cost("r1", "r0") == 10  # asymmetric: peer unchanged
+        assert not dirty.is_empty()
+
+    def test_ospf_disable_removes_direction(self):
+        scenario, state, incremental = fresh_state()
+        link = state.snapshot.topology.find_link("r0", "r1")
+        local_if = link.endpoint_on("r0")[1]
+        DisableOspfInterface("r0", local_if).apply(state.snapshot)
+        incremental.refresh_pair("r0", "r1")
+        graph = state.ospf_state.graphs[0]
+        # Adjacency needs both sides: both directions collapse.
+        assert graph.cost("r0", "r1") == float("inf")
+        assert graph.cost("r1", "r0") == float("inf")
+
+
+class TestRefreshAdverts:
+    def test_link_down_drops_p2p_subnet(self):
+        scenario, state, incremental = fresh_state()
+        link = state.snapshot.topology.find_link("r0", "r1")
+        local_if = link.endpoint_on("r0")[1]
+        subnet = state.snapshot.topology.router("r0").interface(local_if).subnet
+        LinkDown("r0", "r1").apply(state.snapshot)
+        dirty = incremental.refresh_router_adverts("r0")
+        assert subnet in dirty.prefixes[0]
+        assert subnet not in state.ospf_state.advertised[0]["r0"]
+
+    def test_unchanged_router_reports_nothing(self):
+        _scenario, _state, incremental = fresh_state()
+        dirty = incremental.refresh_router_adverts("r2")
+        assert dirty.is_empty()
+
+    def test_cost_change_updates_advert_cost(self):
+        scenario, state, incremental = fresh_state()
+        SetOspfCost("r0", "host0", 9).apply(state.snapshot)
+        dirty = incremental.refresh_router_adverts("r0")
+        host = scenario.fabric.host_subnets["r0"][0]
+        assert host in dirty.prefixes[0]
+        assert state.ospf_state.advertised[0]["r0"][host] == 9
+
+    def test_membership_dropped_when_ospf_gone(self):
+        scenario, state, incremental = fresh_state()
+        config = state.snapshot.configs["r0"]
+        for settings in config.ospf.interfaces.values():
+            settings.enabled = False
+        incremental.refresh_router_adverts("r0")
+        assert "r0" not in state.ospf_state.membership

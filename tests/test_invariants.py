@@ -1,0 +1,107 @@
+"""Differential invariant checking."""
+
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.delta import DeltaReport, ReachSegment
+from repro.core.invariants import (
+    BlackholeFreedom,
+    IsolationInvariant,
+    LoopFreedom,
+    ReachabilityInvariant,
+    check_invariants,
+)
+from repro.net.addr import Prefix
+from repro.workloads.changes import ChangeGenerator
+from repro.workloads.scenarios import line_static
+
+
+def report_with(segment: ReachSegment) -> DeltaReport:
+    report = DeltaReport("synthetic")
+    report.reach_segments = [segment]
+    return report
+
+
+PREFIX = Prefix("172.16.2.0/24")
+LO, HI = PREFIX.interval()
+
+
+class TestReachabilityInvariant:
+    def test_lost_pair_violates(self):
+        inv = ReachabilityInvariant("r0", "r2", PREFIX)
+        report = report_with(
+            ReachSegment(LO, HI, removed=frozenset({("r0", "r2")}))
+        )
+        (violation,) = inv.check(report)
+        assert not violation.repaired
+        assert "lost" in violation.detail
+
+    def test_regained_pair_reports_repair(self):
+        inv = ReachabilityInvariant("r0", "r2", PREFIX)
+        report = report_with(ReachSegment(LO, HI, added=frozenset({("r0", "r2")})))
+        (violation,) = inv.check(report)
+        assert violation.repaired
+
+    def test_non_overlapping_segment_ignored(self):
+        inv = ReachabilityInvariant("r0", "r2", Prefix("10.99.0.0/24"))
+        report = report_with(
+            ReachSegment(LO, HI, removed=frozenset({("r0", "r2")}))
+        )
+        assert inv.check(report) == []
+
+    def test_other_pairs_ignored(self):
+        inv = ReachabilityInvariant("r0", "r2", PREFIX)
+        report = report_with(
+            ReachSegment(LO, HI, removed=frozenset({("r1", "r2")}))
+        )
+        assert inv.check(report) == []
+
+
+class TestIsolationInvariant:
+    def test_leak_detected(self):
+        inv = IsolationInvariant("r0", "r2", PREFIX)
+        report = report_with(ReachSegment(LO, HI, added=frozenset({("r0", "r2")})))
+        (violation,) = inv.check(report)
+        assert "leak" in violation.detail and not violation.repaired
+
+
+class TestLoopAndBlackhole:
+    def test_loop_freedom(self):
+        report = report_with(ReachSegment(LO, HI, loops_added=frozenset({"r1"})))
+        (violation,) = LoopFreedom().check(report)
+        assert "r1" in violation.detail
+
+    def test_blackhole_monitored_scope(self):
+        inv = BlackholeFreedom(monitored=[Prefix("10.99.0.0/24")])
+        report = report_with(
+            ReachSegment(LO, HI, blackholes_added=frozenset({"r1"}))
+        )
+        assert inv.check(report) == []  # outside monitored space
+
+    def test_blackhole_allowed_routers_exempt(self):
+        inv = BlackholeFreedom(allowed=frozenset({"r1"}))
+        report = report_with(
+            ReachSegment(LO, HI, blackholes_added=frozenset({"r1"}))
+        )
+        assert inv.check(report) == []
+
+
+class TestEndToEnd:
+    def test_link_failure_trips_reachability(self):
+        scenario = line_static(3)
+        analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
+        target = scenario.fabric.host_subnets["r2"][0]
+        invariants = [
+            ReachabilityInvariant("r0", "r2", target),
+            LoopFreedom(),
+        ]
+        generator = ChangeGenerator(scenario, seed=1)
+        down, up = generator.random_link_failure()
+        # Force the specific failure between r1 and r2.
+        from repro.core.change import Change, LinkDown, LinkUp
+
+        report = analyzer.analyze(Change.of(LinkDown("r1", "r2")))
+        results = check_invariants(report, invariants)
+        assert any("reach" in name for name in results)
+        report = analyzer.analyze(Change.of(LinkUp("r1", "r2")))
+        results = check_invariants(report, invariants)
+        (violations,) = results.values()
+        assert all(v.repaired for v in violations)

@@ -1,0 +1,158 @@
+"""Dynamic SPF vs. from-scratch Dijkstra (the incremental-SPF oracle)."""
+
+import random
+
+import pytest
+
+from repro.controlplane.ispf import DynamicSpf
+from repro.controlplane.rib import NextHop
+from repro.controlplane.spf import INFINITY, SpfGraph, dijkstra, first_hops
+
+
+def nh(u: str, v: str) -> frozenset[NextHop]:
+    return frozenset({NextHop(interface=f"{u}:{v}", neighbor=v)})
+
+
+def assert_agrees(dynamic: DynamicSpf) -> None:
+    """Dynamic state must equal a fresh Dijkstra in every respect."""
+    dist, parents = dijkstra(dynamic.graph, dynamic.source)
+    assert dict(dynamic.dist) == dist
+    got_parents = {
+        node: frozenset(p) for node, p in dynamic.parents.items() if node in dist and p
+    }
+    ref_parents = {node: frozenset(p) for node, p in parents.items() if p}
+    assert got_parents == ref_parents
+    ref_fh = first_hops(dynamic.graph, dynamic.source, dist, parents)
+    got_fh = {node: v for node, v in dynamic.first_hops().items() if node in dist}
+    assert got_fh == ref_fh
+
+
+def chain(n: int) -> SpfGraph:
+    graph = SpfGraph()
+    for i in range(n - 1):
+        graph.set_edge(f"n{i}", f"n{i + 1}", 1, nh(f"n{i}", f"n{i + 1}"))
+        graph.set_edge(f"n{i + 1}", f"n{i}", 1, nh(f"n{i + 1}", f"n{i}"))
+    return graph
+
+
+class TestTargetedUpdates:
+    def test_removal_disconnects_suffix(self):
+        graph = chain(5)
+        dynamic = DynamicSpf(graph, "n0")
+        graph.remove_edge("n2", "n3")
+        changed = dynamic.edge_increased("n2", "n3")
+        assert {"n3", "n4"} <= changed
+        assert dynamic.distance("n4") == INFINITY
+        assert_agrees(dynamic)
+
+    def test_removal_off_tree_is_noop(self):
+        graph = chain(4)
+        graph.set_edge("n3", "n0", 100, nh("n3", "n0"))  # never used by n0
+        dynamic = DynamicSpf(graph, "n0")
+        graph.remove_edge("n3", "n0")
+        assert dynamic.edge_increased("n3", "n0") == set()
+        assert_agrees(dynamic)
+
+    def test_insert_creates_shortcut(self):
+        graph = chain(5)
+        dynamic = DynamicSpf(graph, "n0")
+        graph.set_edge("n0", "n4", 1, nh("n0", "n4"))
+        changed = dynamic.edge_decreased("n0", "n4")
+        assert "n4" in changed
+        assert dynamic.distance("n4") == 1
+        assert_agrees(dynamic)
+
+    def test_equal_cost_insert_adds_parent_only(self):
+        graph = SpfGraph()
+        graph.set_edge("a", "b", 1, nh("a", "b"))
+        graph.set_edge("a", "c", 1, nh("a", "c"))
+        graph.set_edge("b", "d", 1, nh("b", "d"))
+        dynamic = DynamicSpf(graph, "a")
+        graph.set_edge("c", "d", 1, nh("c", "d"))
+        changed = dynamic.edge_decreased("c", "d")
+        assert changed == {"d"}
+        assert dynamic.parents["d"] == {"b", "c"}
+        assert_agrees(dynamic)
+
+    def test_ecmp_member_removal_keeps_distance(self):
+        graph = SpfGraph()
+        for mid in ("b", "c"):
+            graph.set_edge("a", mid, 1, nh("a", mid))
+            graph.set_edge(mid, "d", 1, nh(mid, "d"))
+        dynamic = DynamicSpf(graph, "a")
+        graph.remove_edge("b", "d")
+        changed = dynamic.edge_increased("b", "d")
+        assert "d" in changed
+        assert dynamic.distance("d") == 2
+        assert dynamic.first_hops()["d"] == nh("a", "c")
+        assert_agrees(dynamic)
+
+    def test_cost_increase_reroutes(self):
+        graph = SpfGraph()
+        graph.set_edge("a", "b", 1, nh("a", "b"))
+        graph.set_edge("a", "c", 5, nh("a", "c"))
+        graph.set_edge("c", "b", 1, nh("c", "b"))
+        dynamic = DynamicSpf(graph, "a")
+        graph.set_edge("a", "b", 10, nh("a", "b"))
+        dynamic.edge_increased("a", "b")
+        assert dynamic.distance("b") == 6
+        assert_agrees(dynamic)
+
+    def test_update_into_source_ignored(self):
+        graph = chain(3)
+        dynamic = DynamicSpf(graph, "n0")
+        graph.set_edge("n2", "n0", 1, nh("n2", "n0"))
+        assert dynamic.edge_decreased("n2", "n0") == set()
+        assert_agrees(dynamic)
+
+    def test_affected_by(self):
+        graph = chain(4)
+        dynamic = DynamicSpf(graph, "n0")
+        assert dynamic.affected_by("n1", "n2")
+        assert not dynamic.affected_by("n2", "n1")
+
+    def test_rebuild_matches(self):
+        graph = chain(4)
+        dynamic = DynamicSpf(graph, "n0")
+        graph.remove_edge("n1", "n2")
+        dynamic.rebuild()
+        assert_agrees(dynamic)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_randomized_update_stream(seed):
+    """Random mixed updates against the from-scratch oracle."""
+    rng = random.Random(seed)
+    nodes = [f"n{i}" for i in range(10)]
+    graph = SpfGraph()
+    for node in nodes:
+        graph.add_node(node)
+    edges: dict[tuple[str, str], int] = {}
+    for _ in range(22):
+        u, v = rng.sample(nodes, 2)
+        cost = rng.randint(1, 6)
+        edges[(u, v)] = cost
+        graph.set_edge(u, v, cost, nh(u, v))
+    sources = nodes[:3]
+    dynamics = {s: DynamicSpf(graph, s) for s in sources}
+    for _step in range(60):
+        action = rng.random()
+        if edges and action < 0.4:
+            u, v = rng.choice(list(edges))
+            del edges[(u, v)]
+            graph.remove_edge(u, v)
+            for s in sources:
+                dynamics[s].edge_increased(u, v)
+        else:
+            u, v = rng.sample(nodes, 2)
+            old = edges.get((u, v))
+            cost = rng.randint(1, 6)
+            edges[(u, v)] = cost
+            graph.set_edge(u, v, cost, nh(u, v))
+            for s in sources:
+                if old is None or cost < old:
+                    dynamics[s].edge_decreased(u, v)
+                elif cost > old:
+                    dynamics[s].edge_increased(u, v)
+        for s in sources:
+            assert_agrees(dynamics[s])

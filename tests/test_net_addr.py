@@ -1,0 +1,141 @@
+"""IPv4 address and prefix semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import (
+    DEFAULT_ROUTE,
+    AddressError,
+    IPv4Address,
+    Prefix,
+    iter_subprefixes,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestIPv4Address:
+    def test_parses_dotted_quad(self):
+        assert IPv4Address("10.1.2.3").value == (10 << 24) | (1 << 16) | (2 << 8) | 3
+
+    def test_formats_dotted_quad(self):
+        assert str(IPv4Address(0xC0A80001)) == "192.168.0.1"
+
+    def test_rejects_bad_octet(self):
+        with pytest.raises(AddressError):
+            IPv4Address("10.1.2.300")
+
+    def test_rejects_short_quad(self):
+        with pytest.raises(AddressError):
+            IPv4Address("10.1.2")
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+
+    def test_ordering_and_equality(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+        assert IPv4Address("10.0.0.1") == IPv4Address(0x0A000001)
+
+    def test_immutable(self):
+        address = IPv4Address(1)
+        with pytest.raises(AttributeError):
+            address.value = 2  # type: ignore[misc]
+
+    def test_addition(self):
+        assert (IPv4Address("10.0.0.1") + 5) == IPv4Address("10.0.0.6")
+
+    @given(addresses)
+    def test_string_round_trip(self, value):
+        assert IPv4Address(str(IPv4Address(value))).value == value
+
+
+class TestPrefix:
+    def test_parse_cidr(self):
+        prefix = Prefix("10.1.0.0/16")
+        assert prefix.length == 16
+        assert str(prefix) == "10.1.0.0/16"
+
+    def test_host_bits_masked(self):
+        assert Prefix("10.1.2.3/16") == Prefix("10.1.0.0/16")
+
+    def test_interval(self):
+        prefix = Prefix("10.0.0.0/30")
+        lo, hi = prefix.interval()
+        assert hi - lo == 4
+        assert prefix.first == lo and prefix.last == hi - 1
+
+    def test_contains_address(self):
+        prefix = Prefix("10.1.0.0/16")
+        assert prefix.contains_address(IPv4Address("10.1.200.7"))
+        assert not prefix.contains_address(IPv4Address("10.2.0.0"))
+
+    def test_contains_prefix(self):
+        assert Prefix("10.0.0.0/8").contains_prefix(Prefix("10.1.0.0/16"))
+        assert not Prefix("10.1.0.0/16").contains_prefix(Prefix("10.0.0.0/8"))
+
+    def test_overlaps(self):
+        assert Prefix("10.0.0.0/8").overlaps(Prefix("10.1.0.0/16"))
+        assert not Prefix("10.0.0.0/16").overlaps(Prefix("10.1.0.0/16"))
+
+    def test_parent_children_inverse(self):
+        prefix = Prefix("10.1.2.0/24")
+        low, high = prefix.children()
+        assert low.parent() == prefix and high.parent() == prefix
+        assert low.length == 25 and high.length == 25
+        assert low.first == prefix.first
+        assert high.last == prefix.last
+
+    def test_default_route_has_no_parent(self):
+        with pytest.raises(AddressError):
+            DEFAULT_ROUTE.parent()
+
+    def test_host_prefix_has_no_children(self):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.1/32").children()
+
+    def test_bit(self):
+        prefix = Prefix("128.0.0.0/1")
+        assert prefix.bit(0) == 1
+        assert Prefix("64.0.0.0/2").bit(0) == 0
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0/33")
+
+    def test_iter_subprefixes(self):
+        subs = list(iter_subprefixes(Prefix("10.0.0.0/22"), 24))
+        assert len(subs) == 4
+        assert subs[0] == Prefix("10.0.0.0/24")
+        assert subs[-1] == Prefix("10.0.3.0/24")
+
+    def test_iter_subprefixes_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            list(iter_subprefixes(Prefix("10.0.0.0/24"), 16))
+
+    @given(addresses, lengths)
+    def test_network_has_no_host_bits(self, value, length):
+        prefix = Prefix(value, length)
+        assert prefix.network & ~prefix.mask == 0
+
+    @given(addresses, lengths)
+    def test_children_partition_parent(self, value, length):
+        prefix = Prefix(value, length)
+        if length == 32:
+            return
+        low, high = prefix.children()
+        assert low.size + high.size == prefix.size
+        assert low.last + 1 == high.first
+
+    @given(addresses, st.integers(min_value=1, max_value=32))
+    def test_contains_is_interval_membership(self, value, length):
+        prefix = Prefix(value, length)
+        assert prefix.contains_address(prefix.first)
+        assert prefix.contains_address(prefix.last)
+        if prefix.first > 0:
+            assert not prefix.contains_address(prefix.first - 1)
+        if prefix.last < (1 << 32) - 1:
+            assert not prefix.contains_address(prefix.last + 1)

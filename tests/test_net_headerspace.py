@@ -1,0 +1,83 @@
+"""Header space algebra."""
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderSpace, field_full, union_of_dst
+from repro.net.interval import IntervalSet
+
+
+class TestConstruction:
+    def test_full_matches_everything(self):
+        packet = {"src": 1, "dst": 2, "proto": 6, "dport": 80}
+        assert HeaderSpace.full().contains_packet(packet)
+
+    def test_empty_matches_nothing(self):
+        assert HeaderSpace.empty().is_empty()
+        assert not HeaderSpace.empty().contains_packet(
+            {"src": 1, "dst": 2, "proto": 6, "dport": 80}
+        )
+
+    def test_empty_field_collapses_whole_space(self):
+        space = HeaderSpace({"dst": IntervalSet.empty()})
+        assert space.is_empty()
+
+    def test_full_field_kept_implicit(self):
+        space = HeaderSpace({"proto": field_full("proto")})
+        assert space.constrained_fields() == ()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            HeaderSpace({"ttl": IntervalSet.point(3)})
+
+    def test_dst_prefix(self):
+        space = HeaderSpace.dst_prefix(Prefix("10.0.0.0/24"))
+        assert space.contains_packet({"src": 0, "dst": Prefix("10.0.0.0/24").first + 9, "proto": 0, "dport": 0})
+        assert not space.contains_packet({"src": 0, "dst": 0, "proto": 0, "dport": 0})
+
+    def test_dport_range_inclusive(self):
+        space = HeaderSpace.dport_range(80, 81)
+        assert space.field("dport").contains(80)
+        assert space.field("dport").contains(81)
+        assert not space.field("dport").contains(82)
+
+
+class TestAlgebra:
+    def test_intersect_narrows(self):
+        a = HeaderSpace.dst_prefix(Prefix("10.0.0.0/8"))
+        b = HeaderSpace.dst_prefix(Prefix("10.1.0.0/16"))
+        both = a.intersect(b)
+        assert both.field("dst") == b.field("dst")
+
+    def test_disjoint_intersection_empty(self):
+        a = HeaderSpace.dst_prefix(Prefix("10.0.0.0/16"))
+        b = HeaderSpace.dst_prefix(Prefix("10.1.0.0/16"))
+        assert a.intersect(b).is_empty()
+        assert not a.overlaps(b)
+
+    def test_intersect_across_fields(self):
+        a = HeaderSpace.protocol(6)
+        b = HeaderSpace.dport_range(80, 80)
+        both = a.intersect(b)
+        assert both.constrained_fields() == ("proto", "dport")
+
+    def test_subtract_field(self):
+        a = HeaderSpace.dst_prefix(Prefix("10.0.0.0/24"))
+        lo, hi = Prefix("10.0.0.0/25").interval()
+        remaining = a.subtract_field("dst", IntervalSet.span(lo, hi))
+        assert remaining.field("dst").size == 128
+
+    def test_union_of_dst(self):
+        spaces = [
+            HeaderSpace.dst_prefix(Prefix("10.0.0.0/24")),
+            HeaderSpace.dst_prefix(Prefix("10.0.1.0/24")),
+            HeaderSpace.empty(),
+        ]
+        union = union_of_dst(spaces)
+        assert union.size == 512
+
+    def test_equality_and_hash(self):
+        a = HeaderSpace.protocol(6)
+        b = HeaderSpace({"proto": IntervalSet.point(6)})
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,117 @@
+"""Interval set algebra, checked against a point-set model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.interval import FULL_SPAN, Interval, IntervalSet, cut_points
+
+# Small universe so point-model comparisons stay cheap.
+UNIVERSE = 64
+pairs = st.tuples(
+    st.integers(min_value=0, max_value=UNIVERSE),
+    st.integers(min_value=0, max_value=UNIVERSE),
+).map(lambda t: (min(t), max(t)))
+interval_sets = st.lists(pairs, max_size=6).map(IntervalSet)
+
+
+def points_of(interval_set: IntervalSet) -> set[int]:
+    """The point-set model, restricted to the small universe."""
+    return {
+        p
+        for lo, hi in interval_set.pairs
+        for p in range(lo, min(hi, UNIVERSE + 2))
+    }
+
+
+class TestInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+
+    def test_contains(self):
+        interval = Interval(2, 5)
+        assert interval.contains(2) and interval.contains(4)
+        assert not interval.contains(5)
+
+    def test_intersection(self):
+        assert Interval(0, 10).intersection(Interval(5, 15)) == Interval(5, 10)
+        assert Interval(0, 5).intersection(Interval(5, 10)) is None
+
+    def test_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(9, 12))
+        assert not Interval(0, 10).overlaps(Interval(10, 12))
+
+
+class TestIntervalSetBasics:
+    def test_normalizes_overlapping(self):
+        merged = IntervalSet([(0, 5), (3, 8), (8, 10)])
+        assert merged.pairs == ((0, 10),)
+
+    def test_drops_empty_pairs(self):
+        assert IntervalSet([(5, 5), (7, 6)]).is_empty()
+
+    def test_point_and_span(self):
+        assert IntervalSet.point(7).size == 1
+        assert IntervalSet.span(0, 10).size == 10
+
+    def test_contains_binary_search(self):
+        s = IntervalSet([(0, 5), (10, 15)])
+        assert s.contains(0) and s.contains(14)
+        assert not s.contains(5) and not s.contains(9)
+
+    def test_min_point(self):
+        assert IntervalSet([(10, 15), (3, 4)]).min_point() == 3
+        with pytest.raises(ValueError):
+            IntervalSet().min_point()
+
+    def test_complement_of_empty_is_full(self):
+        assert IntervalSet().complement() == IntervalSet([FULL_SPAN])
+
+    def test_hashable_and_equal(self):
+        assert hash(IntervalSet([(0, 5)])) == hash(IntervalSet([(0, 3), (3, 5)]))
+
+    def test_sample_points(self):
+        s = IntervalSet([(0, 10)])
+        assert s.sample_points() == [0]
+        assert set(s.sample_points(3)) == {0, 5, 9}
+
+    def test_cut_points(self):
+        points = cut_points([IntervalSet([(5, 10)]), IntervalSet([(8, 20)])])
+        assert {5, 8, 10, 20} <= set(points)
+        assert points == sorted(points)
+
+
+class TestIntervalSetAlgebra:
+    @given(interval_sets, interval_sets)
+    def test_union_model(self, a, b):
+        assert points_of(a.union(b)) == points_of(a) | points_of(b)
+
+    @given(interval_sets, interval_sets)
+    def test_intersection_model(self, a, b):
+        assert points_of(a.intersection(b)) == points_of(a) & points_of(b)
+
+    @given(interval_sets, interval_sets)
+    def test_difference_model(self, a, b):
+        assert points_of(a.difference(b)) == points_of(a) - points_of(b)
+
+    @given(interval_sets)
+    def test_complement_involution(self, a):
+        assert a.complement().complement() == a
+
+    @given(interval_sets, interval_sets)
+    def test_overlaps_agrees_with_intersection(self, a, b):
+        assert a.overlaps(b) == (not a.intersection(b).is_empty())
+
+    @given(interval_sets, interval_sets)
+    def test_issubset_model(self, a, b):
+        assert a.issubset(b) == a.difference(b).is_empty()
+
+    @given(interval_sets)
+    def test_size_consistent_with_pairs(self, a):
+        assert a.size == sum(hi - lo for lo, hi in a.pairs)
+
+    @given(interval_sets)
+    def test_pairs_sorted_disjoint(self, a):
+        pairs = a.pairs
+        for (lo1, hi1), (lo2, hi2) in zip(pairs, pairs[1:]):
+            assert hi1 < lo2  # disjoint AND non-adjacent (coalesced)

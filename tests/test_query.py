@@ -1,0 +1,147 @@
+"""Packet tracing and path diff queries."""
+
+import pytest
+
+from repro.config.acl import Acl, AclAction, AclRule
+from repro.config.routing import StaticRouteConfig
+from repro.controlplane.simulation import simulate
+from repro.core.change import AddStaticRoute, Change, LinkDown
+from repro.net.addr import Prefix
+from repro.query.paths import forwarding_paths, path_diff
+from repro.query.trace import TraceOutcome, trace_packet
+from repro.workloads.scenarios import fat_tree_ospf, line_static, ring_ospf
+
+
+@pytest.fixture()
+def line4():
+    scenario = line_static(4)
+    return scenario, simulate(scenario.snapshot)
+
+
+class TestTrace:
+    def test_delivery_along_chain(self, line4):
+        scenario, state = line4
+        target = scenario.fabric.host_subnets["r3"][0]
+        trace = trace_packet(state, "r0", {"dst": target.first + 7})
+        assert trace.is_delivered()
+        assert trace.delivered_at() == {"r3"}
+        routers_on_path = [hop.router for hop in trace.hops]
+        assert routers_on_path[0] == "r0"
+        assert "r3" in routers_on_path
+
+    def test_no_route(self, line4):
+        _scenario, state = line4
+        trace = trace_packet(state, "r0", {"dst": Prefix("203.0.113.0/24").first})
+        assert trace.fates() == {TraceOutcome.NO_ROUTE}
+
+    def test_null_route_drop(self, line4):
+        scenario, _state = line4
+        snapshot = scenario.snapshot.clone()
+        snapshot.config("r0").add_static_route(
+            StaticRouteConfig(Prefix("198.51.100.0/24"), drop=True)
+        )
+        state = simulate(snapshot)
+        trace = trace_packet(state, "r0", {"dst": Prefix("198.51.100.0/24").first})
+        assert trace.fates() == {TraceOutcome.DROPPED_NULL}
+
+    def test_four_field_acl_exact(self, line4):
+        """The tracer honours src/proto/port constraints the atom view
+        treats as MIXED."""
+        scenario, _state = line4
+        snapshot = scenario.snapshot.clone()
+        target = scenario.fabric.host_subnets["r3"][0]
+        config = snapshot.config("r1")
+        config.acls["WEB"] = Acl(
+            "WEB",
+            [
+                AclRule(
+                    AclAction.DENY, dst=target, proto=6, dport_lo=80, dport_hi=80
+                ),
+                AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0")),
+            ],
+        )
+        config.ensure_interface("eth1").acl_out = "WEB"
+        state = simulate(snapshot)
+        web = {"dst": target.first + 1, "proto": 6, "dport": 80}
+        ssh = {"dst": target.first + 1, "proto": 6, "dport": 22}
+        assert trace_packet(state, "r0", web).fates() == {TraceOutcome.DROPPED_ACL}
+        assert trace_packet(state, "r0", ssh).is_delivered()
+
+    def test_loop_detection(self):
+        scenario = line_static(2)
+        snapshot = scenario.snapshot
+        prefix = Prefix("198.51.100.0/24")
+        r1_ip = snapshot.topology.interface_peer("r0", "eth1").address
+        r0_ip = snapshot.topology.interface_peer("r1", "eth0").address
+        Change.of(
+            AddStaticRoute("r0", StaticRouteConfig(prefix, next_hop=r1_ip)),
+            AddStaticRoute("r1", StaticRouteConfig(prefix, next_hop=r0_ip)),
+        ).apply(snapshot)
+        state = simulate(snapshot)
+        trace = trace_packet(state, "r0", {"dst": prefix.first})
+        assert TraceOutcome.LOOP in trace.fates()
+
+    def test_ecmp_explores_all_branches(self):
+        scenario = fat_tree_ospf(4)
+        state = simulate(scenario.snapshot)
+        target = scenario.fabric.host_subnets["edge1_0"][0]
+        trace = trace_packet(state, "edge0_0", {"dst": target.first + 1})
+        assert trace.is_delivered()
+        forwarded_via = {
+            hop.action.rsplit(" ", 1)[-1]
+            for hop in trace.hops
+            if hop.router == "edge0_0" and "forward" in hop.action
+        }
+        assert forwarded_via == {"agg0_0", "agg0_1"}
+
+    def test_trace_agrees_with_atom_reachability(self):
+        scenario = ring_ospf(6)
+        state = simulate(scenario.snapshot, precompute_reachability=True)
+        for owner, subnets in scenario.fabric.host_subnets.items():
+            address = subnets[0].first + 1
+            atom = state.dataplane.atom_table.atom_containing(address)
+            reach = state.reachability.for_atom(atom)
+            for source in scenario.topology.router_names():
+                traced = trace_packet(state, source, {"dst": address})
+                assert traced.is_delivered() == reach.reaches(source, owner)
+
+    def test_requires_dst(self, line4):
+        _scenario, state = line4
+        with pytest.raises(ValueError, match="dst"):
+            trace_packet(state, "r0", {"src": 1})
+
+    def test_render(self, line4):
+        scenario, state = line4
+        target = scenario.fabric.host_subnets["r3"][0]
+        text = trace_packet(state, "r0", {"dst": target.first}).render()
+        assert "trace from r0" in text and "delivered" in text
+
+
+class TestPathDiff:
+    def test_reroute_reported(self):
+        scenario = ring_ospf(6)
+        before = simulate(scenario.snapshot)
+        changed = scenario.snapshot.clone()
+        LinkDown("r0", "r1").apply(changed)
+        after = simulate(changed)
+        target = scenario.fabric.host_subnets["r1"][0]
+        diff = path_diff(before, after, "r0", target.first + 1)
+        assert ("r0", "r1") in diff.removed_edges
+        assert diff.reachable_before and diff.reachable_after
+        assert "no longer via" in str(diff)
+
+    def test_unchanged_path_empty_diff(self):
+        scenario = ring_ospf(6)
+        state = simulate(scenario.snapshot)
+        target = scenario.fabric.host_subnets["r3"][0]
+        diff = path_diff(state, state, "r0", target.first + 1)
+        assert diff.is_empty()
+        assert str(diff) == "unchanged"
+
+    def test_forwarding_paths_delivery_flag(self):
+        scenario = line_static(3)
+        state = simulate(scenario.snapshot)
+        target = scenario.fabric.host_subnets["r2"][0]
+        edges, delivered = forwarding_paths(state, "r0", target.first + 1)
+        assert delivered
+        assert edges == {("r0", "r1"), ("r1", "r2")}

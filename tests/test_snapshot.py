@@ -1,0 +1,69 @@
+"""Snapshot persistence and cloning."""
+
+import pytest
+
+from repro.core.snapshot import Snapshot, parse_topology, serialize_topology
+from repro.core.change import LinkDown
+from repro.topology.model import TopologyError
+from repro.workloads.scenarios import internet2_bgp, line_static
+
+
+class TestCloning:
+    def test_clone_isolates_configs(self):
+        scenario = line_static(3)
+        copy = scenario.snapshot.clone()
+        copy.config("r0").static_routes.clear()
+        assert scenario.snapshot.config("r0").static_routes
+
+    def test_clone_isolates_topology(self):
+        scenario = line_static(3)
+        copy = scenario.snapshot.clone()
+        LinkDown("r0", "r1").apply(copy)
+        assert scenario.snapshot.topology.num_links() == 2
+
+    def test_config_accessor_validates_router(self):
+        scenario = line_static(2)
+        with pytest.raises(TopologyError):
+            scenario.snapshot.config("ghost")
+
+
+class TestTopologyText:
+    def test_round_trip(self):
+        scenario = internet2_bgp()
+        text = serialize_topology(scenario.snapshot.topology)
+        parsed = parse_topology(text)
+        assert serialize_topology(parsed) == text
+
+    def test_down_links_preserved(self):
+        scenario = line_static(3)
+        LinkDown("r0", "r1").apply(scenario.snapshot)
+        text = serialize_topology(scenario.snapshot.topology)
+        parsed = parse_topology(text)
+        assert parsed.num_links() == 1
+        assert parsed.num_links(include_disabled=True) == 2
+
+    def test_parse_error_on_garbage(self):
+        with pytest.raises(TopologyError, match="bad topology line"):
+            parse_topology("nonsense here\n")
+
+
+class TestDirectoryRoundTrip:
+    def test_save_load(self, tmp_path):
+        scenario = internet2_bgp()
+        directory = str(tmp_path / "snap")
+        scenario.snapshot.save(directory)
+        loaded = Snapshot.load(directory)
+        assert set(loaded.configs) == set(scenario.snapshot.configs)
+        assert (
+            loaded.topology.num_links()
+            == scenario.snapshot.topology.num_links()
+        )
+        # Loaded snapshot must simulate identically.
+        from repro.controlplane.simulation import simulate
+
+        original = simulate(scenario.snapshot)
+        reloaded = simulate(loaded)
+        for router in scenario.snapshot.topology.router_names():
+            assert set(original.fibs[router].entries()) == set(
+                reloaded.fibs[router].entries()
+            )

@@ -1,0 +1,179 @@
+"""Topology model and generators."""
+
+import pytest
+
+from repro.net.addr import IPv4Address, Prefix
+from repro.topology.generators import (
+    fat_tree,
+    grid,
+    internet2,
+    line,
+    random_gnm,
+    ring,
+    star,
+)
+from repro.topology.model import Link, Topology, TopologyError, validate_addressing
+
+
+def tiny_topology() -> Topology:
+    topology = Topology()
+    topology.add_interface("a", "eth0", IPv4Address("10.0.0.0"), 31)
+    topology.add_interface("b", "eth0", IPv4Address("10.0.0.1"), 31)
+    topology.add_link("a", "eth0", "b", "eth0")
+    return topology
+
+
+class TestModel:
+    def test_duplicate_interface_rejected(self):
+        topology = Topology()
+        topology.add_interface("a", "eth0")
+        with pytest.raises(TopologyError):
+            topology.add_interface("a", "eth0")
+
+    def test_link_requires_existing_interfaces(self):
+        topology = Topology()
+        topology.add_interface("a", "eth0")
+        with pytest.raises(TopologyError):
+            topology.add_link("a", "eth0", "b", "eth0")
+
+    def test_interface_single_cable(self):
+        topology = tiny_topology()
+        topology.add_interface("c", "eth0")
+        with pytest.raises(TopologyError):
+            topology.add_link("a", "eth0", "c", "eth0")
+
+    def test_link_canonical_order(self):
+        assert Link.of(("b", "x"), ("a", "y")) == Link.of(("a", "y"), ("b", "x"))
+
+    def test_link_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Link.of(("a", "x"), ("a", "x"))
+
+    def test_other_end(self):
+        link = Link.of(("a", "x"), ("b", "y"))
+        assert link.other_end("a") == ("b", "y")
+        assert link.other_end("b") == ("a", "x")
+        with pytest.raises(TopologyError):
+            link.other_end("c")
+
+    def test_neighbors_respect_link_state(self):
+        topology = tiny_topology()
+        assert [n for n, _ in topology.neighbors("a")] == ["b"]
+        link = next(topology.links())
+        topology.set_link_enabled(link, False)
+        assert list(topology.neighbors("a")) == []
+        assert topology.num_links() == 0
+        assert topology.num_links(include_disabled=True) == 1
+
+    def test_interface_peer(self):
+        topology = tiny_topology()
+        peer = topology.interface_peer("a", "eth0")
+        assert peer is not None and peer.router == "b"
+
+    def test_connected_subnets(self):
+        topology = tiny_topology()
+        subnets = dict(
+            (i.name, s) for i, s in topology.connected_subnets("a")
+        )
+        assert subnets["eth0"] == Prefix("10.0.0.0/31")
+
+    def test_clone_is_independent(self):
+        topology = tiny_topology()
+        copy = topology.clone()
+        link = next(copy.links())
+        copy.set_link_enabled(link, False)
+        assert topology.num_links() == 1
+        assert copy.num_links() == 0
+
+    def test_validate_addressing_flags_mismatch(self):
+        topology = Topology()
+        topology.add_interface("a", "eth0", IPv4Address("10.0.0.0"), 31)
+        topology.add_interface("b", "eth0", IPv4Address("10.0.9.1"), 31)
+        topology.add_link("a", "eth0", "b", "eth0")
+        problems = validate_addressing(topology)
+        assert len(problems) == 1 and "mismatch" in problems[0]
+
+    def test_validate_addressing_clean_generators(self):
+        assert validate_addressing(fat_tree(4).topology) == []
+        assert validate_addressing(internet2().topology) == []
+
+
+class TestGenerators:
+    def test_fat_tree_counts(self):
+        fabric = fat_tree(4)
+        assert fabric.topology.num_routers() == 20  # 4 core + 8 agg + 8 edge
+        assert len(fabric.routers_with_role("core")) == 4
+        assert len(fabric.routers_with_role("agg")) == 8
+        assert len(fabric.routers_with_role("edge")) == 8
+        # k^3/4 * ... links: edge-agg = k * (k/2)^2 = 16, agg-core = 16
+        assert fabric.topology.num_links() == 32
+
+    def test_fat_tree_host_subnets(self):
+        fabric = fat_tree(4, host_subnets_per_edge=2)
+        assert all(len(v) == 2 for v in fabric.host_subnets.values())
+        assert len(fabric.all_host_subnets()) == 16
+
+    def test_fat_tree_rejects_odd_k(self):
+        with pytest.raises(TopologyError):
+            fat_tree(5)
+
+    def test_fat_tree_pods(self):
+        fabric = fat_tree(6)
+        assert len(fabric.pods) == 6
+        assert all(len(members) == 6 for members in fabric.pods.values())
+
+    def test_internet2_shape(self):
+        fabric = internet2()
+        assert fabric.topology.num_routers() == 9
+        assert fabric.topology.num_links() == 12
+
+    def test_line_and_ring(self):
+        assert line(5).topology.num_links() == 4
+        assert ring(5).topology.num_links() == 5
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_star(self):
+        fabric = star(6)
+        assert fabric.topology.num_routers() == 7
+        assert fabric.topology.num_links() == 6
+
+    def test_grid(self):
+        fabric = grid(3, 4)
+        assert fabric.topology.num_routers() == 12
+        assert fabric.topology.num_links() == 3 * 3 + 2 * 4  # vertical + horizontal
+
+    def test_random_connected(self):
+        fabric = random_gnm(15, 5, seed=7)
+        # Spanning tree + extras.
+        assert fabric.topology.num_links() == 14 + 5
+        # Connectivity: BFS over links.
+        seen = {"r0"}
+        frontier = ["r0"]
+        while frontier:
+            node = frontier.pop()
+            for neighbor, _link in fabric.topology.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert len(seen) == 15
+
+    def test_random_deterministic(self):
+        a = random_gnm(10, 4, seed=9)
+        b = random_gnm(10, 4, seed=9)
+        links_a = {str(link) for link in a.topology.links()}
+        links_b = {str(link) for link in b.topology.links()}
+        assert links_a == links_b
+
+    def test_unique_p2p_subnets(self):
+        fabric = fat_tree(4)
+        subnets = []
+        for router in fabric.topology.routers():
+            for interface in router.interfaces.values():
+                if interface.prefix_length == 31:
+                    subnets.append(interface.subnet)
+        # Each /31 appears exactly twice (both ends of one link).
+        from collections import Counter
+
+        counts = Counter(subnets)
+        assert all(count == 2 for count in counts.values())

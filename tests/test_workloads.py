@@ -1,0 +1,145 @@
+"""Scenario builders and change generators."""
+
+import pytest
+
+from repro.controlplane.simulation import simulate
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.workloads.changes import ChangeGenerator
+from repro.workloads.scenarios import (
+    fat_tree_ospf,
+    internet2_bgp,
+    line_static,
+    random_ospf,
+    ring_ospf,
+)
+
+
+class TestScenarios:
+    def test_fat_tree_full_reachability(self):
+        scenario = fat_tree_ospf(4)
+        state = simulate(scenario.snapshot, precompute_reachability=True)
+        routers = scenario.topology.num_routers()
+        for edge, subnets in scenario.fabric.host_subnets.items():
+            for subnet in subnets:
+                atom = state.dataplane.atom_table.atom_containing(subnet.first + 1)
+                reach = state.reachability.for_atom(atom)
+                assert reach.owners == {edge}
+                assert len(reach.sources[edge]) == routers
+
+    def test_internet2_customers_reach_each_other(self):
+        scenario = internet2_bgp()
+        state = simulate(scenario.snapshot, precompute_reachability=True)
+        subnet = scenario.fabric.host_subnets["cust_dual"][0]
+        atom = state.dataplane.atom_table.atom_containing(subnet.first + 1)
+        reach = state.reachability.for_atom(atom)
+        assert "cust_newy0" in reach.sources["cust_dual"]
+
+    def test_line_static_symmetric(self):
+        scenario = line_static(4)
+        state = simulate(scenario.snapshot, precompute_reachability=True)
+        for owner, subnets in scenario.fabric.host_subnets.items():
+            atom = state.dataplane.atom_table.atom_containing(
+                subnets[0].first + 1
+            )
+            reach = state.reachability.for_atom(atom)
+            assert len(reach.sources[owner]) == 4
+
+    def test_geant_full_reachability(self):
+        from repro.workloads.scenarios import geant_ospf
+
+        scenario = geant_ospf()
+        state = simulate(scenario.snapshot, precompute_reachability=True)
+        routers = scenario.topology.num_routers()
+        assert routers == 22
+        subnet = scenario.fabric.host_subnets["ATH"][0]
+        atom = state.dataplane.atom_table.atom_containing(subnet.first + 1)
+        reach = state.reachability.for_atom(atom)
+        assert len(reach.sources["ATH"]) == routers
+
+    def test_geant_oracle_on_link_flap(self):
+        from repro.core.analyzer import DifferentialNetworkAnalyzer
+        from repro.core.oracle import EquivalenceOracle
+        from repro.workloads.scenarios import geant_ospf
+
+        scenario = geant_ospf()
+        oracle = EquivalenceOracle(DifferentialNetworkAnalyzer(scenario.snapshot))
+        generator = ChangeGenerator(scenario, seed=31)
+        down, up = generator.random_link_failure()
+        oracle.step(down)
+        oracle.step(up)
+        assert oracle.stats.pass_rate == 1.0
+
+    def test_random_ospf_connected(self):
+        scenario = random_ospf(10, 8, seed=5)
+        state = simulate(scenario.snapshot, precompute_reachability=True)
+        subnet = scenario.fabric.host_subnets["r0"][0]
+        atom = state.dataplane.atom_table.atom_containing(subnet.first + 1)
+        reach = state.reachability.for_atom(atom)
+        assert len(reach.sources["r0"]) == 10
+
+    def test_scenarios_deterministic(self):
+        a = fat_tree_ospf(4)
+        b = fat_tree_ospf(4)
+        from repro.config.text import serialize_configs
+
+        assert serialize_configs(a.snapshot.configs) == serialize_configs(
+            b.snapshot.configs
+        )
+
+
+class TestChangeGenerator:
+    def test_link_failure_pair_applies_cleanly(self, ring8_scenario):
+        import copy
+
+        scenario = copy.copy(ring8_scenario)
+        scenario.snapshot = ring8_scenario.snapshot.clone()
+        generator = ChangeGenerator(scenario, seed=1)
+        down, up = generator.random_link_failure()
+        down.apply(scenario.snapshot)
+        up.apply(scenario.snapshot)
+        assert scenario.snapshot.topology.num_links() == 8
+
+    def test_static_batch_size(self, ring8_scenario):
+        generator = ChangeGenerator(ring8_scenario, seed=2)
+        add, remove = generator.static_batch(5)
+        assert len(add) == 5 and len(remove) == 5
+
+    def test_fresh_prefixes_never_repeat(self, ring8_scenario):
+        generator = ChangeGenerator(ring8_scenario, seed=3)
+        seen = set()
+        for _ in range(20):
+            prefix = generator._fresh_prefix()
+            assert prefix not in seen
+            seen.add(prefix)
+
+    def test_acl_block_targets_host_subnet(self, random12_scenario):
+        import copy
+
+        scenario = copy.copy(random12_scenario)
+        scenario.snapshot = random12_scenario.snapshot.clone()
+        generator = ChangeGenerator(scenario, seed=4)
+        block, unblock = generator.random_acl_block()
+        analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
+        analyzer.analyze(block)
+        report = analyzer.analyze(unblock)
+        # Unblock restores: net effect of the pair is zero.
+        assert analyzer.state.dataplane.atom_table.num_atoms() > 0
+
+    def test_prefix_flap_requires_customers(self, ring8_scenario):
+        generator = ChangeGenerator(ring8_scenario, seed=5)
+        with pytest.raises(ValueError, match="customers"):
+            generator.random_prefix_flap()
+
+    def test_pref_flip_requires_dual_homed(self, ring8_scenario):
+        generator = ChangeGenerator(ring8_scenario, seed=6)
+        with pytest.raises(ValueError, match="dual-homed"):
+            generator.dual_homed_pref_flip()
+
+    def test_core_links_exclude_customer_uplinks(self, internet2_scenario):
+        generator = ChangeGenerator(internet2_scenario, seed=7)
+        for link in generator._core_links():
+            roles = {
+                internet2_scenario.fabric.roles.get(router)
+                for router in link.routers
+            }
+            assert "customer" not in roles
