@@ -1,0 +1,127 @@
+"""Campaign engine benchmarks: fork economics and backend scaling.
+
+Two questions the campaign design hinges on:
+
+1. **Fork vs commit+undo** — evaluating N candidates used to mean N
+   ``analyze(change)`` / ``analyze(inverse)`` pairs.  A fork replaces
+   the second full analysis with an undo-journal rollback whose cost
+   is proportional to the touched state, so the per-candidate price
+   should drop well below the pairing's.
+2. **Serial vs parallel** — the multiprocessing backend must produce
+   identical per-scenario reports, and on multi-core hardware finish
+   the batch faster.  (On a single-CPU container there is nothing to
+   parallelize; the table still reports the measured ratio, and the
+   speedup assertion is gated on available cores.)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.harness import Table, time_call
+from repro.campaign import CampaignRunner, all_single_link_failures
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.change import Change, LinkUp
+from repro.workloads.scenarios import fat_tree_ospf
+
+
+def _recovery(change: Change) -> Change:
+    """The inverse (LinkUp) change of a single-link-failure scenario."""
+    (edit,) = change.edits
+    return Change.of(
+        LinkUp(edit.router1, edit.router2, edit.interface1, edit.interface2),
+        label=f"recover {change.label}",
+    )
+
+
+def test_campaign_fork_vs_commit_undo(benchmark):
+    table = Table(
+        "Campaign: fork-based what-if vs commit+undo pairing (fat-tree k=4)",
+        ["scenarios", "total_s", "per_scenario_ms"],
+    )
+    scenario = fat_tree_ospf(4)
+    batch = all_single_link_failures(scenario)
+    analyzer = DifferentialNetworkAnalyzer(scenario.snapshot.clone())
+
+    def sweep_with_forks():
+        return [analyzer.what_if(s.change).behavior_signature() for s in batch]
+
+    def sweep_with_pairs():
+        signatures = []
+        for s in batch:
+            signatures.append(analyzer.analyze(s.change).behavior_signature())
+            analyzer.analyze(_recovery(s.change))
+        return signatures
+
+    fork_time, fork_signatures = time_call(sweep_with_forks, repeat=2)
+    pair_time, pair_signatures = time_call(sweep_with_pairs, repeat=2)
+
+    # Identical per-scenario reports whichever way state is restored.
+    assert fork_signatures == pair_signatures
+
+    table.add(
+        "fork + rollback",
+        scenarios=len(batch),
+        total_s=fork_time,
+        per_scenario_ms=fork_time / len(batch) * 1e3,
+    )
+    table.add(
+        "commit + undo pair",
+        scenarios=len(batch),
+        total_s=pair_time,
+        per_scenario_ms=pair_time / len(batch) * 1e3,
+    )
+    table.add(
+        "fork advantage",
+        scenarios=len(batch),
+        total_s=pair_time / max(fork_time, 1e-9),
+    )
+    table.emit()
+
+    # The rollback replaces a full second incremental analysis; it must
+    # not cost more than the analysis it replaces.
+    assert fork_time < pair_time, (
+        f"fork sweep ({fork_time:.3f}s) should beat "
+        f"commit+undo sweep ({pair_time:.3f}s)"
+    )
+
+    what_if = batch[0].change
+    benchmark(lambda: analyzer.what_if(what_if))
+
+
+def test_campaign_parallel_speedup():
+    table = Table(
+        "Campaign: serial vs multiprocessing backend (fat-tree k=4, all "
+        "single-link failures)",
+        ["jobs", "wall_s", "speedup"],
+    )
+    scenario = fat_tree_ospf(4)
+    batch = all_single_link_failures(scenario)
+    runner = CampaignRunner(scenario.snapshot.clone(), label="fat_tree k=4")
+
+    t0 = time.perf_counter()
+    serial = runner.run(batch, jobs=1)
+    serial_wall = time.perf_counter() - t0
+    table.add("serial", jobs=1, wall_s=serial_wall, speedup=1.0)
+
+    cpus = len(os.sched_getaffinity(0))
+    for jobs in (2, 4):
+        t0 = time.perf_counter()
+        parallel = runner.run(batch, jobs=jobs)
+        wall = time.perf_counter() - t0
+        table.add(
+            f"multiprocessing j{jobs}",
+            jobs=jobs,
+            wall_s=wall,
+            speedup=serial_wall / max(wall, 1e-9),
+        )
+        # Acceptance: per-scenario reports identical to serial.
+        assert parallel.signatures() == serial.signatures()
+        if jobs == 4 and cpus >= 4:
+            assert serial_wall / wall > 1.0, (
+                f"jobs=4 on {cpus} cores should beat serial "
+                f"({wall:.3f}s vs {serial_wall:.3f}s)"
+            )
+    table.add("available cpus", jobs=cpus, wall_s=0.0, speedup=0.0)
+    table.emit()

@@ -5,66 +5,69 @@ The motivating workload of incremental verification: sweep *all* link
 failures in a data-center fabric and classify each one's impact —
 which (source, destination) pairs lose connectivity, which merely
 reroute.  With snapshot-diffing this costs one full simulation per
-link; differentially each failure is analyzed in milliseconds and the
-state is restored by analyzing the recovery.
+link; the campaign engine evaluates each failure as a *fork* of one
+converged base state (milliseconds per scenario, no undo pairing) and
+can spread the batch over worker processes.
 
-Run:  python examples/link_failure_audit.py [k]
+Run:  python examples/link_failure_audit.py [k] [jobs]
 """
 
 import sys
 import time
 
-from repro.core.analyzer import DifferentialNetworkAnalyzer
-from repro.core.change import Change, LinkDown, LinkUp
+from repro.campaign import CampaignRunner, all_single_link_failures
+from repro.core.invariants import BlackholeFreedom, LoopFreedom
 from repro.workloads.scenarios import fat_tree_ospf
 
 
 def main() -> None:
     k = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     scenario = fat_tree_ospf(k)
     print(f"fabric: fat-tree k={k}, {scenario.topology.num_routers()} routers, "
           f"{scenario.topology.num_links()} links")
 
-    analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
-    links = list(scenario.topology.links())
-
-    # Losses that matter are losses of *host* traffic; the failed
-    # link's own /31 always disappears and is not an outage.
-    host_spans = [
-        subnet.interval() for subnet in scenario.fabric.all_host_subnets()
+    batch = all_single_link_failures(scenario)
+    host_subnets = scenario.fabric.all_host_subnets()
+    invariants = [
+        LoopFreedom(),
+        # The failed link's own /31 always blackholes; only host
+        # subnets count as outages.
+        BlackholeFreedom(monitored=host_subnets),
     ]
 
-    def host_pairs_lost(report) -> int:
-        lost = 0
-        for segment in report.reach_segments:
-            if any(segment.lo < hi and lo < segment.hi for lo, hi in host_spans):
-                lost += len(segment.removed)
-        return lost
-
-    print(f"\nauditing {len(links)} single-link failures...\n")
+    print(f"\nauditing {len(batch)} single-link failures "
+          f"(jobs={jobs})...\n")
+    runner = CampaignRunner(
+        scenario.snapshot,
+        invariants=invariants,
+        label=f"fat_tree k={k}",
+        # Count only host-subnet pair churn as impact: the failed
+        # link's own /31 always disappears and is not an outage.
+        monitored=host_subnets,
+    )
     started = time.perf_counter()
-    rerouted_only: list[str] = []
-    lossy: list[tuple[str, int]] = []
-    for link in links:
-        (r1, i1), (r2, i2) = link.side_a, link.side_b
-        report = analyzer.analyze(
-            Change.of(LinkDown(r1, r2, i1, i2), label=f"fail {link}")
-        )
-        lost_pairs = host_pairs_lost(report)
-        if lost_pairs:
-            lossy.append((str(link), lost_pairs))
-        elif report.num_fib_changes():
-            rerouted_only.append(str(link))
-        analyzer.analyze(Change.of(LinkUp(r1, r2, i1, i2), label="recover"))
+    report = runner.run(batch, jobs=jobs)
     elapsed = time.perf_counter() - started
 
     print(f"audit finished in {elapsed:.2f}s "
-          f"({elapsed / max(len(links), 1) * 1e3:.1f} ms per failure, "
-          f"including recovery analysis)")
+          f"({elapsed / max(len(batch), 1) * 1e3:.1f} ms per failure, "
+          f"state forked and rolled back per scenario)")
+
+    # Losses that matter are losses of *host* traffic; the runner's
+    # monitored list restricts blast radius to host-subnet churn, so
+    # the failed link's own /31 pairs never count as damage.
+    lossy = [o for o in report.outcomes if o.ok and o.monitored_pairs_lost]
+    rerouted_only = [
+        outcome
+        for outcome in report.outcomes
+        if outcome.ok and not outcome.monitored_pairs_lost and outcome.fib_changes
+    ]
     print(f"\nlinks surviving with reroute only: {len(rerouted_only)}")
-    print(f"links causing reachability loss:   {len(lossy)}")
-    for name, pairs in sorted(lossy, key=lambda item: -item[1])[:10]:
-        print(f"  {name}: {pairs} (src, dst-owner) pairs lost")
+    print(f"links causing host-visible damage:  {len(lossy)}")
+    for outcome in sorted(lossy, key=lambda o: -o.blast_radius())[:10]:
+        print(f"  {outcome.name}: {outcome.monitored_pairs_lost} host pairs "
+              f"lost, {outcome.num_violations()} violations")
 
     if not lossy:
         print("\nfabric is single-link-failure tolerant for transit "

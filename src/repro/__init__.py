@@ -66,6 +66,20 @@ _EXPORTS = {
     "path_diff": ("repro.query.paths", "path_diff"),
     "EquivalenceOracle": ("repro.core.oracle", "EquivalenceOracle"),
     "simulate": ("repro.controlplane.simulation", "simulate"),
+    "CampaignReport": ("repro.campaign.report", "CampaignReport"),
+    "CampaignRunner": ("repro.campaign.runner", "CampaignRunner"),
+    "ScenarioOutcome": ("repro.campaign.report", "ScenarioOutcome"),
+    "WhatIfScenario": ("repro.campaign.scenarios", "WhatIfScenario"),
+    "acl_block_sweep": ("repro.campaign.scenarios", "acl_block_sweep"),
+    "all_single_link_failures": (
+        "repro.campaign.scenarios",
+        "all_single_link_failures",
+    ),
+    "bgp_policy_sweep": ("repro.campaign.scenarios", "bgp_policy_sweep"),
+    "sampled_k_link_failures": (
+        "repro.campaign.scenarios",
+        "sampled_k_link_failures",
+    ),
 }
 
 __all__ = ["__version__", *sorted(_EXPORTS)]

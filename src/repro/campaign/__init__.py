@@ -1,0 +1,43 @@
+"""Campaign engine: parallel batch what-if analysis.
+
+A *campaign* evaluates a batch of independent candidate changes or
+failure scenarios against one converged base network and aggregates
+the outcomes: which scenarios break invariants, which merely reroute,
+and how big each blast radius is.
+
+- :mod:`~repro.campaign.scenarios` — deterministic scenario
+  enumerators (all single-link failures, sampled k-link failures,
+  per-device ACL sweeps, BGP policy sweeps) built on
+  :mod:`repro.workloads`.
+- :mod:`~repro.campaign.runner` — :class:`CampaignRunner`: a serial
+  backend reusing one forkable analyzer
+  (:meth:`~repro.core.analyzer.DifferentialNetworkAnalyzer.what_if`)
+  and a ``multiprocessing`` backend with per-worker analyzer replicas
+  seeded from one pickled base state.
+- :mod:`~repro.campaign.report` — per-scenario outcomes and the
+  :class:`CampaignReport` aggregate (invariant violations, blast
+  radius ranking).
+
+CLI: ``python -m repro campaign``.
+"""
+
+from repro.campaign.report import CampaignReport, ScenarioOutcome
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.scenarios import (
+    WhatIfScenario,
+    acl_block_sweep,
+    all_single_link_failures,
+    bgp_policy_sweep,
+    sampled_k_link_failures,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CampaignRunner",
+    "ScenarioOutcome",
+    "WhatIfScenario",
+    "acl_block_sweep",
+    "all_single_link_failures",
+    "bgp_policy_sweep",
+    "sampled_k_link_failures",
+]

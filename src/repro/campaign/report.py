@@ -1,0 +1,229 @@
+"""Campaign aggregation: per-scenario outcomes and the ranked report.
+
+Workers reduce each :class:`~repro.core.delta.DeltaReport` to a
+:class:`ScenarioOutcome` — counts, invariant verdicts, and (optionally)
+the behaviour signature used to prove serial/parallel agreement — so
+the parallel backend ships compact records instead of full reports.
+:class:`CampaignReport` collects outcomes in enumeration order and
+ranks them by blast radius.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.delta import DeltaReport
+from repro.core.invariants import Invariant, Violation, check_invariants
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one what-if scenario did to the base network."""
+
+    name: str
+    kind: str = "what-if"
+    ok: bool = True
+    error: str | None = None
+    rib_changes: int = 0
+    fib_changes: int = 0
+    pairs_gained: int = 0
+    pairs_lost: int = 0
+    segments: int = 0
+    duration: float = 0.0
+    violations: dict[str, list[Violation]] = field(default_factory=dict)
+    # Pair churn restricted to the campaign's monitored prefixes (e.g.
+    # host subnets); None when the campaign monitors everything.  A
+    # failed link's own /31 vanishing is not an outage — monitoring
+    # keeps it out of the impact ranking.
+    monitored_pairs_gained: int | None = None
+    monitored_pairs_lost: int | None = None
+    # Hashable behaviour summary (None when signatures are disabled).
+    signature: tuple | None = None
+
+    @classmethod
+    def from_report(
+        cls,
+        scenario,
+        report: DeltaReport,
+        invariants: list[Invariant],
+        with_signature: bool = True,
+        monitored_spans: list[tuple[int, int]] | None = None,
+    ) -> "ScenarioOutcome":
+        """Reduce one delta report to an outcome record."""
+        gained, lost = report.num_pair_changes()
+        monitored_gained: int | None = None
+        monitored_lost: int | None = None
+        if monitored_spans is not None:
+            monitored_gained = monitored_lost = 0
+            for segment in report.reach_segments:
+                if any(
+                    segment.lo < hi and lo < segment.hi
+                    for lo, hi in monitored_spans
+                ):
+                    monitored_gained += len(segment.added)
+                    monitored_lost += len(segment.removed)
+        return cls(
+            name=scenario.name,
+            kind=scenario.kind,
+            rib_changes=report.num_rib_changes(),
+            fib_changes=report.num_fib_changes(),
+            pairs_gained=gained,
+            pairs_lost=lost,
+            segments=len(report.reach_segments),
+            duration=report.timings.get("total", 0.0),
+            violations=check_invariants(report, invariants),
+            monitored_pairs_gained=monitored_gained,
+            monitored_pairs_lost=monitored_lost,
+            signature=report.behavior_signature() if with_signature else None,
+        )
+
+    @classmethod
+    def from_error(cls, scenario, error: Exception) -> "ScenarioOutcome":
+        """An outcome for a scenario that failed to apply."""
+        return cls(
+            name=scenario.name,
+            kind=scenario.kind,
+            ok=False,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+    def blast_radius(self) -> int:
+        """Reachable (source, owner) pairs the change flipped.
+
+        The headline impact metric: behaviour the network lost plus
+        behaviour it gained (a leak is as much an incident as an
+        outage).  When the campaign monitors specific prefixes, only
+        churn touching them counts — so a link failure whose only
+        effect is its own /31 disappearing ranks as a pure reroute.
+        Ties are broken by FIB churn in :meth:`CampaignReport.ranked`.
+        """
+        if self.monitored_pairs_lost is not None:
+            return self.monitored_pairs_lost + (self.monitored_pairs_gained or 0)
+        return self.pairs_lost + self.pairs_gained
+
+    def num_violations(self) -> int:
+        """Introduced (non-repaired) invariant violations."""
+        return sum(
+            1
+            for violations in self.violations.values()
+            for violation in violations
+            if not violation.repaired
+        )
+
+    def __str__(self) -> str:
+        if not self.ok:
+            return f"{self.name}: ERROR {self.error}"
+        if self.monitored_pairs_lost is not None:
+            pairs = (
+                f"-{self.monitored_pairs_lost}/+{self.monitored_pairs_gained} "
+                f"monitored pairs,"
+            )
+        else:
+            pairs = f"-{self.pairs_lost}/+{self.pairs_gained} pairs,"
+        parts = [f"{self.name}:", pairs, f"{self.fib_changes} FIB changes"]
+        if self.violations:
+            parts.append(f"({self.num_violations()} violations)")
+        return " ".join(parts)
+
+
+class CampaignReport:
+    """All outcomes of one campaign, in enumeration order."""
+
+    def __init__(
+        self,
+        label: str = "",
+        backend: str = "serial",
+        jobs: int = 1,
+    ) -> None:
+        self.label = label
+        self.backend = backend
+        self.jobs = jobs
+        self.outcomes: list[ScenarioOutcome] = []
+        self.wall_time = 0.0
+        self._started = time.perf_counter()
+
+    # -- collection ----------------------------------------------------------
+
+    def add(self, outcome: ScenarioOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def finish(self) -> "CampaignReport":
+        self.wall_time = time.perf_counter() - self._started
+        return self
+
+    # -- views ----------------------------------------------------------------
+
+    def ranked(self) -> list[ScenarioOutcome]:
+        """Outcomes by descending blast radius (FIB churn, name tiebreaks)."""
+        return sorted(
+            (o for o in self.outcomes if o.ok),
+            key=lambda o: (-o.blast_radius(), -o.fib_changes, o.name),
+        )
+
+    def violating(self) -> list[ScenarioOutcome]:
+        """Outcomes that introduced at least one invariant violation."""
+        return [o for o in self.outcomes if o.ok and o.num_violations()]
+
+    def failed(self) -> list[ScenarioOutcome]:
+        """Scenarios whose change could not be applied."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def harmless(self) -> list[ScenarioOutcome]:
+        """Scenarios that changed no behaviour at all."""
+        return [
+            o
+            for o in self.outcomes
+            if o.ok and not o.blast_radius() and not o.fib_changes
+        ]
+
+    def signatures(self) -> list[tuple | None]:
+        """Per-scenario behaviour signatures, enumeration order."""
+        return [o.signature for o in self.outcomes]
+
+    def total_analysis_time(self) -> float:
+        """Sum of per-scenario analysis seconds (CPU work, not wall)."""
+        return sum(o.duration for o in self.outcomes)
+
+    # -- rendering -------------------------------------------------------------
+
+    def summary(self, top: int = 10) -> str:
+        """Human-readable digest: headline counts + top blast radii."""
+        lines = [
+            f"Campaign({self.label or 'unlabelled'}): "
+            f"{len(self.outcomes)} scenarios via {self.backend} "
+            f"backend (jobs={self.jobs}) in {self.wall_time:.2f}s",
+        ]
+        failed = self.failed()
+        violating = self.violating()
+        lines.append(
+            f"  impactful: {sum(1 for o in self.outcomes if o.ok and o.blast_radius())}"
+            f"  reroute-only: "
+            f"{sum(1 for o in self.outcomes if o.ok and not o.blast_radius() and o.fib_changes)}"
+            f"  harmless: {len(self.harmless())}"
+            f"  errors: {len(failed)}"
+        )
+        if violating:
+            lines.append(f"  invariant violations in {len(violating)} scenarios:")
+            for outcome in violating[:top]:
+                for name, violations in sorted(outcome.violations.items()):
+                    introduced = [v for v in violations if not v.repaired]
+                    if introduced:
+                        lines.append(
+                            f"    {outcome.name}: {name} "
+                            f"({len(introduced)} violations)"
+                        )
+        ranked = [o for o in self.ranked() if o.blast_radius()][:top]
+        if ranked:
+            lines.append(f"  top blast radius:")
+            for outcome in ranked:
+                lines.append(f"    {outcome}")
+        for outcome in failed[:top]:
+            lines.append(f"  {outcome}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+    def __len__(self) -> int:
+        return len(self.outcomes)

@@ -1,0 +1,211 @@
+"""Campaign execution: serial and multiprocessing backends.
+
+Both backends evaluate every scenario with
+:meth:`~repro.core.analyzer.DifferentialNetworkAnalyzer.what_if`
+against the same converged base state, so their per-scenario reports
+are identical; the parallel backend only changes *where* the work
+runs.
+
+Serial: one forkable analyzer, evaluated in-process — zero setup cost,
+ideal for small batches and interactive use.
+
+Parallel: the converged base analyzer is pickled **once**; each worker
+unpickles its own replica at pool startup (no re-simulation) and then
+serves chunks of the scenario queue.  Outcomes travel back as compact
+:class:`~repro.campaign.report.ScenarioOutcome` records and are
+reassembled in enumeration order, so ``jobs=N`` is a pure speedup with
+byte-identical output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+from repro.campaign.report import CampaignReport, ScenarioOutcome
+from repro.campaign.scenarios import WhatIfScenario
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.change import ChangeError
+from repro.core.invariants import Invariant
+from repro.core.snapshot import Snapshot
+from repro.net.addr import Prefix
+from repro.topology.model import TopologyError
+
+# Worker-process globals, installed once per worker by _init_worker.
+_WORKER: dict = {}
+
+
+def _init_worker(
+    payload: bytes,
+    invariants: list[Invariant],
+    with_signatures: bool,
+    monitored_spans: list[tuple[int, int]] | None,
+) -> None:
+    _WORKER["analyzer"] = pickle.loads(payload)
+    _WORKER["invariants"] = invariants
+    _WORKER["with_signatures"] = with_signatures
+    _WORKER["monitored_spans"] = monitored_spans
+
+
+def _evaluate_in_worker(
+    item: tuple[int, WhatIfScenario],
+) -> tuple[int, ScenarioOutcome]:
+    index, scenario = item
+    outcome = _evaluate(
+        _WORKER["analyzer"],
+        scenario,
+        _WORKER["invariants"],
+        _WORKER["with_signatures"],
+        _WORKER["monitored_spans"],
+    )
+    return index, outcome
+
+
+def _evaluate(
+    analyzer: DifferentialNetworkAnalyzer,
+    scenario: WhatIfScenario,
+    invariants: list[Invariant],
+    with_signatures: bool,
+    monitored_spans: list[tuple[int, int]] | None,
+) -> ScenarioOutcome:
+    try:
+        report = analyzer.what_if(scenario.change)
+    except (ChangeError, TopologyError) as error:
+        # Both are "this change does not fit this network" — edits
+        # raise ChangeError themselves but their topology lookups
+        # (unknown router/link) raise TopologyError directly.  Either
+        # way the fork rolled back; record and move on so one bad
+        # scenario cannot poison the batch (or abort a worker pool).
+        return ScenarioOutcome.from_error(scenario, error)
+    return ScenarioOutcome.from_report(
+        scenario,
+        report,
+        invariants,
+        with_signature=with_signatures,
+        monitored_spans=monitored_spans,
+    )
+
+
+class CampaignRunner:
+    """Batch what-if evaluation against one converged base state."""
+
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        invariants: list[Invariant] | None = None,
+        with_signatures: bool = True,
+        label: str = "",
+        monitored: list[Prefix] | None = None,
+    ) -> None:
+        # Converging is the expensive part; do it once, up front, and
+        # share the warm analyzer across runs and backends.
+        self._configure(
+            DifferentialNetworkAnalyzer(snapshot),
+            invariants,
+            with_signatures,
+            label,
+            monitored,
+        )
+
+    @classmethod
+    def from_analyzer(
+        cls,
+        analyzer: DifferentialNetworkAnalyzer,
+        invariants: list[Invariant] | None = None,
+        with_signatures: bool = True,
+        label: str = "",
+        monitored: list[Prefix] | None = None,
+    ) -> "CampaignRunner":
+        """Wrap an existing warm analyzer instead of re-simulating."""
+        runner = cls.__new__(cls)
+        runner._configure(
+            analyzer, invariants, with_signatures, label, monitored
+        )
+        return runner
+
+    def _configure(
+        self,
+        analyzer: DifferentialNetworkAnalyzer,
+        invariants: list[Invariant] | None,
+        with_signatures: bool,
+        label: str,
+        monitored: list[Prefix] | None,
+    ) -> None:
+        self.analyzer = analyzer
+        self.invariants = list(invariants or [])
+        self.with_signatures = with_signatures
+        self.label = label or analyzer.snapshot.summary()
+        # With ``monitored`` (typically the host subnets), impact
+        # ranking counts only pair churn touching those prefixes —
+        # infrastructure /31s disappearing with a failed link is not
+        # an outage.
+        self.monitored_spans = (
+            [prefix.interval() for prefix in monitored]
+            if monitored is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        scenarios: list[WhatIfScenario],
+        jobs: int = 1,
+        chunk_size: int | None = None,
+    ) -> CampaignReport:
+        """Evaluate the batch with ``jobs`` workers.
+
+        ``jobs <= 1`` runs serially in-process.  Larger batches use a
+        process pool; ``chunk_size`` controls work-queue granularity
+        (default: enough chunks for ~4 rounds per worker).
+        """
+        scenarios = list(scenarios)
+        if jobs <= 1 or len(scenarios) <= 1:
+            return self._run_serial(scenarios)
+        return self._run_parallel(scenarios, jobs, chunk_size)
+
+    def _run_serial(self, scenarios: list[WhatIfScenario]) -> CampaignReport:
+        report = CampaignReport(self.label, backend="serial", jobs=1)
+        for scenario in scenarios:
+            report.add(
+                _evaluate(
+                    self.analyzer,
+                    scenario,
+                    self.invariants,
+                    self.with_signatures,
+                    self.monitored_spans,
+                )
+            )
+        return report.finish()
+
+    def _run_parallel(
+        self,
+        scenarios: list[WhatIfScenario],
+        jobs: int,
+        chunk_size: int | None,
+    ) -> CampaignReport:
+        jobs = min(jobs, len(scenarios))
+        if chunk_size is None:
+            chunk_size = max(1, len(scenarios) // (jobs * 4))
+        report = CampaignReport(self.label, backend="multiprocessing", jobs=jobs)
+        payload = pickle.dumps(self.analyzer, protocol=pickle.HIGHEST_PROTOCOL)
+        results: dict[int, ScenarioOutcome] = {}
+        with multiprocessing.Pool(
+            processes=jobs,
+            initializer=_init_worker,
+            initargs=(
+                payload,
+                self.invariants,
+                self.with_signatures,
+                self.monitored_spans,
+            ),
+        ) as pool:
+            for index, outcome in pool.imap_unordered(
+                _evaluate_in_worker,
+                enumerate(scenarios),
+                chunksize=chunk_size,
+            ):
+                results[index] = outcome
+        for index in range(len(scenarios)):
+            report.add(results[index])
+        return report.finish()

@@ -1,0 +1,219 @@
+"""What-if scenario enumeration for campaigns.
+
+Each generator walks a configured :class:`~repro.workloads.scenarios.Scenario`
+and yields :class:`WhatIfScenario` values — a name, a kind tag, and the
+:class:`~repro.core.change.Change` to evaluate.  Generators are
+deterministic (the sampled ones take an explicit seed) so campaign runs
+are reproducible and serial/parallel backends see the same batch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.config.acl import AclAction, AclRule
+from repro.core.change import (
+    AddAclRule,
+    BindAcl,
+    Change,
+    LinkDown,
+    SetLocalPref,
+)
+from repro.net.addr import Prefix
+from repro.workloads.scenarios import Scenario
+
+PERMIT_ALL = AclRule(action=AclAction.PERMIT, dst=Prefix("0.0.0.0/0"))
+
+
+@dataclass(frozen=True)
+class WhatIfScenario:
+    """One candidate change to score against the base network."""
+
+    name: str
+    change: Change
+    kind: str = "what-if"
+    # Free-form labels generators attach (e.g. the failed link names).
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.name}"
+
+
+def _core_links(scenario: Scenario, include_customer_links: bool) -> list:
+    links = []
+    for link in scenario.topology.links():
+        if not include_customer_links:
+            roles = {
+                scenario.fabric.roles.get(router, "node")
+                for router in link.routers
+            }
+            if "customer" in roles:
+                continue
+        links.append(link)
+    return links
+
+
+def _fail_link_change(link) -> Change:
+    (r1, i1), (r2, i2) = link.side_a, link.side_b
+    return Change.of(LinkDown(r1, r2, i1, i2), label=f"fail {link}")
+
+
+def all_single_link_failures(
+    scenario: Scenario, include_customer_links: bool = False
+) -> list[WhatIfScenario]:
+    """One scenario per enabled link: that link fails.
+
+    Customer uplinks are excluded by default — they are single points
+    of attachment by construction and would drown the ranking.
+    """
+    return [
+        WhatIfScenario(
+            name=f"fail {link}",
+            change=_fail_link_change(link),
+            kind="link-failure",
+            tags=tuple(sorted(link.routers)),
+        )
+        for link in _core_links(scenario, include_customer_links)
+    ]
+
+
+def sampled_k_link_failures(
+    scenario: Scenario,
+    k: int = 2,
+    samples: int = 20,
+    seed: int = 0,
+    include_customer_links: bool = False,
+) -> list[WhatIfScenario]:
+    """``samples`` distinct simultaneous ``k``-link failures, seeded.
+
+    Exhaustive k-subsets explode combinatorially; campaigns sample
+    them instead.  Distinctness is by link set, so the batch never
+    evaluates the same failure twice.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    links = _core_links(scenario, include_customer_links)
+    if len(links) < k:
+        return []
+    rng = random.Random(seed)
+    seen: set[frozenset] = set()
+    scenarios: list[WhatIfScenario] = []
+    attempts = 0
+    while len(scenarios) < samples and attempts < samples * 50:
+        attempts += 1
+        combo = rng.sample(links, k)
+        key = frozenset(combo)
+        if key in seen:
+            continue
+        seen.add(key)
+        combo = sorted(combo, key=str)
+        label = " + ".join(str(link) for link in combo)
+        scenarios.append(
+            WhatIfScenario(
+                name=f"fail {label}",
+                change=Change(
+                    edits=[_fail_link_change(link).edits[0] for link in combo],
+                    label=f"fail {label}",
+                ),
+                kind=f"{k}-link-failure",
+                tags=tuple(sorted({r for link in combo for r in link.routers})),
+            )
+        )
+    return scenarios
+
+
+def _cabled_interfaces(scenario: Scenario, router: str) -> list[str]:
+    device = scenario.topology.router(router)
+    return [
+        interface.name
+        for interface in device.interfaces.values()
+        if scenario.topology.link_of_interface(router, interface.name)
+        is not None
+    ]
+
+
+def acl_block_sweep(
+    scenario: Scenario,
+    routers: list[str] | None = None,
+    max_scenarios: int | None = None,
+) -> list[WhatIfScenario]:
+    """Per-device ACL sweep: block each host subnet at each router.
+
+    For every (router, host subnet) pair, the scenario binds a fresh
+    outbound ACL — deny the subnet, permit everything else — on the
+    router's first cabled interface.  The campaign then shows exactly
+    which flows each candidate filter would break.
+    """
+    subnets = scenario.fabric.all_host_subnets()
+    if routers is None:
+        routers = [
+            name
+            for name in scenario.topology.router_names()
+            if scenario.fabric.roles.get(name) != "customer"
+        ]
+    scenarios: list[WhatIfScenario] = []
+    for router in routers:
+        interfaces = _cabled_interfaces(scenario, router)
+        if not interfaces:
+            continue
+        interface = interfaces[0]
+        for subnet in subnets:
+            if max_scenarios is not None and len(scenarios) >= max_scenarios:
+                return scenarios
+            acl_name = f"CMP_{router}_{interface}".upper()
+            deny = AclRule(action=AclAction.DENY, dst=subnet)
+            scenarios.append(
+                WhatIfScenario(
+                    name=f"{router}[{interface}] block {subnet}",
+                    change=Change.of(
+                        AddAclRule(router, acl_name, PERMIT_ALL),
+                        AddAclRule(router, acl_name, deny, position=0),
+                        BindAcl(router, interface, acl_name, "out"),
+                        label=f"{router}[{interface}]: block {subnet}",
+                    ),
+                    kind="acl-block",
+                    tags=(router, str(subnet)),
+                )
+            )
+    return scenarios
+
+
+def bgp_policy_sweep(
+    scenario: Scenario, local_prefs: tuple[int, ...] = (50, 200)
+) -> list[WhatIfScenario]:
+    """Local-pref sweep over every policy clause that sets one.
+
+    For each route-map clause with a ``set local-preference`` action
+    and each candidate value (skipping the current one), the scenario
+    rewrites that single clause — the canonical BGP policy what-if.
+    """
+    scenarios: list[WhatIfScenario] = []
+    for router in sorted(scenario.snapshot.configs):
+        config = scenario.snapshot.configs[router]
+        for map_name in sorted(config.route_maps):
+            route_map = config.route_maps[map_name]
+            for clause in route_map.clauses:
+                if clause.set_local_pref is None:
+                    continue
+                for pref in local_prefs:
+                    if pref == clause.set_local_pref:
+                        continue
+                    scenarios.append(
+                        WhatIfScenario(
+                            name=(
+                                f"{router} {map_name}[{clause.seq}] "
+                                f"local-pref {clause.set_local_pref}->{pref}"
+                            ),
+                            change=Change.of(
+                                SetLocalPref(router, map_name, clause.seq, pref),
+                                label=(
+                                    f"{router}: {map_name} seq {clause.seq} "
+                                    f"local-pref {pref}"
+                                ),
+                            ),
+                            kind="bgp-policy",
+                            tags=(router, map_name),
+                        )
+                    )
+    return scenarios

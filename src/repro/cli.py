@@ -9,8 +9,13 @@ Operator-facing workflow over on-disk snapshots:
   runs the snapshot-diff baseline and verifies agreement.
 - ``trace <snapshot-dir> <source> <dst-ip>`` — packet trace with
   optional ``--src/--proto/--dport``.
+- ``campaign <kind>`` — batch what-if analysis over a built-in
+  scenario: enumerate failures/policy candidates (``links``,
+  ``k-links``, ``acl``, ``bgp``), evaluate them with forked analyzer
+  state (``--jobs N`` for the multiprocessing backend), and print the
+  ranked blast-radius report.
 - ``demo <directory>`` — write a small example snapshot + change
-  script to play with.
+  script to play with (``--topology/--size/--seed`` pick the fabric).
 """
 
 from __future__ import annotations
@@ -92,22 +97,104 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if trace.is_delivered() else 2
 
 
+def _build_scenario(name: str, size: int, edges: int | None, seed: int):
+    """A named built-in scenario (shared by ``campaign`` and ``demo``)."""
+    from repro.workloads import scenarios as builders
+
+    if name == "fat_tree":
+        return builders.fat_tree_ospf(size)
+    if name == "ring":
+        return builders.ring_ospf(size)
+    if name == "line":
+        return builders.line_static(size)
+    if name == "random":
+        if edges is None:
+            edges = size + size // 2
+        return builders.random_ospf(size, edges, seed=seed)
+    if name == "geant":
+        return builders.geant_ospf()
+    if name == "internet2":
+        return builders.internet2_bgp()
+    raise SystemExit(f"error: unknown scenario {name!r}")
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignRunner,
+        acl_block_sweep,
+        all_single_link_failures,
+        bgp_policy_sweep,
+        sampled_k_link_failures,
+    )
+    from repro.core.invariants import BlackholeFreedom, LoopFreedom
+
+    scenario = _build_scenario(args.scenario, args.size, args.edges, args.seed)
+    if args.kind == "links":
+        batch = all_single_link_failures(scenario)
+    elif args.kind == "k-links":
+        batch = sampled_k_link_failures(
+            scenario, k=args.k, samples=args.samples, seed=args.seed
+        )
+    elif args.kind == "acl":
+        batch = acl_block_sweep(scenario, max_scenarios=args.samples)
+    elif args.kind == "bgp":
+        batch = bgp_policy_sweep(scenario)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"error: unknown campaign kind {args.kind!r}")
+    if not batch:
+        print("no scenarios to evaluate")
+        return 0
+
+    host_subnets = scenario.fabric.all_host_subnets()
+    invariants = [
+        LoopFreedom(),
+        BlackholeFreedom(monitored=host_subnets),
+    ]
+    print(
+        f"campaign: {len(batch)} {args.kind} scenarios on "
+        f"{scenario.name} ({scenario.topology.num_routers()} routers), "
+        f"jobs={args.jobs}"
+    )
+    runner = CampaignRunner(
+        scenario.snapshot,
+        invariants=invariants,
+        label=scenario.name,
+        # Rank by host-visible impact: a failed link's own /31
+        # vanishing is a reroute, not an outage.
+        monitored=host_subnets,
+    )
+    report = runner.run(batch, jobs=args.jobs)
+    print()
+    print(report.summary(top=args.top))
+    return 1 if report.failed() else 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     import os
 
-    from repro.workloads.scenarios import ring_ospf
-
-    scenario = ring_ospf(6)
+    scenario = _build_scenario(
+        args.topology, args.size, args.edges, args.seed
+    )
     scenario.snapshot.save(args.directory)
+    link = next(iter(scenario.topology.links()))
+    (r1, _i1), (r2, _i2) = link.side_a, link.side_b
     script = os.path.join(args.directory, "change.dna")
     with open(script, "w") as handle:
-        handle.write("# demo change: fail one ring link\nlink down r0 r1\n")
+        handle.write(f"# demo change: fail one link\nlink down {r1} {r2}\n")
     print(f"wrote demo snapshot + change script under {args.directory}")
     print(f"try: python -m repro analyze {args.directory} {script} --baseline")
-    subnet = scenario.fabric.host_subnets["r3"][0]
-    gateway = str(scenario.topology.router("r3").interface("host0").address)
-    print(f"try: python -m repro trace {args.directory} r0 {gateway}")
-    del subnet
+    # Suggest a multi-hop trace: inject at r1, target the host subnet
+    # of a router in the middle of the listing (never r1's own
+    # gateway, and in symmetric fabrics several hops away).
+    owners = [
+        router
+        for router in scenario.topology.router_names()
+        if router != r1 and scenario.fabric.host_subnets.get(router)
+    ]
+    if owners:
+        device = scenario.topology.router(owners[len(owners) // 2])
+        gateway = str(device.interface("host0").address)
+        print(f"try: python -m repro trace {args.directory} {r1} {gateway}")
     return 0
 
 
@@ -140,8 +227,67 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--dport", type=int)
     trace.set_defaults(handler=cmd_trace)
 
+    campaign = commands.add_parser(
+        "campaign", help="batch what-if analysis over a built-in scenario"
+    )
+    campaign.add_argument(
+        "kind",
+        choices=["links", "k-links", "acl", "bgp"],
+        help="what to enumerate: all single-link failures, sampled "
+        "k-link failures, per-device ACL blocks, or BGP policy sweeps",
+    )
+    campaign.add_argument(
+        "--scenario",
+        default="fat_tree",
+        choices=["fat_tree", "ring", "line", "random", "geant", "internet2"],
+        help="built-in base network (default: fat_tree)",
+    )
+    campaign.add_argument(
+        "--size", type=int, default=4,
+        help="k for fat_tree, n for ring/line/random (default: 4)",
+    )
+    campaign.add_argument(
+        "--edges", type=int, default=None, help="edge count for random"
+    )
+    campaign.add_argument(
+        "--k", type=int, default=2, help="simultaneous failures for k-links"
+    )
+    campaign.add_argument(
+        "--samples", type=int, default=20,
+        help="sample budget for k-links / acl sweeps (default: 20)",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial backend)",
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for sampled scenarios and random topologies",
+    )
+    campaign.add_argument(
+        "--top", type=int, default=10, help="rows in the ranked summary"
+    )
+    campaign.set_defaults(handler=cmd_campaign)
+
     demo = commands.add_parser("demo", help="write a demo snapshot")
     demo.add_argument("directory")
+    demo.add_argument(
+        "--topology",
+        default="ring",
+        choices=["fat_tree", "ring", "line", "random", "geant", "internet2"],
+        help="fabric to generate (default: ring)",
+    )
+    demo.add_argument(
+        "--size", type=int, default=6,
+        help="k for fat_tree, n for ring/line/random (default: 6)",
+    )
+    demo.add_argument(
+        "--edges", type=int, default=None, help="edge count for random"
+    )
+    demo.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for randomized topology generators (reproducible runs)",
+    )
     demo.set_defaults(handler=cmd_demo)
     return parser
 

@@ -80,6 +80,28 @@ class OspfState:
             self.spf[key] = instance
         return instance
 
+    def clone(self) -> "OspfState":
+        """An independent structural copy (the fork checkpoint).
+
+        Graphs are copied once per area and every cloned SPF instance
+        is rewired onto its area's copy, preserving the aliasing the
+        incremental layer relies on.  Route/NextHop/Prefix values are
+        shared — they are immutable.
+        """
+        graphs = {area: graph.copy() for area, graph in self.graphs.items()}
+        return OspfState(
+            graphs=graphs,
+            advertised={
+                area: {router: dict(costs) for router, costs in owners.items()}
+                for area, owners in self.advertised.items()
+            },
+            membership={router: set(a) for router, a in self.membership.items()},
+            spf={
+                (router, area): spf.clone(graphs[area])
+                for (router, area), spf in self.spf.items()
+            },
+        )
+
 
 def _interface_participates(snapshot, router: str, interface_name: str) -> bool:
     """True if the interface is administratively and physically up."""

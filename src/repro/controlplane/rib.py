@@ -127,6 +127,24 @@ class Rib:
             return None
         return min(candidates, key=lambda r: r.sort_key())
 
+    def snapshot_prefix(self, prefix: Prefix) -> dict[str, Route] | None:
+        """The per-protocol route map for ``prefix`` (None if absent).
+
+        Returns a copy safe to stash in an undo journal; restore with
+        :meth:`restore_prefix`.
+        """
+        per_prefix = self._routes.get(prefix)
+        return dict(per_prefix) if per_prefix is not None else None
+
+    def restore_prefix(
+        self, prefix: Prefix, saved: dict[str, Route] | None
+    ) -> None:
+        """Reinstate a state captured by :meth:`snapshot_prefix`."""
+        if saved is None:
+            self._routes.pop(prefix, None)
+        else:
+            self._routes[prefix] = dict(saved)
+
     def prefixes(self) -> Iterator[Prefix]:
         """All prefixes with at least one route."""
         return iter(self._routes)

@@ -58,6 +58,24 @@ class IgpAdapter:
         self._tries[router] = trie
         self._routes[router] = dict(routes)
 
+    def snapshot_router(self, router: str) -> tuple | None:
+        """Opaque per-router state for an undo journal (None if absent).
+
+        ``set_router_routes`` replaces rather than mutates the per
+        router structures, so stashing references is sufficient.
+        """
+        if router not in self._tries:
+            return None
+        return (self._tries[router], self._routes[router])
+
+    def restore_router(self, router: str, saved: tuple | None) -> None:
+        """Reinstate a state captured by :meth:`snapshot_router`."""
+        if saved is None:
+            self._tries.pop(router, None)
+            self._routes.pop(router, None)
+        else:
+            self._tries[router], self._routes[router] = saved
+
     def covering_route(self, router: str, address: IPv4Address) -> Route | None:
         """The best non-BGP route covering ``address`` at ``router``."""
         trie = self._tries.get(router)

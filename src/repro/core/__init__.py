@@ -8,6 +8,8 @@
   (:class:`~repro.core.analyzer.DifferentialNetworkAnalyzer`): change
   in, control-plane/forwarding/reachability deltas out, without
   re-simulating the network.
+- :mod:`~repro.core.forking` — the undo journal behind the analyzer's
+  ``what_if`` / ``fork()`` speculative-analysis API.
 - :mod:`~repro.core.snapshot_diff` — the Batfish-style baseline:
   simulate both snapshots fully and diff.
 - :mod:`~repro.core.delta` — the common delta report both produce.

@@ -22,15 +22,21 @@ without re-simulating the network:
 
 ``analyze`` *commits*: the analyzer's snapshot and state advance to
 the post-change network.  (Benchmarks exploit paired changes —
-fail/recover, add/remove — to return to base.)  Output equality with
-:class:`~repro.core.snapshot_diff.SnapshotDiff` is the correctness
-oracle exercised throughout the test suite.
+fail/recover, add/remove — to return to base.)  ``what_if`` and the
+``fork()`` context manager instead evaluate changes against an undo
+journal (:mod:`repro.core.forking`) and roll the state back, so many
+independent candidate changes can be scored against one converged
+base — the campaign engine (:mod:`repro.campaign`) is built on this.
+Output equality with :class:`~repro.core.snapshot_diff.SnapshotDiff`
+is the correctness oracle exercised throughout the test suite.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.config.acl import Acl, AclAction
 from repro.controlplane.bgp import collect_origins, discover_sessions, solve_prefix
@@ -66,6 +72,7 @@ from repro.core.change import (
     WithdrawPrefix,
 )
 from repro.core.delta import DeltaReport, diff_reach_coverage
+from repro.core.forking import ForkError, UndoJournal
 from repro.core.snapshot import Snapshot
 from repro.net.addr import IPv4Address, Prefix
 from repro.net.interval import IntervalSet
@@ -95,6 +102,7 @@ class DifferentialNetworkAnalyzer:
         self.state = simulate(snapshot, precompute_reachability=True)
         self._ospf = OspfIncremental(self.state)
         self._origins = collect_origins(snapshot)
+        self._journal: UndoJournal | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -171,11 +179,44 @@ class DifferentialNetworkAnalyzer:
         )
         return report
 
+    @contextmanager
+    def fork(self) -> Iterator["DifferentialNetworkAnalyzer"]:
+        """Speculative analysis scope: every ``analyze`` inside the
+        ``with`` block is rolled back on exit.
+
+        The yielded object is this analyzer itself — reports computed
+        inside the block are exact (identical to committed analysis of
+        the same changes) but the snapshot and converged state return
+        to their pre-fork values afterwards, at a cost proportional to
+        the state the block actually touched.  Forks do not nest.
+        """
+        if self._journal is not None:
+            raise ForkError("analyzer forks cannot be nested")
+        journal = UndoJournal(self)
+        self._journal = journal
+        try:
+            yield self
+        finally:
+            self._journal = None
+            journal.rollback()
+
+    def what_if(self, change: Change) -> DeltaReport:
+        """Evaluate ``change`` without committing it.
+
+        Equivalent to ``analyze`` in its report, but the analyzer's
+        snapshot and state are rolled back afterwards — also when the
+        change fails to apply.
+        """
+        with self.fork():
+            return self.analyze(change)
+
     # ------------------------------------------------------------------
     # Edit dispatch
     # ------------------------------------------------------------------
 
     def _apply_edit(self, edit, context: _EditContext) -> None:
+        if self._journal is not None:
+            self._journal.before_edit(edit)
         if isinstance(edit, (LinkDown, LinkUp)):
             edit.apply(self.snapshot)
             r1, r2 = edit.router1, edit.router2
@@ -259,7 +300,11 @@ class DifferentialNetworkAnalyzer:
         dataplane = self.state.dataplane
         for _ in range(bindings):
             dataplane.acl_interval_structure(lo, hi, register)
+            if self._journal is not None:
+                self._journal.record_acl_structure(lo, hi, register)
         dataplane.invalidate_span(lo, hi)
+        if self._journal is not None:
+            self._journal.record_acl_span(lo, hi)
         context.acl_spans.append((lo, hi))
 
     def _nonpermit_spans(self, acl: Acl) -> list[tuple[int, int]]:
@@ -287,8 +332,12 @@ class DifferentialNetworkAnalyzer:
             for rule in acl.rules:
                 lo, hi = rule.dst.interval()
                 dataplane.acl_interval_structure(lo, hi, register)
+                if self._journal is not None:
+                    self._journal.record_acl_structure(lo, hi, register)
             for lo, hi in self._nonpermit_spans(acl):
                 dataplane.invalidate_span(lo, hi)
+                if self._journal is not None:
+                    self._journal.record_acl_span(lo, hi)
                 context.acl_spans.append((lo, hi))
 
     # ------------------------------------------------------------------
@@ -308,6 +357,8 @@ class DifferentialNetworkAnalyzer:
 
         Returns True if the router's best route for the prefix changed.
         """
+        if self._journal is not None:
+            self._journal.save_rib_prefix(router, prefix)
         rib = self.state.ribs[router]
         old_best = rib.best(prefix)
         if new_route is None:
@@ -348,6 +399,8 @@ class DifferentialNetworkAnalyzer:
             # (each refresh reuses its incremental SPF — no Dijkstras).
             adverts = backbone_advertisements(state.ospf_state)
             totals = backbone_totals(state.ospf_state, adverts)
+            if self._journal is not None:
+                self._journal.save_backbone()
             state.backbone_adverts = adverts
             state.backbone_totals_map = totals
             affected_sources = set(state.ospf_state.membership)
@@ -358,6 +411,8 @@ class DifferentialNetworkAnalyzer:
                 state.ospf_state, source, adverts, totals
             )
             old_routes = state.ospf_routes.get(source, {})
+            if self._journal is not None:
+                self._journal.save_ospf_routes(source)
             changed = False
             for prefix in set(old_routes) | set(new_routes):
                 old = old_routes.get(prefix)
@@ -386,6 +441,8 @@ class DifferentialNetworkAnalyzer:
                         totals,
                         only_prefixes=prefixes,
                     )
+                    if self._journal is not None:
+                        self._journal.save_ospf_routes(source)
                     cached = state.ospf_routes.setdefault(source, {})
                     changed = False
                     for prefix in prefixes:
@@ -420,6 +477,8 @@ class DifferentialNetworkAnalyzer:
                 ("connected", new_connected, state.connected),
                 ("static", new_static, state.statics),
             ):
+                if self._journal is not None:
+                    self._journal.save_route_cache(protocol, router)
                 old_map = cache.get(router, {})
                 for prefix in set(old_map) | set(new_map):
                     old = old_map.get(prefix)
@@ -434,6 +493,8 @@ class DifferentialNetworkAnalyzer:
         return touched
 
     def _refresh_igp_adapter(self, router: str) -> None:
+        if self._journal is not None:
+            self._journal.save_igp_router(router)
         rib = self.state.ribs[router]
         non_bgp = {}
         for prefix in rib.prefixes():
@@ -520,6 +581,8 @@ class DifferentialNetworkAnalyzer:
                         if (sender, receiver) in removed_pairs:
                             dirty.add(prefix)
                             break
+            if self._journal is not None:
+                self._journal.save_sessions()
             state.bgp_sessions = new_sessions
 
         # Policy edits: prefixes flowing through the edited routers.
@@ -564,6 +627,8 @@ class DifferentialNetworkAnalyzer:
         for prefix in set(origins) | set(self._origins):
             if origins.get(prefix) != self._origins.get(prefix):
                 dirty.add(prefix)
+        if self._journal is not None:
+            self._journal.save_origins()
         self._origins = origins
         if context.policy_routers:
             # Policy can gate originations too (export maps on first hop).
@@ -576,6 +641,8 @@ class DifferentialNetworkAnalyzer:
         routers = self.snapshot.topology.router_names()
         for prefix in sorted(dirty):
             old_solution = state.bgp_solutions.get(prefix)
+            if self._journal is not None:
+                self._journal.save_bgp_solution(prefix)
             if prefix in origins:
                 new_solution = solve_prefix(
                     self.snapshot,
@@ -634,6 +701,8 @@ class DifferentialNetworkAnalyzer:
             if old_entry == new_entry:
                 continue
             report.record_fib(router, prefix, old_entry, new_entry)
+            if self._journal is not None:
+                self._journal.save_fib_entry(router, prefix, old_entry)
             state.dataplane.update_fib_entry(router, prefix, new_entry)
             spans.append(prefix.interval())
         return spans
@@ -668,6 +737,8 @@ class DifferentialNetworkAnalyzer:
             if widened == region:
                 break
             region = widened
+        if self._journal is not None:
+            self._journal.record_reachability(region.pairs, before)
         reach.purge_overlapping(region.pairs)
         unique_atoms = set(dirty_atoms)
         after = [

@@ -173,6 +173,16 @@ class ReachabilityIndex:
         for atom in atoms:
             self._cache.pop(atom, None)
 
+    def restore(self, entries: Iterable[AtomReachability]) -> None:
+        """Reinstate previously captured results keyed by their atoms.
+
+        Used by fork rollback: the atom table has been restored to the
+        structure the entries were computed against, so reinserting
+        them rebuilds the pre-fork coverage without recomputation.
+        """
+        for reach in entries:
+            self._cache[reach.atom] = reach
+
     def cached_atoms(self) -> set[Atom]:
         """Atoms currently analysed."""
         return set(self._cache)

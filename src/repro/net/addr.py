@@ -67,6 +67,17 @@ class IPv4Address:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("IPv4Address is immutable")
 
+    def __reduce__(self) -> tuple:
+        # Slots + the immutability guard defeat pickle's default
+        # state-setting path; rebuild through the constructor instead.
+        return (IPv4Address, (self._value,))
+
+    def __copy__(self) -> "IPv4Address":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "IPv4Address":
+        return self
+
     @property
     def value(self) -> int:
         """The address as an integer."""
@@ -141,6 +152,17 @@ class Prefix:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Prefix is immutable")
+
+    def __reduce__(self) -> tuple:
+        # Slots + the immutability guard defeat pickle's default
+        # state-setting path; rebuild through the constructor instead.
+        return (Prefix, (self._network, self._length))
+
+    def __copy__(self) -> "Prefix":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Prefix":
+        return self
 
     @property
     def network(self) -> int:

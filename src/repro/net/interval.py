@@ -85,6 +85,17 @@ class IntervalSet:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("IntervalSet is immutable")
 
+    def __reduce__(self) -> tuple:
+        # Slots + the immutability guard defeat pickle's default
+        # state-setting path; rebuild through the constructor instead.
+        return (IntervalSet, (self._pairs,))
+
+    def __copy__(self) -> "IntervalSet":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "IntervalSet":
+        return self
+
     @classmethod
     def empty(cls) -> "IntervalSet":
         """The empty set."""
