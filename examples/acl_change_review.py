@@ -3,8 +3,9 @@
 
 An operator wants to block one host subnet on a transit router and
 must prove, before deploying, that (a) the intended isolation takes
-effect and (b) nothing else breaks.  The change is reviewed
-differentially against a suite of invariants; a second, "fat-fingered"
+effect and (b) nothing else breaks.  The change is built with the
+fluent `ChangeSet` API and *previewed* against a suite of invariants —
+nothing commits until the review passes; a second, "fat-fingered"
 variant of the change shows a violation being caught before rollout.
 
 Topology: a 6-router static chain r0..r5; the filter goes on transit
@@ -19,17 +20,12 @@ Run:  python examples/acl_change_review.py
 
 import tempfile
 
-from repro.config.acl import AclAction, AclRule
-from repro.core.analyzer import DifferentialNetworkAnalyzer
-from repro.core.change import AddAclRule, BindAcl, Change, RemoveAclRule
+from repro.api import ChangeSet, Network
 from repro.core.invariants import (
     IsolationInvariant,
     LoopFreedom,
     ReachabilityInvariant,
-    check_invariants,
 )
-from repro.core.snapshot import Snapshot
-from repro.net.addr import Prefix
 from repro.workloads.scenarios import line_static
 
 
@@ -38,10 +34,8 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory() as directory:
         scenario.snapshot.save(directory)
-        snapshot = Snapshot.load(directory)
-        print(f"loaded snapshot from disk: {snapshot.summary()}")
-
-    analyzer = DifferentialNetworkAnalyzer(snapshot)
+        net = Network.load(directory)
+        print(f"loaded snapshot from disk: {net.summary()}")
 
     victim = scenario.fabric.host_subnets["r4"][0]   # to be blocked
     keep = scenario.fabric.host_subnets["r3"][0]     # must keep working
@@ -53,66 +47,51 @@ def main() -> None:
         LoopFreedom(),
     ]
 
-    proposed = Change.of(
-        AddAclRule(transit, "EDGE_FILTER",
-                   AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0"))),
-        AddAclRule(transit, "EDGE_FILTER",
-                   AclRule(AclAction.DENY, dst=victim), position=0),
-        BindAcl(transit, interface, "EDGE_FILTER", "out"),
-        label=f"block {victim} out of {transit}[{interface}]",
+    proposed = (
+        ChangeSet(f"block {victim} out of {transit}[{interface}]")
+        .permit(transit, "EDGE_FILTER", "0.0.0.0/0")
+        .deny(transit, "EDGE_FILTER", victim, position=0)
+        .bind_acl(transit, interface, "EDGE_FILTER", "out")
     )
     print(f"\nreviewing proposed change:\n{proposed.describe()}")
-    report = analyzer.analyze(proposed)
+    report = net.preview(proposed)
     print(f"\n{report.summary()}")
 
-    results = check_invariants(report, invariants)
+    verdicts = net.check(report, invariants)
     print("\ninvariant verdicts:")
-    for name, violations in results.items():
-        for violation in violations:
-            intended = "isolate" in name and violation.repaired
-            print(f"  [{'intent satisfied' if intended else 'VIOLATION'}] {violation}")
+    for violation in verdicts:
+        intended = "isolate" in violation.invariant and violation.repaired
+        print(f"  [{'intent satisfied' if intended else 'VIOLATION'}] {violation}")
     guard_broken = any(
-        not v.repaired
-        for name, vs in results.items()
-        for v in vs
-        if "reach(" in name
+        not violation.repaired
+        for violation in verdicts
+        if "reach(" in violation.invariant
     )
     print(f"\ncollateral damage: {'YES' if guard_broken else 'none'} "
           "- change is safe to deploy")
+    net.apply(proposed)
 
     # The fat-fingered variant: deny the whole host space instead of
     # one /24.  Every westbound-to-eastbound flow dies, including the
-    # guarded r0 -> r3 traffic.
-    oops_rule = AclRule(AclAction.DENY, dst=Prefix("172.16.0.0/12"))
-    oops = Change.of(
-        AddAclRule(transit, "EDGE_FILTER", oops_rule, position=0),
-        label="fat-fingered: deny the whole host space",
+    # guarded r0 -> r3 traffic.  The preview catches it; nothing is
+    # ever deployed.
+    oops = (
+        ChangeSet("fat-fingered: deny the whole host space")
+        .deny(transit, "EDGE_FILTER", "172.16.0.0/12", position=0)
     )
     print(f"\nreviewing fat-fingered variant:\n{oops.describe()}")
-    report = analyzer.analyze(oops)
-    results = check_invariants(report, invariants)
+    report = net.preview(oops)
     tripped = [
         violation
-        for violations in results.values()
-        for violation in violations
+        for violation in net.check(report, invariants)
         if not violation.repaired
     ]
     print(f"\ninvariants tripped: {len(tripped)}")
     for violation in tripped:
         print(f"  {violation}")
     assert tripped, "the guard should have caught this"
-    print("\nthe bad rule is rejected before deployment; reverting it:")
-    revert = Change.of(
-        RemoveAclRule(transit, "EDGE_FILTER", oops_rule), label="revert"
-    )
-    report = analyzer.analyze(revert)
-    repaired = sum(
-        1
-        for violations in check_invariants(report, invariants).values()
-        for violation in violations
-        if violation.repaired
-    )
-    print(f"revert restores {repaired} invariant(s).")
+    print("\nthe bad rule is rejected in preview; nothing to revert "
+          "(the fork already rolled it back).")
 
 
 if __name__ == "__main__":

@@ -4,35 +4,42 @@
 The dual-homed customer ``cust_dual`` enters via SEAT (local-pref 200,
 primary) and NEWY (local-pref 100, backup).  The operator wants to
 drain SEAT for maintenance by flipping the preferences, and asks:
-*which traffic moves, and does anything break?*  The differential
-analyzer answers per (router, prefix): exactly which FIB entries shift
-from the SEAT-facing paths to the NEWY-facing ones.
+*which traffic moves, and does anything break?*  `Network.preview`
+answers per (router, prefix) without committing anything; the drain is
+then committed with `Network.apply` and contrasted with an actual
+outage, all against one warm converged state.
 
 Run:  python examples/bgp_policy_what_if.py
 """
 
-from repro.core.analyzer import DifferentialNetworkAnalyzer
-from repro.core.change import Change, WithdrawPrefix
-from repro.core.invariants import ReachabilityInvariant, check_invariants
+from repro.api import Network
+from repro.core.invariants import ReachabilityInvariant
 from repro.workloads.changes import ChangeGenerator
 from repro.workloads.scenarios import internet2_bgp
 
 
 def main() -> None:
-    scenario = internet2_bgp()
-    analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
+    net = internet2_bgp().network()
+    scenario = net.scenario
     generator = ChangeGenerator(scenario, seed=7)
 
     prefixes = scenario.fabric.host_subnets["cust_dual"]
     print(f"dual-homed customer prefixes: {[str(p) for p in prefixes]}")
-    solution = analyzer.state.bgp_solutions[prefixes[0]]
+    solution = net.state.bgp_solutions[prefixes[0]]
     print(f"current best at CHIC: local-pref "
           f"{solution.best['CHIC'].bundle.local_pref} "
           f"(via {solution.best['CHIC'].from_peer})")
 
+    # The drain must not strand anyone: every PoP keeps reaching the
+    # customer.
+    invariants = [
+        ReachabilityInvariant(pop, "cust_dual", prefixes[0])
+        for pop in ("SEAT", "CHIC", "WASH", "HOUS")
+    ]
+
     flip = generator.dual_homed_pref_flip(primary_pref=100, backup_pref=200)
-    print(f"\nwhat-if: {flip.describe()}")
-    report = analyzer.analyze(flip)
+    print(f"\nwhat-if (non-committing preview): {flip.describe()}")
+    report = net.preview(flip)
 
     print(f"\n{report.summary()}")
     moved = {
@@ -43,35 +50,30 @@ def main() -> None:
     for router in sorted(moved):
         print(f"  {router}: {', '.join(moved[router])}")
 
-    # The drain must not strand anyone: every PoP keeps reaching the
-    # customer.
-    invariants = [
-        ReachabilityInvariant(pop, "cust_dual", prefixes[0])
-        for pop in ("SEAT", "CHIC", "WASH", "HOUS")
-    ]
-    results = check_invariants(report, invariants)
+    # How does CHIC's forwarding to the customer actually move?
+    diff = net.path_diff(flip, "CHIC", prefixes[0].first + 1)
+    print(f"\nCHIC -> cust_dual path diff: {diff}")
+
     broken = [
         violation
-        for violations in results.values()
-        for violation in violations
+        for violation in net.check(report, invariants)
         if not violation.repaired
     ]
     print(f"\nreachability invariants broken by the drain: {len(broken)}")
     assert not broken, "drain would strand traffic!"
-    print("drain is safe: all PoPs still reach cust_dual via NEWY.")
+    print("drain is safe: all PoPs still reach cust_dual via NEWY. "
+          "committing it.")
+    net.apply(flip)
 
     # Contrast with an actual outage: the customer withdraws a prefix.
-    withdraw = Change.of(
-        WithdrawPrefix("cust_dual", prefixes[0]),
-        label=f"cust_dual withdraws {prefixes[0]}",
+    print(f"\nnow the outage case: cust_dual withdraws {prefixes[0]}")
+    report = net.apply(
+        net.changeset(f"cust_dual withdraws {prefixes[0]}")
+        .withdraw("cust_dual", prefixes[0])
     )
-    print(f"\nnow the outage case: {withdraw.describe()}")
-    report = analyzer.analyze(withdraw)
-    results = check_invariants(report, invariants)
     broken = [
         violation
-        for violations in results.values()
-        for violation in violations
+        for violation in net.check(report, invariants)
         if not violation.repaired
     ]
     print(f"invariants broken: {len(broken)}")

@@ -5,7 +5,7 @@ The motivating workload of incremental verification: sweep *all* link
 failures in a data-center fabric and classify each one's impact —
 which (source, destination) pairs lose connectivity, which merely
 reroute.  With snapshot-diffing this costs one full simulation per
-link; the campaign engine evaluates each failure as a *fork* of one
+link; `Network.campaign` evaluates each failure as a *fork* of one
 converged base state (milliseconds per scenario, no undo pairing) and
 can spread the batch over worker processes.
 
@@ -15,46 +15,49 @@ Run:  python examples/link_failure_audit.py [k] [jobs]
 import sys
 import time
 
-from repro.campaign import CampaignRunner, all_single_link_failures
-from repro.core.invariants import BlackholeFreedom, LoopFreedom
-from repro.workloads.scenarios import fat_tree_ospf
+from repro.api import Network, make_invariant
+from repro.campaign import all_single_link_failures
 
 
 def main() -> None:
     k = int(sys.argv[1]) if len(sys.argv) > 1 else 4
     jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
-    scenario = fat_tree_ospf(k)
+    net = Network.generate("fat_tree", size=k)
+    scenario = net.scenario
     print(f"fabric: fat-tree k={k}, {scenario.topology.num_routers()} routers, "
           f"{scenario.topology.num_links()} links")
 
     batch = all_single_link_failures(scenario)
     host_subnets = scenario.fabric.all_host_subnets()
     invariants = [
-        LoopFreedom(),
+        # Registry names and instances mix freely in the facade.
+        "loop-freedom",
         # The failed link's own /31 always blackholes; only host
         # subnets count as outages.
-        BlackholeFreedom(monitored=host_subnets),
+        make_invariant("blackhole-freedom", monitored=host_subnets),
     ]
 
-    print(f"\nauditing {len(batch)} single-link failures "
-          f"(jobs={jobs})...\n")
-    runner = CampaignRunner(
-        scenario.snapshot,
+    print(f"\nconverging the base network once, then auditing "
+          f"{len(batch)} single-link failures (jobs={jobs})...\n")
+    atoms = net.state.dataplane.atom_table.num_atoms()  # pay convergence here
+    print(f"converged: {atoms} packet-equivalence atoms")
+    started = time.perf_counter()
+    report = net.campaign(
+        batch,
+        jobs=jobs,
         invariants=invariants,
         label=f"fat_tree k={k}",
         # Count only host-subnet pair churn as impact: the failed
         # link's own /31 always disappears and is not an outage.
         monitored=host_subnets,
     )
-    started = time.perf_counter()
-    report = runner.run(batch, jobs=jobs)
     elapsed = time.perf_counter() - started
 
     print(f"audit finished in {elapsed:.2f}s "
           f"({elapsed / max(len(batch), 1) * 1e3:.1f} ms per failure, "
           f"state forked and rolled back per scenario)")
 
-    # Losses that matter are losses of *host* traffic; the runner's
+    # Losses that matter are losses of *host* traffic; the campaign's
     # monitored list restricts blast radius to host-subnet churn, so
     # the failed link's own /31 pairs never count as damage.
     lossy = [o for o in report.outcomes if o.ok and o.monitored_pairs_lost]

@@ -1,42 +1,44 @@
 #!/usr/bin/env python3
 """Quickstart: differential analysis of one link failure.
 
-Builds a small OSPF ring, stands up the differential analyzer (one
-full convergence), then asks: *what exactly happens if the r0--r1 link
-fails?* — and gets the answer incrementally, with the Batfish-style
-snapshot-diff baseline run alongside to show the agreement and the
-speedup.
+Builds a small OSPF ring, wraps it in the `repro.api.Network` session
+facade (one full convergence), then asks: *what exactly happens if the
+r0--r1 link fails?* — first as a non-committing `preview`, then as a
+committed `apply`, with the Batfish-style snapshot-diff baseline run
+alongside to show the agreement and the speedup.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.analyzer import DifferentialNetworkAnalyzer
-from repro.core.change import Change, LinkDown, LinkUp
+from repro.api import ChangeSet, Network
 from repro.core.snapshot_diff import SnapshotDiff
-from repro.workloads.scenarios import ring_ospf
 
 
 def main() -> None:
-    scenario = ring_ospf(8)
-    print(f"scenario: {scenario.name} — {scenario.snapshot.summary()}")
+    net = Network.generate("ring", size=8)
+    print(f"scenario: {net.summary()}")
 
-    print("\nconverging the network once (the analyzer's warm state)...")
-    analyzer = DifferentialNetworkAnalyzer(scenario.snapshot)
-    atoms = analyzer.state.dataplane.atom_table.num_atoms()
+    print("\nconverging the network once (the session's warm state)...")
+    atoms = net.state.dataplane.atom_table.num_atoms()
     print(f"converged: {atoms} packet-equivalence atoms")
 
-    change = Change.of(LinkDown("r0", "r1"), label="fail r0--r1")
-    print(f"\nanalyzing change: {change.describe()}")
+    failure = ChangeSet("fail r0--r1").link_down("r0", "r1")
+    print(f"\npreviewing change: {failure.describe()}")
 
-    baseline = SnapshotDiff(analyzer.snapshot.clone())
-    reference = baseline.analyze(change)
-    report = analyzer.analyze(change)
+    preview = net.preview(failure)           # fork-backed, non-committing
+    print("\n" + preview.summary())
 
-    print("\n" + report.summary())
+    # Committing gives the identical report; the baseline agrees.
+    baseline = SnapshotDiff(net.snapshot.clone())
+    reference = baseline.analyze(failure.build())
+    report = net.apply(failure)
 
-    agree = report.behavior_signature() == reference.behavior_signature()
+    agree = (
+        report.behavior_signature() == reference.behavior_signature()
+        and report.behavior_signature() == preview.behavior_signature()
+    )
     speedup = reference.timings["total"] / report.timings["total"]
-    print(f"\nsnapshot-diff baseline agrees: {agree}")
+    print(f"\npreview, commit, and snapshot-diff baseline agree: {agree}")
     print(
         f"differential: {report.timings['total'] * 1e3:.1f} ms, "
         f"baseline: {reference.timings['total'] * 1e3:.1f} ms "
@@ -55,8 +57,13 @@ def main() -> None:
             continue
         break
 
+    # Every outcome serializes to versioned JSON, byte-stably.
+    document = report.to_dict()
+    print(f"\nreport serializes as schema v{document['schema_version']} "
+          f"({document['kind']})")
+
     print("\nrecovering the link...")
-    recovery = analyzer.analyze(Change.of(LinkUp("r0", "r1"), label="recover"))
+    recovery = net.apply(ChangeSet("recover").link_up("r0", "r1"))
     print(f"recovery impact mirrors the failure: {not recovery.is_empty()}")
 
 

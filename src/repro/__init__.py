@@ -7,7 +7,14 @@ delta in control-plane routes, forwarding state, and reachability
 directly — without re-simulating the whole network — and compares
 against a Batfish-style full snapshot-diff baseline.
 
-Top-level convenience re-exports cover the public API most users need::
+The supported entry point is the :mod:`repro.api` session facade::
+
+    from repro import Network, ChangeSet
+
+    net = Network.generate("fat_tree", size=4)
+    report = net.preview(ChangeSet().link_down("agg0_0", "core0"))
+
+Top-level convenience re-exports also cover the engine-level API::
 
     from repro import (
         Snapshot, DifferentialNetworkAnalyzer, SnapshotDiff,
@@ -26,6 +33,17 @@ __version__ = "1.0.0"
 
 # name -> (module, attribute)
 _EXPORTS = {
+    "Network": ("repro.api", "Network"),
+    "ChangeSet": ("repro.api", "ChangeSet"),
+    "SchemaError": ("repro.core.serialize", "SchemaError"),
+    "Invariant": ("repro.core.invariants", "Invariant"),
+    "Violation": ("repro.core.invariants", "Violation"),
+    "register_invariant": ("repro.core.invariants", "register_invariant"),
+    "make_invariant": ("repro.core.invariants", "make_invariant"),
+    "registered_invariants": (
+        "repro.core.invariants",
+        "registered_invariants",
+    ),
     "IPv4Address": ("repro.net.addr", "IPv4Address"),
     "Prefix": ("repro.net.addr", "Prefix"),
     "Topology": ("repro.topology.model", "Topology"),

@@ -1,0 +1,57 @@
+"""The unified session API: one typed entry point for everything.
+
+The repo's engines — the differential analyzer, the campaign runner,
+the packet tracer, the invariant suite — grew up with four disjoint
+calling idioms.  This package is the stable surface that replaces
+them:
+
+- :class:`Network` — the session facade.  Construct it once
+  (``from_snapshot`` / ``from_topology`` / ``load`` / ``generate``),
+  then ``apply``, ``preview``, ``campaign``, ``trace``, ``paths``,
+  ``path_diff``, and ``check`` against the shared converged state.
+- :class:`ChangeSet` — a fluent, typed builder over every primitive
+  edit, compiling to one atomic change batch.
+- The invariant **registry** — ``register_invariant`` /
+  ``make_invariant`` / ``registered_invariants`` let services refer to
+  invariants by name and users plug in their own.
+- Versioned results — every outcome type carries
+  ``to_dict()/from_dict()`` with a ``schema_version`` field
+  (:mod:`repro.core.serialize`); :class:`SchemaError` rejects unknown
+  versions, so payloads cross service boundaries safely.
+
+Typical session::
+
+    from repro.api import ChangeSet, Network
+
+    net = Network.generate("fat_tree", size=4)
+    drain = ChangeSet("drain").link_down("agg0_0", "core0")
+
+    report = net.preview(drain)                   # non-committing
+    assert not net.check(report, ["loop-freedom"])
+    payload = report.to_dict()                    # versioned JSON
+"""
+
+from repro.api.changeset import ChangeSet
+from repro.api.network import Network
+from repro.core.invariants import (
+    Invariant,
+    Violation,
+    invariant_class,
+    make_invariant,
+    register_invariant,
+    registered_invariants,
+)
+from repro.core.serialize import SCHEMA_VERSION, SchemaError
+
+__all__ = [
+    "ChangeSet",
+    "Invariant",
+    "Network",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Violation",
+    "invariant_class",
+    "make_invariant",
+    "register_invariant",
+    "registered_invariants",
+]

@@ -1,0 +1,346 @@
+"""Fluent builder over the primitive edit vocabulary.
+
+A :class:`ChangeSet` accumulates edits through chainable, typed
+methods and compiles to one atomic :class:`~repro.core.change.Change`
+batch::
+
+    change = (
+        ChangeSet("drain agg0_0")
+        .link_down("agg0_0", "core0")
+        .set_ospf_cost("agg0_0", "eth2", 500)
+        .build()
+    )
+    network.preview(change)
+
+:meth:`repro.api.Network.apply` / :meth:`~repro.api.Network.preview`
+accept a :class:`ChangeSet` directly, so ``build()`` is only needed
+when handing the batch to lower-level machinery.  ``from_script`` /
+``to_script`` bridge to the on-disk change-script format
+(:mod:`repro.core.change_text`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.config.acl import AclAction, AclRule
+from repro.config.routemap import RouteMapClause
+from repro.config.routing import BgpNeighborConfig, StaticRouteConfig
+from repro.core.change import (
+    AddAclRule,
+    AddBgpNeighbor,
+    AddRouteMapClause,
+    AddStaticRoute,
+    AnnouncePrefix,
+    BindAcl,
+    Change,
+    DisableOspfInterface,
+    Edit,
+    EnableInterface,
+    EnableOspfInterface,
+    LinkDown,
+    LinkUp,
+    RemoveAclRule,
+    RemoveBgpNeighbor,
+    RemoveRouteMapClause,
+    RemoveStaticRoute,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+    WithdrawPrefix,
+)
+from repro.core.change_text import parse_change, serialize_change
+from repro.net.addr import IPv4Address, Prefix
+
+PrefixLike = Union[Prefix, str]
+AddressLike = Union[IPv4Address, str]
+
+
+def _prefix(value: PrefixLike) -> Prefix:
+    return value if isinstance(value, Prefix) else Prefix(value)
+
+
+def _address(value: AddressLike) -> IPv4Address:
+    return value if isinstance(value, IPv4Address) else IPv4Address(value)
+
+
+class ChangeSet:
+    """Chainable builder for an atomic batch of configuration edits.
+
+    Every method appends one primitive edit and returns ``self``.  The
+    batch is ordered: edits apply in the order they were added, exactly
+    like a hand-built :class:`~repro.core.change.Change`.
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self._label = label
+        self._edits: list[Edit] = []
+
+    # -- assembly ------------------------------------------------------------
+
+    def label(self, label: str) -> "ChangeSet":
+        """Set the human-readable label of the batch."""
+        self._label = label
+        return self
+
+    def add(self, *edits: Edit) -> "ChangeSet":
+        """Append pre-built edits (escape hatch for custom Edit types)."""
+        self._edits.extend(edits)
+        return self
+
+    def build(self) -> Change:
+        """Compile to an atomic :class:`~repro.core.change.Change`."""
+        return Change(edits=list(self._edits), label=self._label)
+
+    @classmethod
+    def from_change(cls, change: Change) -> "ChangeSet":
+        """Wrap an existing change batch for further chaining."""
+        changeset = cls(change.label)
+        changeset._edits = list(change.edits)
+        return changeset
+
+    @classmethod
+    def from_script(cls, text: str, label: str = "") -> "ChangeSet":
+        """Parse the on-disk change-script format."""
+        return cls.from_change(parse_change(text, label=label))
+
+    def to_script(self) -> str:
+        """Serialize back to the change-script format."""
+        return serialize_change(self.build())
+
+    # -- physical layer ------------------------------------------------------
+
+    def link_down(
+        self,
+        router1: str,
+        router2: str,
+        interface1: str | None = None,
+        interface2: str | None = None,
+    ) -> "ChangeSet":
+        """Fail the link between two routers."""
+        return self.add(LinkDown(router1, router2, interface1, interface2))
+
+    def link_up(
+        self,
+        router1: str,
+        router2: str,
+        interface1: str | None = None,
+        interface2: str | None = None,
+    ) -> "ChangeSet":
+        """Recover a previously failed link."""
+        return self.add(LinkUp(router1, router2, interface1, interface2))
+
+    def shutdown_interface(self, router: str, interface: str) -> "ChangeSet":
+        """Administratively disable one interface."""
+        return self.add(ShutdownInterface(router, interface))
+
+    def enable_interface(self, router: str, interface: str) -> "ChangeSet":
+        """Re-enable a previously shut down interface."""
+        return self.add(EnableInterface(router, interface))
+
+    # -- static routes -------------------------------------------------------
+
+    def add_static_route(
+        self,
+        router: str,
+        prefix: PrefixLike,
+        next_hop: AddressLike | None = None,
+        interface: str | None = None,
+        drop: bool = False,
+    ) -> "ChangeSet":
+        """Install a static route (next-hop, interface, or null route)."""
+        route = StaticRouteConfig(
+            prefix=_prefix(prefix),
+            next_hop=None if next_hop is None else _address(next_hop),
+            interface=interface,
+            drop=drop,
+        )
+        return self.add(AddStaticRoute(router, route))
+
+    def remove_static_route(
+        self,
+        router: str,
+        prefix: PrefixLike,
+        next_hop: AddressLike | None = None,
+        interface: str | None = None,
+        drop: bool = False,
+    ) -> "ChangeSet":
+        """Remove a static route (matched by value)."""
+        route = StaticRouteConfig(
+            prefix=_prefix(prefix),
+            next_hop=None if next_hop is None else _address(next_hop),
+            interface=interface,
+            drop=drop,
+        )
+        return self.add(RemoveStaticRoute(router, route))
+
+    # -- OSPF ----------------------------------------------------------------
+
+    def set_ospf_cost(
+        self, router: str, interface: str, cost: int
+    ) -> "ChangeSet":
+        """Change an interface's OSPF cost."""
+        return self.add(SetOspfCost(router, interface, cost))
+
+    def enable_ospf(
+        self,
+        router: str,
+        interface: str,
+        area: int = 0,
+        cost: int = 10,
+        passive: bool = False,
+    ) -> "ChangeSet":
+        """Start running OSPF on an interface."""
+        return self.add(
+            EnableOspfInterface(router, interface, area, cost, passive)
+        )
+
+    def disable_ospf(self, router: str, interface: str) -> "ChangeSet":
+        """Stop running OSPF on an interface."""
+        return self.add(DisableOspfInterface(router, interface))
+
+    # -- BGP -----------------------------------------------------------------
+
+    def announce(self, router: str, prefix: PrefixLike) -> "ChangeSet":
+        """Add a BGP ``network`` statement (origination)."""
+        return self.add(AnnouncePrefix(router, _prefix(prefix)))
+
+    def withdraw(self, router: str, prefix: PrefixLike) -> "ChangeSet":
+        """Remove a BGP ``network`` statement."""
+        return self.add(WithdrawPrefix(router, _prefix(prefix)))
+
+    def add_bgp_neighbor(
+        self,
+        router: str,
+        peer_ip: AddressLike,
+        remote_asn: int,
+        import_policy: str | None = None,
+        export_policy: str | None = None,
+        next_hop_self: bool = False,
+    ) -> "ChangeSet":
+        """Configure a new BGP session endpoint."""
+        neighbor = BgpNeighborConfig(
+            peer_ip=_address(peer_ip),
+            remote_asn=remote_asn,
+            import_policy=import_policy,
+            export_policy=export_policy,
+            next_hop_self=next_hop_self,
+        )
+        return self.add(AddBgpNeighbor(router, neighbor))
+
+    def remove_bgp_neighbor(
+        self, router: str, peer_ip: AddressLike
+    ) -> "ChangeSet":
+        """Tear down a BGP session endpoint."""
+        return self.add(RemoveBgpNeighbor(router, _address(peer_ip)))
+
+    def set_local_pref(
+        self, router: str, route_map: str, seq: int, local_pref: int
+    ) -> "ChangeSet":
+        """Rewrite the local-pref action of an existing route-map clause."""
+        return self.add(SetLocalPref(router, route_map, seq, local_pref))
+
+    def add_route_map_clause(
+        self, router: str, route_map: str, clause: RouteMapClause
+    ) -> "ChangeSet":
+        """Insert a clause into a route map (creating the map if needed)."""
+        return self.add(AddRouteMapClause(router, route_map, clause))
+
+    def remove_route_map_clause(
+        self, router: str, route_map: str, seq: int
+    ) -> "ChangeSet":
+        """Delete a clause from a route map."""
+        return self.add(RemoveRouteMapClause(router, route_map, seq))
+
+    # -- ACLs ----------------------------------------------------------------
+
+    def permit(
+        self,
+        router: str,
+        acl: str,
+        dst: PrefixLike,
+        src: PrefixLike | None = None,
+        proto: int | None = None,
+        dport: tuple[int, int] | None = None,
+        position: int | None = None,
+    ) -> "ChangeSet":
+        """Append (or insert) a PERMIT rule in an ACL."""
+        return self._acl_rule(
+            AclAction.PERMIT, router, acl, dst, src, proto, dport, position
+        )
+
+    def deny(
+        self,
+        router: str,
+        acl: str,
+        dst: PrefixLike,
+        src: PrefixLike | None = None,
+        proto: int | None = None,
+        dport: tuple[int, int] | None = None,
+        position: int | None = None,
+    ) -> "ChangeSet":
+        """Append (or insert) a DENY rule in an ACL."""
+        return self._acl_rule(
+            AclAction.DENY, router, acl, dst, src, proto, dport, position
+        )
+
+    def _acl_rule(
+        self,
+        action: AclAction,
+        router: str,
+        acl: str,
+        dst: PrefixLike,
+        src: PrefixLike | None,
+        proto: int | None,
+        dport: tuple[int, int] | None,
+        position: int | None,
+    ) -> "ChangeSet":
+        rule = AclRule(
+            action=action,
+            dst=_prefix(dst),
+            src=None if src is None else _prefix(src),
+            proto=proto,
+            dport_lo=None if dport is None else dport[0],
+            dport_hi=None if dport is None else dport[1],
+        )
+        return self.add(AddAclRule(router, acl, rule, position))
+
+    def add_acl_rule(
+        self, router: str, acl: str, rule: AclRule, position: int | None = None
+    ) -> "ChangeSet":
+        """Append (or insert) a pre-built rule in an ACL."""
+        return self.add(AddAclRule(router, acl, rule, position))
+
+    def remove_acl_rule(
+        self, router: str, acl: str, rule: AclRule
+    ) -> "ChangeSet":
+        """Remove the first rule equal to ``rule`` from an ACL."""
+        return self.add(RemoveAclRule(router, acl, rule))
+
+    def bind_acl(
+        self, router: str, interface: str, acl: str, direction: str = "out"
+    ) -> "ChangeSet":
+        """Attach an ACL to an interface."""
+        return self.add(BindAcl(router, interface, acl, direction))
+
+    def unbind_acl(
+        self, router: str, interface: str, direction: str = "out"
+    ) -> "ChangeSet":
+        """Detach whatever ACL is bound in ``direction``."""
+        return self.add(BindAcl(router, interface, None, direction))
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line description of the batch (see Change.describe)."""
+        return self.build().describe()
+
+    def __len__(self) -> int:
+        return len(self._edits)
+
+    def __iter__(self) -> Iterator[Edit]:
+        return iter(self._edits)
+
+    def __repr__(self) -> str:
+        label = f"{self._label!r}, " if self._label else ""
+        return f"ChangeSet({label}{len(self._edits)} edits)"

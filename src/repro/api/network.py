@@ -1,0 +1,349 @@
+"""The :class:`Network` session facade.
+
+One object wraps the whole differential toolchain — a snapshot, the
+converged analyzer state, what-if forking, campaigns, packet queries,
+and invariant checking — behind a small typed surface::
+
+    net = Network.generate("fat_tree", size=4)
+    outage = ChangeSet("fail spine").link_down("agg0_0", "core0")
+
+    report = net.preview(outage)          # fork-backed, non-committing
+    violations = net.check(report, ["loop-freedom"])
+    net.apply(outage)                     # commits; state advances
+
+    trace = net.trace("edge0_0", "172.16.3.1")
+    campaign = net.campaign(scenarios, jobs=4)
+
+Every outcome object (:class:`~repro.core.delta.DeltaReport`,
+:class:`~repro.campaign.report.CampaignReport`,
+:class:`~repro.query.trace.PacketTrace`,
+:class:`~repro.query.paths.PathDiff`,
+:class:`~repro.core.invariants.Violation`) serializes through
+``to_dict()/from_dict()`` with a ``schema_version`` field, so results
+round-trip through JSON byte-stably across process and service
+boundaries.
+
+Convergence is lazy: constructing a ``Network`` is free, and the first
+method that needs converged state pays for one simulation.  All later
+calls reuse that warm state — including campaign workers, which fork
+from it instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.campaign.report import CampaignReport
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.scenarios import WhatIfScenario
+from repro.controlplane.simulation import NetworkState
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.change import Change
+from repro.core.delta import DeltaReport
+from repro.core.invariants import (
+    Invariant,
+    Violation,
+    _check_invariants,
+    make_invariant,
+)
+from repro.core.snapshot import Snapshot
+from repro.net.addr import IPv4Address, Prefix
+from repro.query.paths import ForwardingPaths, PathDiff, _forwarding_paths
+from repro.query.trace import PacketTrace, _trace_packet
+from repro.topology.model import Topology
+from repro.workloads.scenarios import Scenario
+
+from repro.api.changeset import ChangeSet
+
+ChangeLike = Union[Change, ChangeSet]
+InvariantLike = Union[Invariant, str]
+DestinationLike = Union[IPv4Address, int, str]
+
+TOPOLOGY_KINDS = ("fat_tree", "ring", "line", "random", "geant", "internet2")
+
+
+def _as_change(change: ChangeLike) -> Change:
+    if isinstance(change, ChangeSet):
+        return change.build()
+    return change
+
+
+def _as_dst(dst: DestinationLike) -> int:
+    if isinstance(dst, int):
+        return dst
+    if isinstance(dst, str):
+        return IPv4Address(dst).value
+    return dst.value
+
+
+def _resolve_invariants(
+    invariants: Iterable[InvariantLike],
+) -> list[Invariant]:
+    resolved: list[Invariant] = []
+    for invariant in invariants:
+        if isinstance(invariant, str):
+            resolved.append(make_invariant(invariant))
+        else:
+            resolved.append(invariant)
+    return resolved
+
+
+class Network:
+    """Typed session facade over one converged network model.
+
+    This is *the* supported entry point for analysis: construct it
+    from a snapshot, topology, on-disk directory, or generator, then
+    ask differential questions against the shared converged state.
+    """
+
+    def __init__(self, snapshot: Snapshot) -> None:
+        self.snapshot = snapshot
+        # Generator metadata (roles, host subnets) when built via
+        # :meth:`generate`; the campaign enumerators consume it.
+        self.scenario: Scenario | None = None
+        self._analyzer: DifferentialNetworkAnalyzer | None = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Snapshot) -> "Network":
+        """Wrap an in-memory snapshot (topology + device configs)."""
+        return cls(snapshot)
+
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "Network":
+        """Wrap a bare topology with empty device configurations."""
+        return cls(Snapshot(topology=topology))
+
+    @classmethod
+    def from_analyzer(cls, analyzer: DifferentialNetworkAnalyzer) -> "Network":
+        """Adopt an already-converged analyzer (no re-simulation)."""
+        network = cls(analyzer.snapshot)
+        network._analyzer = analyzer
+        return network
+
+    @classmethod
+    def load(cls, directory: str) -> "Network":
+        """Load a snapshot saved with :meth:`save` / ``Snapshot.save``."""
+        return cls(Snapshot.load(directory))
+
+    @classmethod
+    def generate(
+        cls,
+        topology: str = "fat_tree",
+        size: int = 4,
+        seed: int = 0,
+        edges: int | None = None,
+    ) -> "Network":
+        """A configured built-in scenario network.
+
+        ``topology`` is one of :data:`TOPOLOGY_KINDS`; ``size`` is the
+        fat-tree arity or router count, ``seed``/``edges`` parameterize
+        the random generator.  The generator metadata (roles, host
+        subnets) stays available as :attr:`scenario` for the campaign
+        enumerators.
+        """
+        from repro.workloads import scenarios as builders
+
+        scenario: Scenario
+        if topology == "fat_tree":
+            scenario = builders.fat_tree_ospf(size)
+        elif topology == "ring":
+            scenario = builders.ring_ospf(size)
+        elif topology == "line":
+            scenario = builders.line_static(size)
+        elif topology == "random":
+            if edges is None:
+                edges = size + size // 2
+            scenario = builders.random_ospf(size, edges, seed=seed)
+        elif topology == "geant":
+            scenario = builders.geant_ospf()
+        elif topology == "internet2":
+            scenario = builders.internet2_bgp()
+        else:
+            raise ValueError(
+                f"unknown topology {topology!r}; known: {TOPOLOGY_KINDS}"
+            )
+        network = cls(scenario.snapshot)
+        network.scenario = scenario
+        return network
+
+    # -- converged state -----------------------------------------------------
+
+    @property
+    def analyzer(self) -> DifferentialNetworkAnalyzer:
+        """The underlying differential analyzer (converges on first use)."""
+        if self._analyzer is None:
+            self._analyzer = DifferentialNetworkAnalyzer(self.snapshot)
+        return self._analyzer
+
+    @property
+    def state(self) -> NetworkState:
+        """The converged control/data-plane state."""
+        return self.analyzer.state
+
+    def converged(self) -> bool:
+        """True once the one-time simulation has run."""
+        return self._analyzer is not None
+
+    def summary(self) -> str:
+        """One-line description of the snapshot."""
+        return self.snapshot.summary()
+
+    def save(self, directory: str) -> None:
+        """Write the (current) snapshot to a config directory."""
+        self.snapshot.save(directory)
+
+    # -- differential analysis -----------------------------------------------
+
+    def changeset(self, label: str = "") -> ChangeSet:
+        """A fresh fluent :class:`ChangeSet` builder (convenience)."""
+        return ChangeSet(label)
+
+    def apply(self, change: ChangeLike) -> DeltaReport:
+        """Commit a change and return everything it did.
+
+        The network's converged state advances to the post-change
+        network; subsequent queries see the change applied.
+        """
+        return self.analyzer.analyze(_as_change(change))
+
+    def preview(self, change: ChangeLike) -> DeltaReport:
+        """Evaluate a change without committing it.
+
+        Fork-backed: the report is identical to :meth:`apply` of the
+        same change, but the converged state rolls back afterwards —
+        also when the change fails to apply.
+        """
+        return self.analyzer.what_if(_as_change(change))
+
+    def campaign(
+        self,
+        scenarios: Sequence[WhatIfScenario],
+        jobs: int = 1,
+        backend: str | None = None,
+        invariants: Sequence[InvariantLike] | None = None,
+        monitored: Sequence[Prefix] | None = None,
+        with_signatures: bool = True,
+        label: str = "",
+    ) -> CampaignReport:
+        """Batch what-if analysis of many scenarios against this state.
+
+        Workers fork the warm converged state per scenario (serial
+        backend) or unpickle one replica each (``jobs > 1``); the
+        report is byte-identical either way.  ``backend`` selects
+        ``"serial"`` or ``"multiprocessing"`` explicitly; by default
+        ``jobs`` decides.  Batches of one scenario always run serially
+        (there is nothing to parallelize) — check ``report.backend``
+        for what actually ran.  ``invariants`` accepts instances or
+        registered names; ``monitored`` scopes blast-radius ranking to
+        the given prefixes.
+        """
+        if backend is not None:
+            if backend == "serial":
+                jobs = 1
+            elif backend == "multiprocessing":
+                jobs = max(jobs, 2)
+            else:
+                raise ValueError(
+                    f"unknown backend {backend!r}; "
+                    "expected 'serial' or 'multiprocessing'"
+                )
+        runner = CampaignRunner.from_analyzer(
+            self.analyzer,
+            invariants=_resolve_invariants(invariants or []),
+            with_signatures=with_signatures,
+            label=label or self.snapshot.summary(),
+            monitored=list(monitored) if monitored is not None else None,
+        )
+        return runner.run(list(scenarios), jobs=jobs)
+
+    # -- queries -------------------------------------------------------------
+
+    def trace(
+        self,
+        source: str,
+        dst: DestinationLike,
+        src: DestinationLike | None = None,
+        proto: int | None = None,
+        dport: int | None = None,
+        max_hops: int = 64,
+    ) -> PacketTrace:
+        """Follow one concrete packet from ``source`` to its fates.
+
+        ``dst``/``src`` accept dotted-quad strings, addresses, or raw
+        ints; unset header fields are wildcard-ish zeros.
+        """
+        packet: dict[str, int] = {"dst": _as_dst(dst)}
+        if src is not None:
+            packet["src"] = _as_dst(src)
+        if proto is not None:
+            packet["proto"] = proto
+        if dport is not None:
+            packet["dport"] = dport
+        return _trace_packet(self.state, source, packet, max_hops)
+
+    def paths(
+        self, source: str, dst: DestinationLike, max_hops: int = 64
+    ) -> ForwardingPaths:
+        """The forwarding DAG from ``source`` for one destination."""
+        edges, delivered = _forwarding_paths(
+            self.state, source, _as_dst(dst), max_hops
+        )
+        return ForwardingPaths(source=source, edges=edges, delivered=delivered)
+
+    def path_diff(
+        self, change: ChangeLike, source: str, dst: DestinationLike
+    ) -> PathDiff:
+        """How a change would move the (source, destination) DAG.
+
+        Fork-backed like :meth:`preview`: the change is applied
+        speculatively, the post-change DAG extracted, and the state
+        rolled back.
+        """
+        address = _as_dst(dst)
+        before = self.paths(source, address)
+        analyzer = self.analyzer
+        with analyzer.fork():
+            analyzer.analyze(_as_change(change))
+            after_edges, after_delivered = _forwarding_paths(
+                analyzer.state, source, address
+            )
+        return PathDiff(
+            added_edges=after_edges - before.edges,
+            removed_edges=before.edges - after_edges,
+            reachable_before=before.delivered,
+            reachable_after=after_delivered,
+        )
+
+    # -- invariants ----------------------------------------------------------
+
+    def check(
+        self,
+        report: DeltaReport,
+        invariants: Sequence[InvariantLike],
+    ) -> list[Violation]:
+        """Violations a change introduced or repaired.
+
+        ``invariants`` mixes instances and registered names (see
+        :func:`repro.core.invariants.register_invariant`); verdicts
+        come back flat, in invariant order.
+        """
+        violations: list[Violation] = []
+        for invariant in _resolve_invariants(invariants):
+            violations.extend(invariant.check(report))
+        return violations
+
+    def check_by_invariant(
+        self,
+        report: DeltaReport,
+        invariants: Sequence[InvariantLike],
+    ) -> Mapping[str, list[Violation]]:
+        """Like :meth:`check`, grouped by invariant name (non-empty only)."""
+        return _check_invariants(report, _resolve_invariants(invariants))
+
+    # -- misc ----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        converged = "converged" if self.converged() else "not converged"
+        return f"Network({self.snapshot.summary()}; {converged})"

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
+from repro.core import serialize
 from repro.core.delta import DeltaReport
-from repro.core.invariants import Invariant, Violation, check_invariants
+from repro.core.invariants import Invariant, Violation, _check_invariants
 
 
 @dataclass
@@ -72,7 +74,7 @@ class ScenarioOutcome:
             pairs_lost=lost,
             segments=len(report.reach_segments),
             duration=report.timings.get("total", 0.0),
-            violations=check_invariants(report, invariants),
+            violations=_check_invariants(report, invariants),
             monitored_pairs_gained=monitored_gained,
             monitored_pairs_lost=monitored_lost,
             signature=report.behavior_signature() if with_signature else None,
@@ -111,6 +113,62 @@ class ScenarioOutcome:
             if not violation.repaired
         )
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready fragment (the enclosing report carries the
+        schema version)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "ok": self.ok,
+            "error": self.error,
+            "rib_changes": self.rib_changes,
+            "fib_changes": self.fib_changes,
+            "pairs_gained": self.pairs_gained,
+            "pairs_lost": self.pairs_lost,
+            "segments": self.segments,
+            "duration": self.duration,
+            "violations": {
+                name: [violation.to_dict() for violation in violations]
+                for name, violations in sorted(self.violations.items())
+            },
+            "monitored_pairs_gained": self.monitored_pairs_gained,
+            "monitored_pairs_lost": self.monitored_pairs_lost,
+            "signature": (
+                None
+                if self.signature is None
+                else serialize.encode_signature(self.signature)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioOutcome":
+        signature = data["signature"]
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            ok=data["ok"],
+            error=data["error"],
+            rib_changes=data["rib_changes"],
+            fib_changes=data["fib_changes"],
+            pairs_gained=data["pairs_gained"],
+            pairs_lost=data["pairs_lost"],
+            segments=data["segments"],
+            duration=data["duration"],
+            violations={
+                name: [Violation.from_dict(item) for item in violations]
+                for name, violations in data["violations"].items()
+            },
+            monitored_pairs_gained=data["monitored_pairs_gained"],
+            monitored_pairs_lost=data["monitored_pairs_lost"],
+            signature=(
+                None
+                if signature is None
+                else serialize.decode_signature(signature)
+            ),
+        )
+
     def __str__(self) -> str:
         if not self.ok:
             return f"{self.name}: ERROR {self.error}"
@@ -125,6 +183,9 @@ class ScenarioOutcome:
         if self.violations:
             parts.append(f"({self.num_violations()} violations)")
         return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"ScenarioOutcome({self})"
 
 
 class CampaignReport:
@@ -222,8 +283,42 @@ class CampaignReport:
             lines.append(f"  {outcome}")
         return "\n".join(lines)
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON document (see :mod:`repro.core.serialize`)."""
+        return serialize.document(
+            "campaign-report",
+            {
+                "label": self.label,
+                "backend": self.backend,
+                "jobs": self.jobs,
+                "wall_time": self.wall_time,
+                "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignReport":
+        """Rebuild a report; raises SchemaError on unknown versions."""
+        serialize.check_document(data, "campaign-report")
+        report = cls(
+            label=data["label"], backend=data["backend"], jobs=data["jobs"]
+        )
+        report.wall_time = data["wall_time"]
+        for outcome in data["outcomes"]:
+            report.add(ScenarioOutcome.from_dict(outcome))
+        return report
+
     def __str__(self) -> str:
         return self.summary()
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignReport({self.label!r}: {len(self.outcomes)} outcomes, "
+            f"{len(self.violating())} violating, {len(self.failed())} failed, "
+            f"backend={self.backend!r})"
+        )
 
     def __len__(self) -> int:
         return len(self.outcomes)

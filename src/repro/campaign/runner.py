@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import warnings
 
 from repro.campaign.report import CampaignReport, ScenarioOutcome
 from repro.campaign.scenarios import WhatIfScenario
@@ -155,10 +156,20 @@ class CampaignRunner:
     ) -> CampaignReport:
         """Evaluate the batch with ``jobs`` workers.
 
-        ``jobs <= 1`` runs serially in-process.  Larger batches use a
+        ``jobs == 1`` runs serially in-process.  Larger batches use a
         process pool; ``chunk_size`` controls work-queue granularity
-        (default: enough chunks for ~4 rounds per worker).
+        (default: enough chunks for ~4 rounds per worker).  ``jobs``
+        below 1 is a configuration mistake — it falls back to the
+        serial backend with a warning rather than crashing mid-batch.
         """
+        if jobs < 1:
+            warnings.warn(
+                f"CampaignRunner.run(jobs={jobs}) is invalid; "
+                "falling back to the serial backend (jobs=1)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            jobs = 1
         scenarios = list(scenarios)
         if jobs <= 1 or len(scenarios) <= 1:
             return self._run_serial(scenarios)

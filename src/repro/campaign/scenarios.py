@@ -39,6 +39,13 @@ class WhatIfScenario:
     def __str__(self) -> str:
         return f"{self.kind}: {self.name}"
 
+    def __repr__(self) -> str:
+        tags = f", tags={list(self.tags)}" if self.tags else ""
+        return (
+            f"WhatIfScenario({self.name!r}, kind={self.kind!r}, "
+            f"{len(self.change)} edits{tags})"
+        )
+
 
 def _core_links(scenario: Scenario, include_customer_links: bool) -> list:
     links = []

@@ -1,45 +1,74 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Operator-facing workflow over on-disk snapshots:
+Operator-facing workflow over on-disk snapshots, built entirely on the
+:class:`repro.api.Network` session facade:
 
 - ``show <snapshot-dir>`` — snapshot summary and converged state stats.
 - ``analyze <snapshot-dir> <change-script>`` — differential review of
   a change script (see :mod:`repro.core.change_text` for the format);
   ``--commit`` writes the changed snapshot back, ``--baseline`` also
-  runs the snapshot-diff baseline and verifies agreement.
+  runs the snapshot-diff baseline and verifies agreement, ``--json``
+  emits the schema-versioned delta report.
 - ``trace <snapshot-dir> <source> <dst-ip>`` — packet trace with
-  optional ``--src/--proto/--dport``.
+  optional ``--src/--proto/--dport``; ``--json`` emits the trace.
 - ``campaign <kind>`` — batch what-if analysis over a built-in
   scenario: enumerate failures/policy candidates (``links``,
   ``k-links``, ``acl``, ``bgp``), evaluate them with forked analyzer
   state (``--jobs N`` for the multiprocessing backend), and print the
-  ranked blast-radius report.
+  ranked blast-radius report (or the full report with ``--json``).
+  ``--invariant NAME`` picks checks from the invariant registry.
 - ``demo <directory>`` — write a small example snapshot + change
   script to play with (``--topology/--size/--seed`` pick the fabric).
+
+JSON output is the versioned result schema from
+:mod:`repro.core.serialize`: every document carries ``schema_version``
+and ``kind`` and round-trips byte-stably through
+``to_dict -> from_dict -> to_dict``.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
+from typing import Any
 
-from repro.core.change_text import parse_change, serialize_change
-from repro.core.snapshot import Snapshot
+from repro.api import ChangeSet, Network, make_invariant, registered_invariants
+from repro.api.network import TOPOLOGY_KINDS
 
 
-def _load(directory: str) -> Snapshot:
+def _no_arg_invariants() -> list[str]:
+    """Registered invariant names the CLI can instantiate (no required
+    constructor arguments); parameterized ones (reachability,
+    isolation) need the Python API."""
+    names = []
+    for name, cls in sorted(registered_invariants().items()):
+        parameters = inspect.signature(cls).parameters.values()
+        if all(
+            p.default is not inspect.Parameter.empty
+            or p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+            for p in parameters
+        ):
+            names.append(name)
+    return names
+
+
+def _load(directory: str) -> Network:
     try:
-        return Snapshot.load(directory)
+        return Network.load(directory)
     except FileNotFoundError as error:
         raise SystemExit(f"error: cannot load snapshot: {error}")
 
 
-def cmd_show(args: argparse.Namespace) -> int:
-    from repro.controlplane.simulation import simulate
+def _emit_json(document: dict[str, Any]) -> None:
+    print(json.dumps(document, sort_keys=True, indent=2))
 
-    snapshot = _load(args.snapshot)
-    print(snapshot.summary())
-    state = simulate(snapshot)
+
+def cmd_show(args: argparse.Namespace) -> int:
+    network = _load(args.snapshot)
+    print(network.summary())
+    state = network.state
     stats = state.dataplane.stats()
     print(f"converged: {stats['fib_entries']} FIB entries, "
           f"{stats['atoms']} atoms, "
@@ -51,84 +80,66 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.core.analyzer import DifferentialNetworkAnalyzer
     from repro.core.snapshot_diff import SnapshotDiff
 
-    snapshot = _load(args.snapshot)
+    network = _load(args.snapshot)
     with open(args.change) as handle:
-        change = parse_change(handle.read(), label=args.change)
-    print(change.describe())
+        change = ChangeSet.from_script(handle.read(), label=args.change)
+    if not args.json:
+        print(change.describe())
 
-    analyzer = DifferentialNetworkAnalyzer(snapshot)
     if args.baseline:
-        baseline = SnapshotDiff(analyzer.snapshot.clone())
-        reference = baseline.analyze(change)
-    report = analyzer.analyze(change)
-    print()
-    print(report.summary())
+        baseline = SnapshotDiff(network.snapshot.clone())
+        reference = baseline.analyze(change.build())
+    report = network.apply(change)
+    if args.json:
+        _emit_json(report.to_dict())
+    else:
+        print()
+        print(report.summary())
     if args.baseline:
         agree = report.behavior_signature() == reference.behavior_signature()
         speedup = reference.timings["total"] / max(report.timings["total"], 1e-9)
-        print(f"\nbaseline agrees: {agree} (speedup {speedup:.1f}x)")
+        if not args.json:
+            print(f"\nbaseline agrees: {agree} (speedup {speedup:.1f}x)")
         if not agree:
             return 1
     if args.commit:
-        analyzer.snapshot.save(args.snapshot)
-        print(f"\ncommitted to {args.snapshot}")
+        network.save(args.snapshot)
+        if not args.json:
+            print(f"\ncommitted to {args.snapshot}")
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.controlplane.simulation import simulate
-    from repro.net.addr import IPv4Address
-    from repro.query.trace import trace_packet
-
-    snapshot = _load(args.snapshot)
-    state = simulate(snapshot)
-    packet = {"dst": IPv4Address(args.dst).value}
-    if args.src:
-        packet["src"] = IPv4Address(args.src).value
-    if args.proto is not None:
-        packet["proto"] = args.proto
-    if args.dport is not None:
-        packet["dport"] = args.dport
-    trace = trace_packet(state, args.source, packet)
-    print(trace.render())
+    network = _load(args.snapshot)
+    trace = network.trace(
+        args.source,
+        args.dst,
+        src=args.src,
+        proto=args.proto,
+        dport=args.dport,
+    )
+    if args.json:
+        _emit_json(trace.to_dict())
+    else:
+        print(trace.render())
     return 0 if trace.is_delivered() else 2
-
-
-def _build_scenario(name: str, size: int, edges: int | None, seed: int):
-    """A named built-in scenario (shared by ``campaign`` and ``demo``)."""
-    from repro.workloads import scenarios as builders
-
-    if name == "fat_tree":
-        return builders.fat_tree_ospf(size)
-    if name == "ring":
-        return builders.ring_ospf(size)
-    if name == "line":
-        return builders.line_static(size)
-    if name == "random":
-        if edges is None:
-            edges = size + size // 2
-        return builders.random_ospf(size, edges, seed=seed)
-    if name == "geant":
-        return builders.geant_ospf()
-    if name == "internet2":
-        return builders.internet2_bgp()
-    raise SystemExit(f"error: unknown scenario {name!r}")
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import (
-        CampaignRunner,
         acl_block_sweep,
         all_single_link_failures,
         bgp_policy_sweep,
         sampled_k_link_failures,
     )
-    from repro.core.invariants import BlackholeFreedom, LoopFreedom
 
-    scenario = _build_scenario(args.scenario, args.size, args.edges, args.seed)
+    network = Network.generate(
+        args.scenario, size=args.size, seed=args.seed, edges=args.edges
+    )
+    scenario = network.scenario
+    assert scenario is not None
     if args.kind == "links":
         batch = all_single_link_failures(scenario)
     elif args.kind == "k-links":
@@ -146,36 +157,51 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     host_subnets = scenario.fabric.all_host_subnets()
-    invariants = [
-        LoopFreedom(),
-        BlackholeFreedom(monitored=host_subnets),
-    ]
-    print(
-        f"campaign: {len(batch)} {args.kind} scenarios on "
-        f"{scenario.name} ({scenario.topology.num_routers()} routers), "
-        f"jobs={args.jobs}"
-    )
-    runner = CampaignRunner(
-        scenario.snapshot,
+    # Default suite; --invariant overrides with registry names.
+    # blackhole-freedom is scoped to host subnets either way (the
+    # failed link's own /31 always blackholes and is not an outage).
+    names = args.invariant or ["loop-freedom", "blackhole-freedom"]
+    invariants = []
+    for name in names:
+        try:
+            if name == "blackhole-freedom":
+                invariants.append(make_invariant(name, monitored=host_subnets))
+            else:
+                invariants.append(make_invariant(name))
+        except (TypeError, ValueError) as error:
+            raise SystemExit(f"error: {error}")
+    if not args.json:
+        print(
+            f"campaign: {len(batch)} {args.kind} scenarios on "
+            f"{scenario.name} ({scenario.topology.num_routers()} routers), "
+            f"jobs={args.jobs}"
+        )
+    report = network.campaign(
+        batch,
+        jobs=args.jobs,
         invariants=invariants,
         label=scenario.name,
         # Rank by host-visible impact: a failed link's own /31
         # vanishing is a reroute, not an outage.
         monitored=host_subnets,
     )
-    report = runner.run(batch, jobs=args.jobs)
-    print()
-    print(report.summary(top=args.top))
+    if args.json:
+        _emit_json(report.to_dict())
+    else:
+        print()
+        print(report.summary(top=args.top))
     return 1 if report.failed() else 0
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
     import os
 
-    scenario = _build_scenario(
-        args.topology, args.size, args.edges, args.seed
+    network = Network.generate(
+        args.topology, size=args.size, seed=args.seed, edges=args.edges
     )
-    scenario.snapshot.save(args.directory)
+    scenario = network.scenario
+    assert scenario is not None
+    network.save(args.directory)
     link = next(iter(scenario.topology.links()))
     (r1, _i1), (r2, _i2) = link.side_a, link.side_b
     script = os.path.join(args.directory, "change.dna")
@@ -216,6 +242,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the changed snapshot back")
     analyze.add_argument("--baseline", action="store_true",
                          help="also run the snapshot-diff baseline and compare")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the schema-versioned delta report as JSON")
     analyze.set_defaults(handler=cmd_analyze)
 
     trace = commands.add_parser("trace", help="trace one packet")
@@ -225,6 +253,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--src", help="source IPv4 address")
     trace.add_argument("--proto", type=int)
     trace.add_argument("--dport", type=int)
+    trace.add_argument("--json", action="store_true",
+                       help="emit the schema-versioned trace as JSON")
     trace.set_defaults(handler=cmd_trace)
 
     campaign = commands.add_parser(
@@ -239,7 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--scenario",
         default="fat_tree",
-        choices=["fat_tree", "ring", "line", "random", "geant", "internet2"],
+        choices=list(TOPOLOGY_KINDS),
         help="built-in base network (default: fat_tree)",
     )
     campaign.add_argument(
@@ -267,6 +297,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--top", type=int, default=10, help="rows in the ranked summary"
     )
+    campaign.add_argument(
+        "--invariant", action="append", metavar="NAME",
+        help="registered invariant name to check (repeatable; default: "
+        f"loop-freedom, blackhole-freedom; usable here: "
+        f"{', '.join(_no_arg_invariants())}; parameterized invariants "
+        "need the Python API)",
+    )
+    campaign.add_argument(
+        "--json", action="store_true",
+        help="emit the schema-versioned campaign report as JSON",
+    )
     campaign.set_defaults(handler=cmd_campaign)
 
     demo = commands.add_parser("demo", help="write a demo snapshot")
@@ -274,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--topology",
         default="ring",
-        choices=["fat_tree", "ring", "line", "random", "geant", "internet2"],
+        choices=list(TOPOLOGY_KINDS),
         help="fabric to generate (default: ring)",
     )
     demo.add_argument(

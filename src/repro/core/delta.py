@@ -19,8 +19,10 @@ the union of both boundary sets and merged back greedily.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.controlplane.rib import Route
+from repro.core import serialize
 from repro.dataplane.fib import FibEntry
 from repro.dataplane.reachability import AtomReachability
 from repro.net.addr import Prefix
@@ -54,6 +56,33 @@ class ReachSegment:
 
     def is_empty(self) -> bool:
         return all(not part for part in self.payload())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready fragment (the enclosing report carries the
+        schema version)."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "added": sorted(list(pair) for pair in self.added),
+            "removed": sorted(list(pair) for pair in self.removed),
+            "loops_added": sorted(self.loops_added),
+            "loops_removed": sorted(self.loops_removed),
+            "blackholes_added": sorted(self.blackholes_added),
+            "blackholes_removed": sorted(self.blackholes_removed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReachSegment":
+        return cls(
+            lo=data["lo"],
+            hi=data["hi"],
+            added=frozenset((src, owner) for src, owner in data["added"]),
+            removed=frozenset((src, owner) for src, owner in data["removed"]),
+            loops_added=frozenset(data["loops_added"]),
+            loops_removed=frozenset(data["loops_removed"]),
+            blackholes_added=frozenset(data["blackholes_added"]),
+            blackholes_removed=frozenset(data["blackholes_removed"]),
+        )
 
     def __str__(self) -> str:
         parts = [f"[{self.lo}, {self.hi})"]
@@ -247,6 +276,67 @@ class DeltaReport:
             and not self.reach_segments
         )
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON document (see :mod:`repro.core.serialize`)."""
+
+        def encode_changes(changes: dict, encode) -> dict[str, dict[str, list]]:
+            return {
+                router: {
+                    str(prefix): [encode(before), encode(after)]
+                    for prefix, (before, after) in sorted(
+                        per_router.items(), key=lambda kv: kv[0]
+                    )
+                }
+                for router, per_router in sorted(changes.items())
+            }
+
+        return serialize.document(
+            "delta-report",
+            {
+                "label": self.label,
+                "rib_changes": encode_changes(
+                    self.rib_changes, serialize.encode_route
+                ),
+                "fib_changes": encode_changes(
+                    self.fib_changes, serialize.encode_fib_entry
+                ),
+                "reach_segments": [s.to_dict() for s in self.reach_segments],
+                "timings": dict(self.timings),
+                "counters": dict(self.counters),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DeltaReport":
+        """Rebuild a report; raises SchemaError on unknown versions."""
+        serialize.check_document(data, "delta-report")
+        report = cls(data["label"])
+        for router, per_router in data["rib_changes"].items():
+            report.rib_changes[router] = {
+                Prefix(prefix): (
+                    serialize.decode_route(before),
+                    serialize.decode_route(after),
+                )
+                for prefix, (before, after) in per_router.items()
+            }
+        for router, per_router in data["fib_changes"].items():
+            report.fib_changes[router] = {
+                Prefix(prefix): (
+                    serialize.decode_fib_entry(before),
+                    serialize.decode_fib_entry(after),
+                )
+                for prefix, (before, after) in per_router.items()
+            }
+        report.reach_segments = [
+            ReachSegment.from_dict(segment)
+            for segment in data["reach_segments"]
+        ]
+        report.timings = dict(data["timings"])
+        report.counters = dict(data["counters"])
+        return report
+
     # -- comparison between analysis paths ---------------------------------------
 
     def behavior_signature(self) -> tuple:
@@ -299,3 +389,11 @@ class DeltaReport:
 
     def __str__(self) -> str:
         return self.summary()
+
+    def __repr__(self) -> str:
+        gained, lost = self.num_pair_changes()
+        return (
+            f"DeltaReport({self.label!r}: {self.num_rib_changes()} RIB, "
+            f"{self.num_fib_changes()} FIB, {len(self.reach_segments)} "
+            f"segments, +{gained}/-{lost} pairs)"
+        )

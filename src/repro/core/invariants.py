@@ -16,14 +16,23 @@ Built-in invariants:
 - :class:`BlackholeFreedom` — no implicit drops for destinations
   inside a monitored prefix.
 
-``check_invariants`` evaluates a suite and returns structured
-verdicts; examples and benchmarks print them directly.
+Invariants self-register in a name -> class **registry**
+(:func:`register_invariant`), so services and the CLI can be handed
+invariant *names* instead of hard-coded lists, and users can plug in
+their own checks.  The :class:`repro.api.Network` facade resolves
+names through the registry in ``Network.check``.
+
+The legacy free function ``check_invariants`` survives as a deprecated
+shim; call :meth:`Invariant.check` per invariant or use the facade.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
+from repro.core import serialize
 from repro.core.delta import DeltaReport, ReachSegment
 from repro.net.addr import Prefix
 
@@ -44,6 +53,90 @@ class Violation:
             f"[{self.invariant}] {verb} in [{self.segment_lo}, "
             f"{self.segment_hi}): {self.detail}"
         )
+
+    def __repr__(self) -> str:
+        return f"Violation({self})"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON document."""
+        return serialize.document(
+            "violation",
+            {
+                "invariant": self.invariant,
+                "segment_lo": self.segment_lo,
+                "segment_hi": self.segment_hi,
+                "detail": self.detail,
+                "repaired": self.repaired,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Violation":
+        """Rebuild a violation; raises SchemaError on unknown versions."""
+        serialize.check_document(data, "violation")
+        return cls(
+            invariant=data["invariant"],
+            segment_lo=data["segment_lo"],
+            segment_hi=data["segment_hi"],
+            detail=data["detail"],
+            repaired=data["repaired"],
+        )
+
+
+# -- registry ---------------------------------------------------------------
+#
+# name -> Invariant subclass.  Built-ins register at import; users add
+# their own with ``register_invariant`` (usable as a decorator) and
+# can then refer to invariants by name everywhere a suite is built —
+# ``Network.check``, the campaign CLI's ``--invariant`` flag, config
+# files.
+
+_REGISTRY: dict[str, type["Invariant"]] = {}
+
+
+def register_invariant(
+    name: str, cls: type["Invariant"] | None = None
+) -> Callable[[type["Invariant"]], type["Invariant"]] | type["Invariant"]:
+    """Register an invariant class under ``name``.
+
+    Direct call: ``register_invariant("loop-freedom", LoopFreedom)``.
+    Decorator: ``@register_invariant("my-check")`` above the class.
+    Re-registering a name with a *different* class is an error.
+    """
+
+    def _register(target: type["Invariant"]) -> type["Invariant"]:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not target:
+            raise ValueError(
+                f"invariant name {name!r} is already registered "
+                f"to {existing.__name__}"
+            )
+        _REGISTRY[name] = target
+        return target
+
+    if cls is None:
+        return _register
+    return _register(cls)
+
+
+def invariant_class(name: str) -> type["Invariant"]:
+    """Look up a registered invariant class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown invariant {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def make_invariant(name: str, **kwargs: Any) -> "Invariant":
+    """Instantiate a registered invariant by name."""
+    return invariant_class(name)(**kwargs)
+
+
+def registered_invariants() -> dict[str, type["Invariant"]]:
+    """A copy of the registry (name -> class)."""
+    return dict(_REGISTRY)
 
 
 class Invariant:
@@ -231,7 +324,13 @@ class BlackholeFreedom(Invariant):
         return violations
 
 
-def check_invariants(
+register_invariant("reachability", ReachabilityInvariant)
+register_invariant("isolation", IsolationInvariant)
+register_invariant("loop-freedom", LoopFreedom)
+register_invariant("blackhole-freedom", BlackholeFreedom)
+
+
+def _check_invariants(
     report: DeltaReport, invariants: list[Invariant]
 ) -> dict[str, list[Violation]]:
     """Run a suite; returns {invariant name: violations} (non-empty
@@ -242,3 +341,17 @@ def check_invariants(
         if violations:
             results[invariant.name] = violations
     return results
+
+
+def check_invariants(
+    report: DeltaReport, invariants: list[Invariant]
+) -> dict[str, list[Violation]]:
+    """Deprecated shim: use :meth:`repro.api.Network.check` (or call
+    :meth:`Invariant.check` per invariant)."""
+    warnings.warn(
+        "check_invariants() is deprecated; use repro.api.Network.check() "
+        "or Invariant.check() directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _check_invariants(report, invariants)

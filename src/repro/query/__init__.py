@@ -6,12 +6,23 @@
   (delivered / dropped / blackholed / looping).
 - :mod:`~repro.query.paths` — differential path queries: how did the
   forwarding DAG between two routers change across a delta report?
+
+The supported entry points are :meth:`repro.api.Network.trace`,
+:meth:`~repro.api.Network.paths`, and
+:meth:`~repro.api.Network.path_diff`; the free functions re-exported
+here are deprecated shims kept for backwards compatibility.
 """
 
 from repro.query.trace import Hop, PacketTrace, TraceOutcome, trace_packet
-from repro.query.paths import PathDiff, forwarding_paths, path_diff
+from repro.query.paths import (
+    ForwardingPaths,
+    PathDiff,
+    forwarding_paths,
+    path_diff,
+)
 
 __all__ = [
+    "ForwardingPaths",
     "Hop",
     "PacketTrace",
     "PathDiff",

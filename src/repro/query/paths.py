@@ -1,16 +1,47 @@
 """Differential path queries.
 
-``forwarding_paths`` extracts the forwarding DAG between a source
-router and the owners of a destination address from converged state;
-``path_diff`` compares the DAG before/after a change — the "how did my
-traffic move?" question the BGP what-if example asks.
+``Network.paths`` extracts the forwarding DAG between a source router
+and the owners of a destination address from converged state;
+``Network.path_diff`` compares the DAG before/after a change — the
+"how did my traffic move?" question the BGP what-if example asks.
+
+The supported entry points live on the :class:`repro.api.Network`
+facade; the module-level ``forwarding_paths``/``path_diff`` free
+functions survive as deprecated shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.controlplane.simulation import NetworkState
+from repro.core import serialize
+
+
+@dataclass(frozen=True)
+class ForwardingPaths:
+    """The forwarding DAG for one (source, destination) pair."""
+
+    source: str
+    edges: frozenset[tuple[str, str]]
+    delivered: bool
+
+    def routers(self) -> set[str]:
+        """Every router the DAG touches (including the source)."""
+        return {self.source} | {r for edge in self.edges for r in edge}
+
+    def __str__(self) -> str:
+        edges = ", ".join(f"{u}->{v}" for u, v in sorted(self.edges))
+        fate = "delivered" if self.delivered else "not delivered"
+        return f"paths from {self.source}: {edges or 'none'} ({fate})"
+
+    def __repr__(self) -> str:
+        return (
+            f"ForwardingPaths(from {self.source!r}, {len(self.edges)} edges, "
+            f"delivered={self.delivered})"
+        )
 
 
 @dataclass(frozen=True)
@@ -42,8 +73,35 @@ class PathDiff:
             )
         return "; ".join(parts) if parts else "unchanged"
 
+    # -- serialization -------------------------------------------------------
 
-def forwarding_paths(
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON document (see :mod:`repro.core.serialize`)."""
+        return serialize.document(
+            "path-diff",
+            {
+                "added_edges": sorted(list(edge) for edge in self.added_edges),
+                "removed_edges": sorted(
+                    list(edge) for edge in self.removed_edges
+                ),
+                "reachable_before": self.reachable_before,
+                "reachable_after": self.reachable_after,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PathDiff":
+        """Rebuild a diff; raises SchemaError on unknown versions."""
+        serialize.check_document(data, "path-diff")
+        return cls(
+            added_edges=frozenset((u, v) for u, v in data["added_edges"]),
+            removed_edges=frozenset((u, v) for u, v in data["removed_edges"]),
+            reachable_before=data["reachable_before"],
+            reachable_after=data["reachable_after"],
+        )
+
+
+def _forwarding_paths(
     state: NetworkState, source: str, dst_address: int, max_hops: int = 64
 ) -> tuple[frozenset[tuple[str, str]], bool]:
     """(forwarding DAG edges, delivered?) from ``source`` for one
@@ -78,18 +136,45 @@ def forwarding_paths(
     return frozenset(edges), delivered
 
 
-def path_diff(
+def _path_diff(
     before: NetworkState,
     after: NetworkState,
     source: str,
     dst_address: int,
 ) -> PathDiff:
     """How the forwarding DAG for (source, destination) changed."""
-    edges_before, reach_before = forwarding_paths(before, source, dst_address)
-    edges_after, reach_after = forwarding_paths(after, source, dst_address)
+    edges_before, reach_before = _forwarding_paths(before, source, dst_address)
+    edges_after, reach_after = _forwarding_paths(after, source, dst_address)
     return PathDiff(
         added_edges=edges_after - edges_before,
         removed_edges=edges_before - edges_after,
         reachable_before=reach_before,
         reachable_after=reach_after,
     )
+
+
+def forwarding_paths(
+    state: NetworkState, source: str, dst_address: int, max_hops: int = 64
+) -> tuple[frozenset[tuple[str, str]], bool]:
+    """Deprecated shim: use :meth:`repro.api.Network.paths`."""
+    warnings.warn(
+        "forwarding_paths() is deprecated; use repro.api.Network.paths()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _forwarding_paths(state, source, dst_address, max_hops)
+
+
+def path_diff(
+    before: NetworkState,
+    after: NetworkState,
+    source: str,
+    dst_address: int,
+) -> PathDiff:
+    """Deprecated shim: use :meth:`repro.api.Network.path_diff`."""
+    warnings.warn(
+        "path_diff() is deprecated; use repro.api.Network.path_diff()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _path_diff(before, after, source, dst_address)

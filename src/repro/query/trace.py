@@ -10,15 +10,20 @@ one terminal fate per leaf.
 Used by examples as a "traceroute", and by tests as an oracle: for
 packets whose path crosses only destination-based ACLs, the trace's
 delivery fate must agree with the atom-level reachability analysis.
+
+The supported entry point is :meth:`repro.api.Network.trace`; the
+module-level ``trace_packet`` survives as a deprecated shim.
 """
 
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.controlplane.simulation import NetworkState
+from repro.core import serialize
 
 
 class TraceOutcome(enum.Enum):
@@ -77,6 +82,69 @@ class PacketTrace:
             lines.append(f"  => {outcome.value} at {sorted(routers)}")
         return "\n".join(lines)
 
+    def __repr__(self) -> str:
+        fates = ", ".join(sorted(fate.value for fate in self.outcomes))
+        return (
+            f"PacketTrace(from {self.source!r} for {self.packet}, "
+            f"{len(self.hops)} hops, fates: {fates or 'none'})"
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON document (see :mod:`repro.core.serialize`)."""
+        return serialize.document(
+            "packet-trace",
+            {
+                "packet": {key: self.packet[key] for key in sorted(self.packet)},
+                "source": self.source,
+                "hops": [
+                    {
+                        "router": hop.router,
+                        "prefix": hop.prefix,
+                        "action": hop.action,
+                    }
+                    for hop in self.hops
+                ],
+                "outcomes": {
+                    outcome.value: sorted(routers)
+                    for outcome, routers in sorted(
+                        self.outcomes.items(), key=lambda kv: kv[0].value
+                    )
+                },
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PacketTrace":
+        """Rebuild a trace; raises SchemaError on unknown versions."""
+        serialize.check_document(data, "packet-trace")
+        # Restore the tracer's canonical field order (the JSON form is
+        # key-sorted) so render() round-trips verbatim.
+        fields = dict(data["packet"])
+        packet = {
+            key: fields.pop(key)
+            for key in ("src", "proto", "dport", "dst")
+            if key in fields
+        }
+        packet.update(fields)
+        return cls(
+            packet=packet,
+            source=data["source"],
+            hops=[
+                Hop(
+                    router=hop["router"],
+                    prefix=hop["prefix"],
+                    action=hop["action"],
+                )
+                for hop in data["hops"]
+            ],
+            outcomes={
+                TraceOutcome(value): set(routers)
+                for value, routers in data["outcomes"].items()
+            },
+        )
+
 
 def _acl_permits(state: NetworkState, router: str, acl_name: str | None,
                  packet: Mapping[str, int]) -> bool:
@@ -91,7 +159,7 @@ def _acl_permits(state: NetworkState, router: str, acl_name: str | None,
     return acl.permits_packet(packet)
 
 
-def trace_packet(
+def _trace_packet(
     state: NetworkState,
     source: str,
     packet: Mapping[str, int],
@@ -180,3 +248,18 @@ def trace_packet(
             )
             frontier.append((hop.neighbor, visited))
     return trace
+
+
+def trace_packet(
+    state: NetworkState,
+    source: str,
+    packet: Mapping[str, int],
+    max_hops: int = 64,
+) -> PacketTrace:
+    """Deprecated shim: use :meth:`repro.api.Network.trace`."""
+    warnings.warn(
+        "trace_packet() is deprecated; use repro.api.Network.trace()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _trace_packet(state, source, packet, max_hops)

@@ -20,6 +20,10 @@ Scenarios mirror the paper family's datasets:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.api import Network
 
 from repro.config.device import DeviceConfig
 from repro.config.routemap import (
@@ -63,6 +67,18 @@ class Scenario:
     @property
     def topology(self):
         return self.snapshot.topology
+
+    def network(self) -> "Network":
+        """Wrap this scenario in a :class:`repro.api.Network` session.
+
+        The facade keeps a reference back to this scenario (roles,
+        host subnets) so campaign enumerators keep working.
+        """
+        from repro.api import Network  # runtime import: api builds on us
+
+        net = Network.from_snapshot(self.snapshot)
+        net.scenario = self
+        return net
 
 
 def _enable_ospf_everywhere(

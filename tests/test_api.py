@@ -1,0 +1,302 @@
+"""The `repro.api` session facade and the fluent ChangeSet builder.
+
+The load-bearing guarantee: the facade is a pure veneer — `preview`,
+`apply`, and `campaign` produce reports identical to the legacy
+`what_if` / `analyze` / `CampaignRunner` call paths.
+"""
+
+import pytest
+
+from repro.api import ChangeSet, Network
+from repro.campaign import CampaignRunner, all_single_link_failures
+from repro.config.acl import AclAction, AclRule
+from repro.config.routing import StaticRouteConfig
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.change import (
+    AddAclRule,
+    AddStaticRoute,
+    BindAcl,
+    Change,
+    LinkDown,
+    LinkUp,
+    SetLocalPref,
+    SetOspfCost,
+)
+from repro.core.invariants import LoopFreedom
+from repro.net.addr import IPv4Address, Prefix
+from repro.query.paths import ForwardingPaths
+from repro.workloads.scenarios import ring_ospf
+
+
+@pytest.fixture()
+def ring6():
+    return ring_ospf(6)
+
+
+class TestConstructors:
+    def test_from_snapshot_lazy_convergence(self, ring6):
+        net = Network.from_snapshot(ring6.snapshot)
+        assert not net.converged()
+        assert net.state.fibs  # forces the one-time simulation
+        assert net.converged()
+
+    def test_from_topology(self, ring6):
+        net = Network.from_topology(ring6.snapshot.topology)
+        assert net.snapshot.topology.num_routers() == 6
+
+    def test_from_analyzer_adopts_warm_state(self, ring6):
+        analyzer = DifferentialNetworkAnalyzer(ring6.snapshot)
+        net = Network.from_analyzer(analyzer)
+        assert net.converged()
+        assert net.analyzer is analyzer
+
+    def test_load_save_round_trip(self, ring6, tmp_path):
+        directory = str(tmp_path / "snap")
+        Network.from_snapshot(ring6.snapshot).save(directory)
+        net = Network.load(directory)
+        assert net.snapshot.topology.num_routers() == 6
+
+    def test_generate_keeps_scenario_metadata(self):
+        net = Network.generate("ring", size=6)
+        assert net.scenario is not None
+        assert net.scenario.fabric.all_host_subnets()
+
+    def test_generate_unknown_topology(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            Network.generate("moebius", size=3)
+
+    def test_scenario_network_helper(self, ring6):
+        net = ring6.network()
+        assert net.scenario is ring6
+        assert net.snapshot is ring6.snapshot
+
+
+class TestEquivalenceWithLegacyPaths:
+    """Acceptance: facade reports == legacy engine reports."""
+
+    def test_preview_matches_what_if(self, ring6):
+        net = ring_ospf(6).network()
+        legacy = DifferentialNetworkAnalyzer(ring6.snapshot)
+        change = Change.of(LinkDown("r0", "r1"), label="fail")
+        facade = net.preview(ChangeSet("fail").link_down("r0", "r1"))
+        reference = legacy.what_if(change)
+        assert facade.behavior_signature() == reference.behavior_signature()
+        assert facade.num_rib_changes() == reference.num_rib_changes()
+        assert facade.num_fib_changes() == reference.num_fib_changes()
+        assert facade.num_pair_changes() == reference.num_pair_changes()
+
+    def test_apply_matches_analyze(self, ring6):
+        net = ring_ospf(6).network()
+        legacy = DifferentialNetworkAnalyzer(ring6.snapshot)
+        facade = net.apply(ChangeSet("fail").link_down("r0", "r1"))
+        reference = legacy.analyze(Change.of(LinkDown("r0", "r1"), label="fail"))
+        assert facade.behavior_signature() == reference.behavior_signature()
+        # Both sessions advanced identically: recovering the link
+        # yields mirrored reports too.
+        facade_up = net.apply(ChangeSet("recover").link_up("r0", "r1"))
+        reference_up = legacy.analyze(
+            Change.of(LinkUp("r0", "r1"), label="recover")
+        )
+        assert (
+            facade_up.behavior_signature() == reference_up.behavior_signature()
+        )
+
+    def test_campaign_matches_campaign_runner(self):
+        scenario = ring_ospf(6)
+        batch = all_single_link_failures(scenario)
+        monitored = scenario.fabric.all_host_subnets()
+
+        legacy_runner = CampaignRunner(
+            scenario.snapshot.clone(),
+            invariants=[LoopFreedom()],
+            label="ring6",
+            monitored=monitored,
+        )
+        reference = legacy_runner.run(batch)
+
+        net = scenario.network()
+        facade = net.campaign(
+            batch,
+            invariants=["loop-freedom"],
+            label="ring6",
+            monitored=monitored,
+        )
+        assert facade.signatures() == reference.signatures()
+        assert [o.name for o in facade.ranked()] == [
+            o.name for o in reference.ranked()
+        ]
+        assert [o.blast_radius() for o in facade.outcomes] == [
+            o.blast_radius() for o in reference.outcomes
+        ]
+
+    def test_preview_does_not_commit_apply_does(self, ring6):
+        net = ring6.network()
+        change = ChangeSet().link_down("r0", "r1")
+        preview = net.preview(change)
+        assert not preview.is_empty()
+        # The link is still up: previewing again finds the same delta.
+        second = net.preview(change)
+        assert second.behavior_signature() == preview.behavior_signature()
+        applied = net.apply(change)
+        assert applied.behavior_signature() == preview.behavior_signature()
+        # Now it is committed: re-disabling the same link is a no-op,
+        # proving the session state really advanced.
+        assert net.preview(change).is_empty()
+
+
+class TestQueries:
+    def test_trace_accepts_string_and_int_destinations(self, ring6):
+        net = ring6.network()
+        target = ring6.fabric.host_subnets["r3"][0]
+        by_int = net.trace("r0", target.first + 1)
+        by_str = net.trace("r0", str(IPv4Address(target.first + 1)))
+        by_addr = net.trace("r0", IPv4Address(target.first + 1))
+        assert by_int.is_delivered()
+        assert by_str.render() == by_int.render()
+        assert by_addr.render() == by_int.render()
+
+    def test_paths_returns_typed_dag(self, ring6):
+        net = ring6.network()
+        target = ring6.fabric.host_subnets["r3"][0]
+        paths = net.paths("r0", target.first + 1)
+        assert isinstance(paths, ForwardingPaths)
+        assert paths.delivered
+        assert paths.routers() >= {"r0", "r3"}
+
+    def test_path_diff_is_fork_backed(self, ring6):
+        net = ring6.network()
+        target = ring6.fabric.host_subnets["r1"][0]
+        diff = net.path_diff(
+            ChangeSet().link_down("r0", "r1"), "r0", target.first + 1
+        )
+        assert ("r0", "r1") in diff.removed_edges
+        # The speculative change rolled back: direct path still live.
+        assert ("r0", "r1") in net.paths("r0", target.first + 1).edges
+
+    def test_check_resolves_registry_names(self, ring6):
+        net = ring6.network()
+        report = net.preview(ChangeSet().link_down("r0", "r1"))
+        # A ring link failure blackholes the link's own /31.
+        named = net.check(report, ["blackhole-freedom"])
+        assert named and all(
+            v.invariant == "blackhole-freedom" for v in named
+        )
+        instanced = net.check(report, [LoopFreedom()])
+        assert instanced == []  # rings reroute without looping
+
+    def test_check_by_invariant_groups(self, ring6):
+        net = ring6.network()
+        report = net.preview(ChangeSet().link_down("r0", "r1"))
+        grouped = net.check_by_invariant(report, ["blackhole-freedom"])
+        flat = net.check(report, ["blackhole-freedom"])
+        regrouped = [
+            violation
+            for violations in grouped.values()
+            for violation in violations
+        ]
+        assert sorted(regrouped, key=str) == sorted(flat, key=str)
+
+    def test_campaign_backend_validation(self, ring6):
+        net = ring6.network()
+        with pytest.raises(ValueError, match="unknown backend"):
+            net.campaign([], backend="quantum")
+
+
+class TestChangeSet:
+    def test_builds_equivalent_change(self):
+        built = (
+            ChangeSet("combo")
+            .link_down("r0", "r1")
+            .set_ospf_cost("r2", "eth0", 50)
+            .set_local_pref("r3", "RM", 10, 200)
+            .build()
+        )
+        reference = Change.of(
+            LinkDown("r0", "r1"),
+            SetOspfCost("r2", "eth0", 50),
+            SetLocalPref("r3", "RM", 10, 200),
+            label="combo",
+        )
+        assert built.label == reference.label
+        assert built.edits == reference.edits
+
+    def test_acl_sugar(self):
+        built = (
+            ChangeSet()
+            .permit("r2", "F", "0.0.0.0/0")
+            .deny("r2", "F", "172.16.4.0/24", position=0)
+            .bind_acl("r2", "eth1", "F", "out")
+            .build()
+        )
+        reference = Change.of(
+            AddAclRule(
+                "r2", "F", AclRule(AclAction.PERMIT, dst=Prefix("0.0.0.0/0"))
+            ),
+            AddAclRule(
+                "r2",
+                "F",
+                AclRule(AclAction.DENY, dst=Prefix("172.16.4.0/24")),
+                position=0,
+            ),
+            BindAcl("r2", "eth1", "F", "out"),
+        )
+        assert built.edits == reference.edits
+
+    def test_static_route_coercions(self):
+        built = (
+            ChangeSet()
+            .add_static_route("r0", "198.51.100.0/24", next_hop="10.0.0.1")
+            .build()
+        )
+        reference = Change.of(
+            AddStaticRoute(
+                "r0",
+                StaticRouteConfig(
+                    Prefix("198.51.100.0/24"),
+                    next_hop=IPv4Address("10.0.0.1"),
+                ),
+            )
+        )
+        assert built.edits == reference.edits
+
+    def test_script_round_trip(self):
+        changeset = ChangeSet("demo").link_down("r0", "r1")
+        script = changeset.to_script()
+        rebuilt = ChangeSet.from_script(script, label="demo")
+        assert rebuilt.build().edits == changeset.build().edits
+
+    def test_facade_accepts_changeset_and_change(self, ring6):
+        net = ring6.network()
+        via_changeset = net.preview(ChangeSet().link_down("r0", "r1"))
+        via_change = net.preview(Change.of(LinkDown("r0", "r1")))
+        assert (
+            via_changeset.behavior_signature()
+            == via_change.behavior_signature()
+        )
+
+    def test_repr_and_len(self):
+        changeset = ChangeSet("x").link_down("r0", "r1")
+        assert len(changeset) == 1
+        assert "1 edits" in repr(changeset)
+        assert list(changeset) == changeset.build().edits
+
+
+class TestReprs:
+    """Satellite: campaign debugging needs non-opaque objects."""
+
+    def test_delta_report_repr(self, ring6):
+        report = ring6.network().preview(ChangeSet("fail").link_down("r0", "r1"))
+        text = repr(report)
+        assert "DeltaReport" in text and "RIB" in text and "pairs" in text
+
+    def test_whatif_scenario_repr(self, ring6):
+        scenario = all_single_link_failures(ring6)[0]
+        text = repr(scenario)
+        assert "WhatIfScenario" in text and "link-failure" in text
+
+    def test_violation_repr(self, ring6):
+        net = ring6.network()
+        report = net.preview(ChangeSet().link_down("r0", "r1"))
+        violations = net.check(report, ["blackhole-freedom"])
+        assert violations, "ring blackholes its /31 on failure"
+        assert "Violation(" in repr(violations[0])

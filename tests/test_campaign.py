@@ -101,6 +101,18 @@ class TestCampaignRunner:
         ]
         assert parallel.signatures() == serial.signatures()
 
+    def test_invalid_jobs_falls_back_to_serial(self, ring6):
+        """jobs=0 or negative is a config mistake, not a crash."""
+        batch = all_single_link_failures(ring6)
+        runner = CampaignRunner(ring6.snapshot.clone(), label="ring6")
+        reference = runner.run(batch, jobs=1)
+        for bad_jobs in (0, -3):
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                report = runner.run(batch, jobs=bad_jobs)
+            assert report.backend == "serial"
+            assert report.jobs == 1
+            assert report.signatures() == reference.signatures()
+
     def test_runner_reusable_after_campaign(self, ring6):
         """Campaigns must not advance the base state."""
         batch = all_single_link_failures(ring6)

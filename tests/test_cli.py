@@ -1,0 +1,109 @@
+"""The CLI rides the api facade; ``--json`` emits the versioned schema.
+
+Acceptance: ``repro analyze --json`` and ``repro campaign --json``
+emit schema-versioned JSON that ``from_dict`` round-trips byte-stably.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.campaign.report import CampaignReport
+from repro.core.delta import DeltaReport
+from repro.core.serialize import SCHEMA_VERSION
+from repro.query.trace import PacketTrace
+
+
+@pytest.fixture()
+def demo_dir(tmp_path, capsys):
+    directory = str(tmp_path / "demo")
+    assert cli.main(["demo", directory, "--topology", "ring", "--size", "6"]) == 0
+    capsys.readouterr()  # swallow the demo chatter
+    return directory
+
+
+def run_json(capsys, argv):
+    code = cli.main(argv)
+    output = capsys.readouterr().out
+    return code, json.loads(output), output
+
+
+class TestAnalyzeJson:
+    def test_round_trips_byte_stably(self, demo_dir, capsys):
+        code, document, _ = run_json(
+            capsys, ["analyze", demo_dir, f"{demo_dir}/change.dna", "--json"]
+        )
+        assert code == 0
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["kind"] == "delta-report"
+        rebuilt = DeltaReport.from_dict(document)
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
+            document, sort_keys=True
+        )
+        assert rebuilt.num_fib_changes() > 0
+
+    def test_baseline_agreement_in_json_mode(self, demo_dir, capsys):
+        code, document, _ = run_json(
+            capsys,
+            ["analyze", demo_dir, f"{demo_dir}/change.dna",
+             "--json", "--baseline"],
+        )
+        assert code == 0  # exit 1 would mean baseline disagreement
+        assert document["kind"] == "delta-report"
+
+
+class TestTraceJson:
+    def test_round_trips_byte_stably(self, demo_dir, capsys):
+        code, document, _ = run_json(
+            capsys, ["trace", demo_dir, "r0", "172.16.3.1", "--json"]
+        )
+        assert code == 0  # delivered
+        assert document["kind"] == "packet-trace"
+        rebuilt = PacketTrace.from_dict(document)
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
+            document, sort_keys=True
+        )
+
+
+class TestCampaignJson:
+    def test_round_trips_byte_stably(self, capsys):
+        code, document, _ = run_json(
+            capsys,
+            ["campaign", "links", "--scenario", "ring", "--size", "6",
+             "--json"],
+        )
+        assert code == 0
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["kind"] == "campaign-report"
+        rebuilt = CampaignReport.from_dict(document)
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
+            document, sort_keys=True
+        )
+        assert len(rebuilt) == 6  # one scenario per ring link
+
+    def test_invariant_flag_uses_registry(self, capsys):
+        code = cli.main(
+            ["campaign", "links", "--scenario", "ring", "--size", "6",
+             "--invariant", "loop-freedom", "--top", "3"]
+        )
+        capsys.readouterr()
+        assert code == 0
+
+    def test_unknown_invariant_name_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit, match="unknown invariant"):
+            cli.main(
+                ["campaign", "links", "--scenario", "ring", "--size", "6",
+                 "--invariant", "nonsense"]
+            )
+
+
+class TestTextModeStillWorks:
+    def test_show(self, demo_dir, capsys):
+        assert cli.main(["show", demo_dir]) == 0
+        assert "converged:" in capsys.readouterr().out
+
+    def test_analyze_text(self, demo_dir, capsys):
+        code = cli.main(["analyze", demo_dir, f"{demo_dir}/change.dna"])
+        assert code == 0
+        assert "FIB" in capsys.readouterr().out

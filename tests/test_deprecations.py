@@ -1,0 +1,113 @@
+"""The legacy call paths survive as warning, delegating shims.
+
+Two guarantees:
+
+1. *Importing* the old names is silent — a codebase running with
+   ``-W error::DeprecationWarning`` only breaks where it *calls* a
+   deprecated function, never at import time.
+2. Calling a shim warns exactly once per call site and returns the
+   same result as the supported path.
+"""
+
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.api import Network
+from repro.controlplane.simulation import simulate
+from repro.core.change import Change, LinkDown
+from repro.core.invariants import LoopFreedom, check_invariants
+from repro.query.paths import forwarding_paths, path_diff
+from repro.query.trace import trace_packet
+from repro.workloads.scenarios import ring_ospf
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestImportsStaySilent:
+    def test_old_imports_clean_under_error_filter(self):
+        """`-W error::DeprecationWarning` must not break imports."""
+        code = (
+            "import repro\n"
+            "import repro.query\n"
+            "from repro.query.trace import trace_packet\n"
+            "from repro.query.paths import forwarding_paths, path_diff\n"
+            "from repro.core.invariants import check_invariants\n"
+            "from repro.campaign import CampaignRunner\n"
+            "assert callable(trace_packet)\n"
+            "assert callable(check_invariants)\n"
+            "assert callable(repro.trace_packet)\n"
+            "assert callable(repro.path_diff)\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning", "-c", code],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={
+                **os.environ,
+                "PYTHONPATH": os.path.join(REPO_ROOT, "src"),
+            },
+        )
+        assert result.returncode == 0, result.stderr
+
+
+@pytest.fixture(scope="module")
+def ring6():
+    scenario = ring_ospf(6)
+    return scenario, simulate(scenario.snapshot, precompute_reachability=True)
+
+
+class TestShimsWarnAndDelegate:
+    def test_trace_packet(self, ring6):
+        scenario, state = ring6
+        target = scenario.fabric.host_subnets["r3"][0]
+        with pytest.deprecated_call(match="Network.trace"):
+            trace = trace_packet(state, "r0", {"dst": target.first + 1})
+        modern = scenario.network().trace("r0", target.first + 1)
+        assert trace.render() == modern.render()
+
+    def test_forwarding_paths(self, ring6):
+        scenario, state = ring6
+        target = scenario.fabric.host_subnets["r3"][0]
+        with pytest.deprecated_call(match="Network.paths"):
+            edges, delivered = forwarding_paths(state, "r0", target.first + 1)
+        modern = scenario.network().paths("r0", target.first + 1)
+        assert edges == modern.edges and delivered == modern.delivered
+
+    def test_path_diff(self, ring6):
+        scenario, state = ring6
+        target = scenario.fabric.host_subnets["r1"][0]
+        changed = scenario.snapshot.clone()
+        LinkDown("r0", "r1").apply(changed)
+        after = simulate(changed)
+        with pytest.deprecated_call(match="Network.path_diff"):
+            legacy = path_diff(state, after, "r0", target.first + 1)
+        modern = Network.from_snapshot(scenario.snapshot).path_diff(
+            Change.of(LinkDown("r0", "r1")), "r0", target.first + 1
+        )
+        assert legacy == modern
+
+    def test_check_invariants(self, ring6):
+        scenario, _state = ring6
+        net = scenario.network()
+        report = net.preview(Change.of(LinkDown("r0", "r1")))
+        with pytest.deprecated_call(match="Network.check"):
+            legacy = check_invariants(report, [LoopFreedom()])
+        assert legacy == net.check_by_invariant(report, [LoopFreedom()])
+
+    def test_supported_paths_do_not_warn(self, ring6):
+        """The facade must not route through its own shims."""
+        scenario, _state = ring6
+        net = scenario.network()
+        target = scenario.fabric.host_subnets["r3"][0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            net.trace("r0", target.first + 1)
+            net.paths("r0", target.first + 1)
+            report = net.preview(Change.of(LinkDown("r0", "r1")))
+            net.check(report, ["loop-freedom"])
+            net.campaign([])

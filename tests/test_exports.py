@@ -11,6 +11,12 @@ class TestLazyExports:
 
     def test_core_symbols_resolve(self):
         for name in (
+            "Network",
+            "ChangeSet",
+            "SchemaError",
+            "Violation",
+            "register_invariant",
+            "make_invariant",
             "Snapshot",
             "DifferentialNetworkAnalyzer",
             "SnapshotDiff",

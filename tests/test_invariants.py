@@ -1,13 +1,20 @@
-"""Differential invariant checking."""
+"""Differential invariant checking and the name registry."""
+
+import pytest
 
 from repro.core.analyzer import DifferentialNetworkAnalyzer
 from repro.core.delta import DeltaReport, ReachSegment
 from repro.core.invariants import (
     BlackholeFreedom,
+    Invariant,
     IsolationInvariant,
     LoopFreedom,
     ReachabilityInvariant,
-    check_invariants,
+    _check_invariants,
+    invariant_class,
+    make_invariant,
+    register_invariant,
+    registered_invariants,
 )
 from repro.net.addr import Prefix
 from repro.workloads.changes import ChangeGenerator
@@ -99,9 +106,64 @@ class TestEndToEnd:
         from repro.core.change import Change, LinkDown, LinkUp
 
         report = analyzer.analyze(Change.of(LinkDown("r1", "r2")))
-        results = check_invariants(report, invariants)
+        results = _check_invariants(report, invariants)
         assert any("reach" in name for name in results)
         report = analyzer.analyze(Change.of(LinkUp("r1", "r2")))
-        results = check_invariants(report, invariants)
+        results = _check_invariants(report, invariants)
         (violations,) = results.values()
         assert all(v.repaired for v in violations)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        registry = registered_invariants()
+        assert registry["loop-freedom"] is LoopFreedom
+        assert registry["blackhole-freedom"] is BlackholeFreedom
+        assert registry["reachability"] is ReachabilityInvariant
+        assert registry["isolation"] is IsolationInvariant
+
+    def test_invariant_class_lookup(self):
+        assert invariant_class("loop-freedom") is LoopFreedom
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="unknown invariant"):
+            invariant_class("does-not-exist")
+        with pytest.raises(ValueError, match="loop-freedom"):
+            make_invariant("does-not-exist")
+
+    def test_make_invariant_passes_kwargs(self):
+        monitored = [Prefix("10.99.0.0/24")]
+        inv = make_invariant("blackhole-freedom", monitored=monitored)
+        assert isinstance(inv, BlackholeFreedom)
+        assert inv.monitored == monitored
+
+    def test_reregistering_same_class_is_idempotent(self):
+        register_invariant("loop-freedom", LoopFreedom)
+        assert invariant_class("loop-freedom") is LoopFreedom
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_invariant("loop-freedom", BlackholeFreedom)
+
+    def test_decorator_registration(self):
+        registry_before = set(registered_invariants())
+
+        @register_invariant("test-always-clean")
+        class AlwaysClean(Invariant):
+            name = "test-always-clean"
+
+            def check_segment(self, segment):
+                return []
+
+        try:
+            assert invariant_class("test-always-clean") is AlwaysClean
+            report = report_with(
+                ReachSegment(LO, HI, removed=frozenset({("r0", "r2")}))
+            )
+            assert make_invariant("test-always-clean").check(report) == []
+        finally:
+            # Leave the global registry as we found it.
+            from repro.core import invariants as module
+
+            module._REGISTRY.pop("test-always-clean", None)
+            assert set(registered_invariants()) == registry_before

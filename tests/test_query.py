@@ -7,8 +7,13 @@ from repro.config.routing import StaticRouteConfig
 from repro.controlplane.simulation import simulate
 from repro.core.change import AddStaticRoute, Change, LinkDown
 from repro.net.addr import Prefix
-from repro.query.paths import forwarding_paths, path_diff
-from repro.query.trace import TraceOutcome, trace_packet
+# The deprecated free-function shims delegate to these; the engine
+# tests exercise the implementations directly (shim behaviour is
+# covered by tests/test_deprecations.py).
+from repro.query.paths import _forwarding_paths as forwarding_paths
+from repro.query.paths import _path_diff as path_diff
+from repro.query.trace import TraceOutcome
+from repro.query.trace import _trace_packet as trace_packet
 from repro.workloads.scenarios import fat_tree_ospf, line_static, ring_ospf
 
 

@@ -1,0 +1,214 @@
+"""Versioned JSON round-trips for every public result type.
+
+The contract under test: for any result ``r``,
+``dumps(r.to_dict())`` equals
+``dumps(type(r).from_dict(r.to_dict()).to_dict())`` with
+``sort_keys=True`` — byte-stable round-tripping — and ``from_dict``
+rejects unknown ``schema_version`` values and mismatched ``kind``
+tags with :class:`~repro.core.serialize.SchemaError`.
+"""
+
+import json
+
+import pytest
+
+from repro.api import ChangeSet, Network
+from repro.campaign import all_single_link_failures
+from repro.campaign.report import CampaignReport, ScenarioOutcome
+from repro.core.delta import DeltaReport, ReachSegment
+from repro.core.invariants import Violation
+from repro.core.serialize import (
+    SCHEMA_VERSION,
+    SchemaError,
+    decode_signature,
+    encode_signature,
+)
+from repro.net.addr import Prefix
+from repro.query.paths import PathDiff
+from repro.query.trace import PacketTrace
+from repro.workloads.changes import ChangeGenerator
+from repro.workloads.scenarios import internet2_bgp, ring_ospf
+
+
+def dumps(document) -> str:
+    return json.dumps(document, sort_keys=True)
+
+
+def assert_byte_stable(result) -> None:
+    """to_dict -> JSON -> from_dict -> to_dict is byte-identical."""
+    document = result.to_dict()
+    assert document["schema_version"] == SCHEMA_VERSION
+    wire = dumps(document)
+    rebuilt = type(result).from_dict(json.loads(wire))
+    assert dumps(rebuilt.to_dict()) == wire
+
+
+@pytest.fixture(scope="module")
+def ring6():
+    return Network.generate("ring", size=6)
+
+
+@pytest.fixture(scope="module")
+def wan():
+    return internet2_bgp().network()
+
+
+class TestDeltaReport:
+    def test_ospf_failure_round_trip(self, ring6):
+        report = ring6.preview(ChangeSet("fail").link_down("r0", "r1"))
+        assert not report.is_empty()
+        assert_byte_stable(report)
+
+    def test_bgp_report_round_trip(self, wan):
+        """BGP routes carry attribute bundles — the hard codec case."""
+        generator = ChangeGenerator(wan.scenario, seed=7)
+        flip = generator.dual_homed_pref_flip(
+            primary_pref=100, backup_pref=200
+        )
+        report = wan.preview(flip)
+        assert report.num_rib_changes()
+        assert_byte_stable(report)
+
+    def test_round_trip_preserves_semantics(self, ring6):
+        report = ring6.preview(ChangeSet("fail").link_down("r2", "r3"))
+        rebuilt = DeltaReport.from_dict(json.loads(dumps(report.to_dict())))
+        assert rebuilt.label == report.label
+        assert rebuilt.num_rib_changes() == report.num_rib_changes()
+        assert rebuilt.num_fib_changes() == report.num_fib_changes()
+        assert (
+            rebuilt.behavior_signature() == report.behavior_signature()
+        )
+
+    def test_empty_report_round_trip(self):
+        assert_byte_stable(DeltaReport("empty"))
+
+
+class TestViolation:
+    def test_round_trip(self):
+        violation = Violation(
+            invariant="loop-freedom",
+            segment_lo=10,
+            segment_hi=20,
+            detail="loops through ['r1']",
+            repaired=True,
+        )
+        assert_byte_stable(violation)
+        rebuilt = Violation.from_dict(violation.to_dict())
+        assert rebuilt == violation
+
+
+class TestCampaignReport:
+    def test_round_trip_with_violations_and_signatures(self, ring6):
+        batch = all_single_link_failures(ring6.scenario)
+        monitored = ring6.scenario.fabric.all_host_subnets()
+        report = ring6.campaign(
+            batch,
+            invariants=["loop-freedom", "blackhole-freedom"],
+            monitored=monitored,
+            label="ring6",
+        )
+        assert len(report) == len(batch)
+        assert_byte_stable(report)
+        rebuilt = CampaignReport.from_dict(report.to_dict())
+        assert rebuilt.signatures() == report.signatures()
+        assert [o.name for o in rebuilt.ranked()] == [
+            o.name for o in report.ranked()
+        ]
+
+    def test_error_outcome_round_trip(self):
+        report = CampaignReport("errors", backend="serial", jobs=1)
+        report.add(
+            ScenarioOutcome(
+                name="bad", kind="link-failure", ok=False,
+                error="ChangeError: no such link",
+            )
+        )
+        report.finish()
+        assert_byte_stable(report)
+
+
+class TestPacketTrace:
+    def test_round_trip(self, ring6):
+        target = ring6.scenario.fabric.host_subnets["r3"][0]
+        trace = ring6.trace("r0", target.first + 1, proto=6, dport=443)
+        assert trace.is_delivered()
+        assert_byte_stable(trace)
+        rebuilt = PacketTrace.from_dict(trace.to_dict())
+        assert rebuilt.delivered_at() == trace.delivered_at()
+        assert rebuilt.render() == trace.render()
+
+
+class TestPathDiff:
+    def test_round_trip(self, ring6):
+        target = ring6.scenario.fabric.host_subnets["r1"][0]
+        diff = ring6.path_diff(
+            ChangeSet().link_down("r0", "r1"), "r0", target.first + 1
+        )
+        assert not diff.is_empty()
+        assert_byte_stable(diff)
+        assert PathDiff.from_dict(diff.to_dict()) == diff
+
+
+class TestSchemaRejection:
+    RESULTS = [
+        (DeltaReport, lambda: DeltaReport("x").to_dict()),
+        (
+            Violation,
+            lambda: Violation("inv", 0, 1, "detail").to_dict(),
+        ),
+        (
+            CampaignReport,
+            lambda: CampaignReport("x").finish().to_dict(),
+        ),
+        (
+            PacketTrace,
+            lambda: PacketTrace(packet={"dst": 1}, source="r0").to_dict(),
+        ),
+        (
+            PathDiff,
+            lambda: PathDiff(
+                frozenset(), frozenset(), True, True
+            ).to_dict(),
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "cls,build", RESULTS, ids=[cls.__name__ for cls, _ in RESULTS]
+    )
+    def test_unknown_version_rejected(self, cls, build):
+        document = build()
+        document["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="schema_version"):
+            cls.from_dict(document)
+
+    @pytest.mark.parametrize(
+        "cls,build", RESULTS, ids=[cls.__name__ for cls, _ in RESULTS]
+    )
+    def test_missing_version_rejected(self, cls, build):
+        document = build()
+        del document["schema_version"]
+        with pytest.raises(SchemaError):
+            cls.from_dict(document)
+
+    def test_wrong_kind_rejected(self):
+        document = DeltaReport("x").to_dict()
+        with pytest.raises(SchemaError, match="delta-report"):
+            PathDiff.from_dict(
+                {**document, "kind": "delta-report"}
+            )
+
+
+class TestSignatureCodec:
+    def test_nested_tuples_survive_json(self, ring6):
+        report = ring6.preview(ChangeSet().link_down("r4", "r5"))
+        signature = report.behavior_signature()
+        wire = json.loads(dumps(encode_signature(signature)))
+        assert decode_signature(wire) == signature
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SchemaError, match="unknown signature tag"):
+            decode_signature({"$": "mystery", "v": 1})
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            encode_signature({"a": object()})
