@@ -1,0 +1,202 @@
+"""Regenerate ``BENCH_smoke.json`` — the tracked performance pulse.
+
+A tiny, fast (seconds, not minutes) suite of headline operations whose
+timings are written as a schema-versioned JSON document.  CI runs this
+on every push and uploads the result as an artifact, so regressions in
+the hot paths show up as a diffable number next to the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke.py [--out BENCH_smoke.json]
+                                              [--repeat 3] [--warmup 1]
+
+Document shape (``schema_version`` 1)::
+
+    {"suite": "smoke", "git_sha": ..., "platform": ..., "python": ...,
+     "repeat": N, "warmup": N,
+     "results": [{"name": ..., "median_s": ..., "p10_s": ..., "p90_s": ...,
+                  "params": {...}, "observed": {...}, "ops": {...},
+                  "repeat": N}, ...]}
+
+``ops`` carries the work counters of the measured operation (the
+analyzer's ``DeltaReport.counters``), so a timing regression can be
+attributed to extra work vs slower work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Callable
+
+from repro.bench.workloads import mixed_k8_batch
+from repro.campaign import CampaignRunner, all_single_link_failures
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.workloads.changes import ChangeGenerator
+from repro.workloads.scenarios import fat_tree_ospf, ring_ospf
+
+SCHEMA_VERSION = 1
+
+
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.check_output(
+                ["git", "rev-parse", "HEAD"], stderr=subprocess.DEVNULL
+            )
+            .decode()
+            .strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _measure(
+    fn: Callable[[], Any], repeat: int, warmup: int
+) -> tuple[list[float], Any]:
+    result: Any = None
+    for _ in range(warmup):
+        result = fn()
+    samples: list[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return samples, result
+
+
+def _entry(
+    name: str,
+    samples: list[float],
+    params: dict[str, Any],
+    observed: dict[str, Any],
+    ops: dict[str, int],
+) -> dict[str, Any]:
+    from repro.bench.harness import median
+
+    return {
+        "name": name,
+        "median_s": median(samples),
+        "p10_s": _percentile(samples, 0.1),
+        "p90_s": _percentile(samples, 0.9),
+        "params": params,
+        "observed": observed,
+        "ops": {key: int(value) for key, value in sorted(ops.items())},
+        "repeat": len(samples),
+    }
+
+
+def run_suite(repeat: int, warmup: int) -> dict[str, Any]:
+    results: list[dict[str, Any]] = []
+
+    # 1. Single-link what-if on the 20-router smoke topology.
+    scenario = fat_tree_ospf(4)
+    analyzer = DifferentialNetworkAnalyzer(scenario.snapshot.clone())
+    gen = ChangeGenerator(scenario, seed=7)
+    down, _up = gen.random_link_failure()
+    samples, report = _measure(
+        lambda: analyzer.what_if(down), repeat, warmup
+    )
+    results.append(
+        _entry(
+            "analyzer_link_what_if",
+            samples,
+            params={"k": 4},
+            observed={"routers": scenario.topology.num_routers()},
+            ops=dict(report.counters),
+        )
+    )
+
+    # 2. Batched k=8 mixed apply vs sequential — both fork-backed
+    # (they roll back by themselves), so no recovery batch is needed.
+    changes, _recovery = mixed_k8_batch(scenario)
+    edits = sum(len(change.edits) for change in changes)
+    batch_samples, batch_report = _measure(
+        lambda: analyzer.what_if_batch(changes), repeat, warmup
+    )
+
+    def _sequential() -> None:
+        with analyzer.fork():
+            for change in changes:
+                analyzer.analyze(change)
+
+    sequential_samples, _ = _measure(_sequential, repeat, warmup)
+    from repro.bench.harness import median
+
+    results.append(
+        _entry(
+            "batch_apply_k8_mixed",
+            batch_samples,
+            params={"k": 4, "edits": edits},
+            observed={
+                "routers": scenario.topology.num_routers(),
+                "sequential_median_s": median(sequential_samples),
+                "speedup_vs_sequential": round(
+                    median(sequential_samples)
+                    / max(median(batch_samples), 1e-9),
+                    2,
+                ),
+            },
+            ops=dict(batch_report.counters),
+        )
+    )
+
+    # 3. Serial single-link campaign sweep on a ring.
+    ring = ring_ospf(8)
+    batch = all_single_link_failures(ring)
+    runner = CampaignRunner(ring.snapshot.clone(), label="ring8")
+    campaign_samples, campaign_report = _measure(
+        lambda: runner.run(batch, jobs=1), repeat, warmup
+    )
+    results.append(
+        _entry(
+            "campaign_links_serial",
+            campaign_samples,
+            params={"topology": "ring", "n": 8},
+            observed={"scenarios": len(campaign_report)},
+            ops={"pickles": runner.pickle_count},
+        )
+    )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "smoke",
+        "git_sha": _git_sha(),
+        "platform": platform.system().lower(),
+        "python": platform.python_version(),
+        "repeat": repeat,
+        "warmup": warmup,
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate the BENCH_smoke.json performance pulse"
+    )
+    parser.add_argument("--out", default="BENCH_smoke.json")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--warmup", type=int, default=1)
+    args = parser.parse_args(argv)
+    document = run_suite(repeat=args.repeat, warmup=args.warmup)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    for entry in document["results"]:
+        print(f"  {entry['name']}: median {entry['median_s'] * 1e3:.2f}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

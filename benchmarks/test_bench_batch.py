@@ -1,0 +1,96 @@
+"""Batched multi-edit analysis vs N sequential analyzes.
+
+The batch pipeline's economic claim: a ChangeSet of N edits applied
+through ``analyze_batch`` — all edits to control-plane state first,
+one merged DirtySet, one scoped recompute + differential data plane
+pass — must beat N sequential ``analyze`` calls, because the per-pass
+fixed costs (SPF route refreshes per affected source, FIB resolution,
+reachability closure, BGP epoch capture) are paid once instead of N
+times.  The acceptance bar is batched median <= 0.7x the sequential
+median on the 20-router smoke topology (fat-tree k=4); in practice
+the ratio lands well below that.
+
+Correctness rides along: the batched report's behaviour signature
+must equal the sequential composition's.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import Table, median
+from repro.bench.workloads import mixed_k8_batch
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.core.delta import compose_reports
+from repro.workloads.scenarios import fat_tree_ospf
+
+REPEAT = 5
+ACCEPTANCE_RATIO = 0.7
+
+
+def test_batch_apply_beats_sequential(benchmark):
+    table = Table(
+        "Batched k=8 mixed apply vs 8 sequential analyzes "
+        "(fat-tree k=4, 20 routers)",
+        ["edits", "median_s", "per_edit_ms", "ratio"],
+    )
+    scenario = fat_tree_ospf(4)
+    changes, recovery = mixed_k8_batch(scenario)
+    edits = sum(len(c.edits) for c in changes)
+    analyzer = DifferentialNetworkAnalyzer(scenario.snapshot.clone())
+
+    # Correctness first: batched == sequential composition.
+    sequential_reports = [analyzer.analyze(change) for change in changes]
+    composed = compose_reports(sequential_reports, label="k8")
+    analyzer.analyze_batch(recovery)
+    batched_report = analyzer.analyze_batch(changes, label="k8")
+    assert (
+        batched_report.behavior_signature() == composed.behavior_signature()
+    )
+    assert batched_report.counters["edits_batched"] == edits
+    analyzer.analyze_batch(recovery)
+
+    sequential_times: list[float] = []
+    batched_times: list[float] = []
+    for _ in range(REPEAT):
+        t0 = time.perf_counter()
+        for change in changes:
+            analyzer.analyze(change)
+        sequential_times.append(time.perf_counter() - t0)
+        analyzer.analyze_batch(recovery)  # untimed restore
+
+        t0 = time.perf_counter()
+        analyzer.analyze_batch(changes)
+        batched_times.append(time.perf_counter() - t0)
+        analyzer.analyze_batch(recovery)  # untimed restore
+
+    sequential_median = median(sequential_times)
+    batched_median = median(batched_times)
+    ratio = batched_median / max(sequential_median, 1e-9)
+
+    table.add(
+        "sequential (8 analyzes)",
+        edits=edits,
+        median_s=sequential_median,
+        per_edit_ms=sequential_median / edits * 1e3,
+        ratio=1.0,
+    )
+    table.add(
+        "batched (1 analyze_batch)",
+        edits=edits,
+        median_s=batched_median,
+        per_edit_ms=batched_median / edits * 1e3,
+        ratio=ratio,
+    )
+    table.emit()
+
+    # Acceptance: batched median <= 0.7x the sequential median.
+    assert batched_median <= ACCEPTANCE_RATIO * sequential_median, (
+        f"batched median {batched_median:.4f}s should be <= "
+        f"{ACCEPTANCE_RATIO}x sequential median {sequential_median:.4f}s "
+        f"(ratio {ratio:.2f})"
+    )
+
+    # Headline statistical timing: the fork-backed batch (rolls back
+    # by itself, so pytest-benchmark can iterate freely).
+    benchmark(lambda: analyzer.what_if_batch(changes))

@@ -79,7 +79,22 @@ _EXPORTS = {
     "EnableInterface": ("repro.core.change", "EnableInterface"),
     "WithdrawPrefix": ("repro.core.change", "WithdrawPrefix"),
     "parse_change": ("repro.core.change_text", "parse_change"),
+    "parse_change_batch": ("repro.core.change_text", "parse_change_batch"),
     "serialize_change": ("repro.core.change_text", "serialize_change"),
+    "serialize_change_batch": (
+        "repro.core.change_text",
+        "serialize_change_batch",
+    ),
+    "DirtySet": ("repro.core.pipeline", "DirtySet"),
+    "register_change_handler": (
+        "repro.core.handlers",
+        "register_change_handler",
+    ),
+    "registered_change_handlers": (
+        "repro.core.handlers",
+        "registered_change_handlers",
+    ),
+    "compose_reports": ("repro.core.delta", "compose_reports"),
     "trace_packet": ("repro.query.trace", "trace_packet"),
     "path_diff": ("repro.query.paths", "path_diff"),
     "EquivalenceOracle": ("repro.core.oracle", "EquivalenceOracle"),

@@ -14,6 +14,10 @@ them:
 - The invariant **registry** — ``register_invariant`` /
   ``make_invariant`` / ``registered_invariants`` let services refer to
   invariants by name and users plug in their own.
+- The change-handler **registry** — ``register_change_handler`` /
+  ``registered_change_handlers`` (from :mod:`repro.core.handlers`)
+  let workloads add whole new change kinds to the analysis pipeline
+  without touching the analyzer.
 - Versioned results — every outcome type carries
   ``to_dict()/from_dict()`` with a ``schema_version`` field
   (:mod:`repro.core.serialize`); :class:`SchemaError` rejects unknown
@@ -33,6 +37,10 @@ Typical session::
 
 from repro.api.changeset import ChangeSet
 from repro.api.network import Network
+from repro.core.handlers import (
+    register_change_handler,
+    registered_change_handlers,
+)
 from repro.core.invariants import (
     Invariant,
     Violation,
@@ -52,6 +60,8 @@ __all__ = [
     "Violation",
     "invariant_class",
     "make_invariant",
+    "register_change_handler",
     "register_invariant",
+    "registered_change_handlers",
     "registered_invariants",
 ]

@@ -7,5 +7,13 @@ from repro.bench.harness import (
     median,
     time_call,
 )
+from repro.bench.workloads import mixed_k8_batch
 
-__all__ = ["BenchRow", "Table", "geometric_mean", "median", "time_call"]
+__all__ = [
+    "BenchRow",
+    "Table",
+    "geometric_mean",
+    "median",
+    "mixed_k8_batch",
+    "time_call",
+]

@@ -1,0 +1,55 @@
+"""Shared benchmark workloads.
+
+One definition of the measured change batches, imported by both the
+pytest benchmarks (``benchmarks/test_bench_batch.py``) and the CI
+performance pulse (``benchmarks/smoke.py``), so the tracked numbers
+always measure the same shape the acceptance assertions enforce.
+"""
+
+from __future__ import annotations
+
+from repro.core.change import Change, SetOspfCost
+from repro.workloads.changes import ChangeGenerator
+from repro.workloads.scenarios import Scenario
+
+
+def mixed_k8_batch(
+    scenario: Scenario, seed: int = 77
+) -> tuple[list[Change], list[Change]]:
+    """A k=8 mixed change batch and its exact inverse (for restores).
+
+    2 link failures + 4 static-route adds + 2 OSPF cost changes — the
+    PR-5 acceptance-criteria shape, spanning IGP topology, local
+    routes, and SPF cost dirt.
+    """
+    gen = ChangeGenerator(scenario, seed=seed)
+    down1, up1 = gen.random_link_failure()
+    down2, up2 = gen.random_link_failure()
+    while down2.label == down1.label:
+        down2, up2 = gen.random_link_failure()
+    statics = [gen.random_static_route() for _ in range(4)]
+    cost_sites: list[tuple[str, str, int]] = []
+    for router in sorted(scenario.snapshot.configs):
+        config = scenario.snapshot.configs[router]
+        if config.ospf is None:
+            continue
+        for interface, settings in sorted(config.ospf.interfaces.items()):
+            if settings.enabled and not settings.passive:
+                cost_sites.append((router, interface, settings.cost))
+                break
+        if len(cost_sites) == 2:
+            break
+    costs = [
+        Change.of(SetOspfCost(r, i, c + 13), label=f"{r}[{i}] cost {c + 13}")
+        for r, i, c in cost_sites
+    ]
+    uncosts = [
+        Change.of(SetOspfCost(r, i, c), label=f"{r}[{i}] cost {c}")
+        for r, i, c in cost_sites
+    ]
+    changes = [down1, down2] + [add for add, _ in statics] + costs
+    recovery = list(
+        reversed(uncosts + [remove for _, remove in statics] + [up2, up1])
+    )
+    assert sum(len(change.edits) for change in changes) == 8
+    return changes, recovery

@@ -35,6 +35,15 @@ class WhatIfScenario:
     kind: str = "what-if"
     # Free-form labels generators attach (e.g. the failed link names).
     tags: tuple[str, ...] = field(default_factory=tuple)
+    # Multi-edit scenarios may carry their constituent changes split
+    # out (e.g. one Change per failed link); the runner evaluates the
+    # whole tuple in one batched recompute pass (``what_if_batch``),
+    # which is equivalent to — and cheaper than — ``change``.
+    changes: tuple[Change, ...] = ()
+
+    def batch(self) -> tuple[Change, ...]:
+        """The changes the runner evaluates, always non-empty."""
+        return self.changes if self.changes else (self.change,)
 
     def __str__(self) -> str:
         return f"{self.kind}: {self.name}"
@@ -125,6 +134,9 @@ def sampled_k_link_failures(
                 ),
                 kind=f"{k}-link-failure",
                 tags=tuple(sorted({r for link in combo for r in link.routers})),
+                # Split per link: the runner batches these through one
+                # merged-DirtySet recompute pass.
+                changes=tuple(_fail_link_change(link) for link in combo),
             )
         )
     return scenarios

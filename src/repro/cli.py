@@ -5,7 +5,10 @@ Operator-facing workflow over on-disk snapshots, built entirely on the
 
 - ``show <snapshot-dir>`` — snapshot summary and converged state stats.
 - ``analyze <snapshot-dir> <change-script>`` — differential review of
-  a change script (see :mod:`repro.core.change_text` for the format);
+  a change script (see :mod:`repro.core.change_text` for the format;
+  ``---`` lines split the script into multiple changes that are
+  analyzed **batched**, converging in one recompute pass —
+  ``counters.edits_batched`` in the report records the batch size);
   ``--commit`` writes the changed snapshot back, ``--baseline`` also
   runs the snapshot-diff baseline and verifies agreement, ``--json``
   emits the schema-versioned delta report.
@@ -34,7 +37,7 @@ import json
 import sys
 from typing import Any
 
-from repro.api import ChangeSet, Network, make_invariant, registered_invariants
+from repro.api import Network, make_invariant, registered_invariants
 from repro.api.network import TOPOLOGY_KINDS
 
 
@@ -80,18 +83,32 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.change import Change
+    from repro.core.change_text import parse_change_batch
     from repro.core.snapshot_diff import SnapshotDiff
 
     network = _load(args.snapshot)
     with open(args.change) as handle:
-        change = ChangeSet.from_script(handle.read(), label=args.change)
+        # `---` separators split the script into multiple changes; the
+        # whole batch converges in one recompute pass either way.
+        changes = parse_change_batch(handle.read(), label=args.change)
     if not args.json:
-        print(change.describe())
+        for change in changes:
+            print(change.describe())
 
     if args.baseline:
         baseline = SnapshotDiff(network.snapshot.clone())
-        reference = baseline.analyze(change.build())
-    report = network.apply(change)
+        combined = Change(
+            edits=[edit for change in changes for edit in change.edits],
+            label=args.change,
+        )
+        reference = baseline.analyze(combined)
+    report = network.apply(changes, label=args.change)
+    if not args.json and len(changes) > 1:
+        print(
+            f"\nbatched: {report.counters['edits_batched']} edits across "
+            f"{len(changes)} changes in one recompute pass"
+        )
     if args.json:
         _emit_json(report.to_dict())
     else:
@@ -235,7 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--limit", type=int, default=10, help="routers to list")
     show.set_defaults(handler=cmd_show)
 
-    analyze = commands.add_parser("analyze", help="review a change script")
+    analyze = commands.add_parser(
+        "analyze",
+        help="review a change script ('---' lines batch multiple changes)",
+    )
     analyze.add_argument("snapshot")
     analyze.add_argument("change")
     analyze.add_argument("--commit", action="store_true",

@@ -7,7 +7,14 @@
 - :mod:`~repro.core.analyzer` — the incremental analyzer
   (:class:`~repro.core.analyzer.DifferentialNetworkAnalyzer`): change
   in, control-plane/forwarding/reachability deltas out, without
-  re-simulating the network.
+  re-simulating the network.  ``analyze_batch`` converges a whole
+  sequence of changes in one recompute pass.
+- :mod:`~repro.core.handlers` — the change-handler registry (stage 1
+  of the pipeline): per-edit-type extraction functions, extensible via
+  :func:`~repro.core.handlers.register_change_handler`.
+- :mod:`~repro.core.pipeline` — the
+  :class:`~repro.core.pipeline.DirtySet` intermediate representation
+  and the scoped recompute + differential data plane stages.
 - :mod:`~repro.core.forking` — the undo journal behind the analyzer's
   ``what_if`` / ``fork()`` speculative-analysis API.
 - :mod:`~repro.core.snapshot_diff` — the Batfish-style baseline:
@@ -23,16 +30,22 @@ __all__ = [
     "Change",
     "DeltaReport",
     "DifferentialNetworkAnalyzer",
+    "DirtySet",
     "Snapshot",
     "SnapshotDiff",
+    "register_change_handler",
+    "registered_change_handlers",
 ]
 
 _LAZY = {
     "Change": ("repro.core.change", "Change"),
     "DeltaReport": ("repro.core.delta", "DeltaReport"),
     "DifferentialNetworkAnalyzer": ("repro.core.analyzer", "DifferentialNetworkAnalyzer"),
+    "DirtySet": ("repro.core.pipeline", "DirtySet"),
     "Snapshot": ("repro.core.snapshot", "Snapshot"),
     "SnapshotDiff": ("repro.core.snapshot_diff", "SnapshotDiff"),
+    "register_change_handler": ("repro.core.handlers", "register_change_handler"),
+    "registered_change_handlers": ("repro.core.handlers", "registered_change_handlers"),
 }
 
 

@@ -2,96 +2,66 @@
 
 :class:`DifferentialNetworkAnalyzer` keeps one *converged* network
 state and, for each change, computes exactly what that change did —
-without re-simulating the network:
+without re-simulating the network.  It is the orchestrator of an
+explicit three-stage pipeline:
 
-1. **Dirty-set extraction** — each primitive edit is dispatched to a
-   handler that surgically updates the control-plane state it touches
-   (dynamic SPF per affected source, advertised-prefix diffs,
-   connected/static re-derivation for touched routers) and emits dirty
-   markers (affected SPF sources, changed advertisement prefixes,
-   dirty BGP prefixes, ACL spans).
-2. **Scoped recomputation** — OSPF routes are recomputed only for
-   affected sources (and only for changed prefixes elsewhere); BGP is
-   re-solved per dirty prefix; FIB entries are rebuilt only for
-   (router, prefix) pairs whose best route or next-hop resolution
-   changed.
-3. **Differential data plane** — FIB deltas update the atom table in
-   place; reachability is recomputed only for dirty atoms, and the
-   report's canonical reachability segments come from diffing the
-   cached pre-change behaviour against the recomputed one.
+1. **Extraction** (:mod:`repro.core.handlers`) — each primitive edit
+   is dispatched through the change-handler registry, which applies it
+   and folds dirty markers (affected SPF sources, changed
+   advertisement prefixes, dirty BGP prefixes, ACL spans, touched
+   routers) into a :class:`~repro.core.pipeline.DirtySet`.
+2. **Scoped recomputation** (:mod:`repro.core.pipeline`) — OSPF routes
+   are recomputed only for affected sources (and only for changed
+   prefixes elsewhere); BGP is re-solved per dirty prefix; FIB entries
+   are rebuilt only for (router, prefix) pairs whose best route or
+   next-hop resolution changed.
+3. **Differential data plane** (:mod:`repro.core.pipeline`) — FIB
+   deltas update the atom table in place; reachability is recomputed
+   only for dirty atoms, and the report's canonical reachability
+   segments come from diffing the cached pre-change behaviour against
+   the recomputed one.
 
 ``analyze`` *commits*: the analyzer's snapshot and state advance to
-the post-change network.  (Benchmarks exploit paired changes —
-fail/recover, add/remove — to return to base.)  ``what_if`` and the
-``fork()`` context manager instead evaluate changes against an undo
-journal (:mod:`repro.core.forking`) and roll the state back, so many
+the post-change network.  ``analyze_batch`` applies a whole sequence
+of changes to control-plane state first, **unions** their dirty sets,
+and runs stages 2–3 exactly once — a batch of N edits converges in one
+recompute pass instead of N, with output equal to the sequential
+composition (the equivalence is enforced by tests against
+:class:`~repro.core.snapshot_diff.SnapshotDiff` and
+:func:`~repro.core.delta.compose_reports`).
+
+``what_if`` / ``what_if_batch`` and the ``fork()`` context manager
+instead evaluate changes against an undo journal
+(:mod:`repro.core.forking`) and roll the state back, so many
 independent candidate changes can be scored against one converged
 base — the campaign engine (:mod:`repro.campaign`) is built on this.
-Output equality with :class:`~repro.core.snapshot_diff.SnapshotDiff`
-is the correctness oracle exercised throughout the test suite.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator, Sequence
 
-from repro.config.acl import Acl, AclAction
-from repro.controlplane.bgp import collect_origins, discover_sessions, solve_prefix
-from repro.controlplane.connected import connected_routes, static_routes
-from repro.controlplane.incremental import OspfDirty, OspfIncremental
-from repro.controlplane.ospf import (
-    backbone_advertisements,
-    backbone_totals,
-    ospf_routes_for_source,
-)
-from repro.controlplane.rib import Route
-from repro.controlplane.simulation import build_fib_entry, simulate
-from repro.core.change import (
-    AddAclRule,
-    AddBgpNeighbor,
-    AddRouteMapClause,
-    AddStaticRoute,
-    AnnouncePrefix,
-    BindAcl,
-    Change,
-    DisableOspfInterface,
-    EnableOspfInterface,
-    EnableInterface,
-    LinkDown,
-    LinkUp,
-    RemoveAclRule,
-    RemoveBgpNeighbor,
-    RemoveRouteMapClause,
-    RemoveStaticRoute,
-    SetLocalPref,
-    SetOspfCost,
-    ShutdownInterface,
-    WithdrawPrefix,
-)
-from repro.core.delta import DeltaReport, diff_reach_coverage
+from repro.controlplane.bgp import collect_origins
+from repro.controlplane.incremental import OspfIncremental
+from repro.controlplane.simulation import simulate
+from repro.core.change import Change, Edit
+from repro.core.delta import DeltaReport
 from repro.core.forking import ForkError, UndoJournal
+from repro.core.handlers import handler_for
+from repro.core.pipeline import DirtySet, RecomputePipeline
 from repro.core.snapshot import Snapshot
-from repro.net.addr import IPv4Address, Prefix
-from repro.net.interval import IntervalSet
-
-INFINITY = float("inf")
-NON_BGP = frozenset({"bgp"})
 
 
-@dataclass
-class _EditContext:
-    """Dirty-set accumulator threaded through edit handlers."""
-
-    ospf: OspfDirty = field(default_factory=OspfDirty)
-    touched_routers: set[str] = field(default_factory=set)
-    dirty_bgp_prefixes: set[Prefix] = field(default_factory=set)
-    all_bgp_dirty: bool = False
-    sessions_stale: bool = False
-    policy_routers: set[str] = field(default_factory=set)
-    acl_spans: list[tuple[int, int]] = field(default_factory=list)
+def batch_label(changes: Sequence[Change]) -> str:
+    """The default report label for a batch of changes."""
+    if len(changes) == 1:
+        return changes[0].label or "differential"
+    labels = [change.label for change in changes if change.label]
+    if labels and len(labels) == len(changes):
+        return " + ".join(labels)
+    return f"batch({len(changes)} changes)"
 
 
 class DifferentialNetworkAnalyzer:
@@ -103,6 +73,18 @@ class DifferentialNetworkAnalyzer:
         self._ospf = OspfIncremental(self.state)
         self._origins = collect_origins(snapshot)
         self._journal: UndoJournal | None = None
+        self._pipeline = RecomputePipeline(self)
+        # Bumped on every *committed* analysis; callers caching derived
+        # artifacts (e.g. the campaign runner's pickled base payload)
+        # use it to detect that the converged state moved.
+        self.generation = 0
+
+    def __repr__(self) -> str:
+        mode = "forked" if self._journal is not None else "committed"
+        return (
+            f"DifferentialNetworkAnalyzer({self.snapshot.summary()}; "
+            f"generation {self.generation}, {mode})"
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -113,70 +95,49 @@ class DifferentialNetworkAnalyzer:
 
         The analyzer's state advances to the post-change network.
         """
-        report = DeltaReport(change.label or "differential")
+        return self.analyze_batch([change])
+
+    def analyze_batch(
+        self, changes: Iterable[Change], label: str | None = None
+    ) -> DeltaReport:
+        """Apply a whole sequence of changes in one recompute pass.
+
+        Every edit of every change is applied to control-plane state
+        first (stage 1, in order), their dirty sets are unioned, and
+        scoped recomputation plus the differential data plane run
+        exactly once over the merged :class:`DirtySet`.  The report is
+        equal to the sequential composition of per-change ``analyze``
+        calls (A->B->A churn collapses away), at a fraction of the
+        cost.  The analyzer's state advances to the post-batch network.
+        """
+        batch = list(changes)
+        report = DeltaReport(label if label is not None else batch_label(batch))
+        committed = self._journal is None
         t0 = time.perf_counter()
 
-        bgp_active = self._bgp_active()
-        pair_index: dict[tuple[str, IPv4Address], set[Prefix]] = {}
-        pre_fingerprint: dict[tuple[str, IPv4Address], tuple] = {}
-        pre_liveness: dict[tuple[str, IPv4Address], bool] = {}
-        if bgp_active:
-            pair_index = self._bgp_pair_index()
-            pre_fingerprint = {
-                pair: self._pair_fingerprint(pair) for pair in pair_index
-            }
-            pre_liveness = self._session_liveness()
+        try:
+            epoch = self._pipeline.begin()
+            dirty = DirtySet()
+            edits_applied = 0
+            for change in batch:
+                for edit in change.edits:
+                    self._apply_edit(edit, dirty)
+                    edits_applied += 1
+            t_edits = time.perf_counter()
 
-        context = _EditContext()
-        for edit in change.edits:
-            self._apply_edit(edit, context)
-        t_edits = time.perf_counter()
+            self._pipeline.run(dirty, epoch, report)
+            t_end = time.perf_counter()
+        finally:
+            # A failed committed application may still have mutated
+            # state (edits apply in order, without a fork nothing
+            # rolls back), so caches keyed on `generation` must see it
+            # move either way.
+            if committed:
+                self.generation += 1
 
-        best_changed: dict[tuple[str, Prefix], tuple[Route | None, Route | None]] = {}
-        igp_touched = self._recompute_ospf(context, best_changed, report)
-        igp_touched |= self._recompute_local(context, best_changed, report)
-        for router in igp_touched:
-            self._refresh_igp_adapter(router)
-        t_igp = time.perf_counter()
-
-        solved = 0
-        if bgp_active:
-            solved = self._recompute_bgp(
-                context,
-                pair_index,
-                pre_fingerprint,
-                pre_liveness,
-                best_changed,
-                report,
-            )
-        t_bgp = time.perf_counter()
-
-        dirty_spans = self._update_fibs(context, best_changed, report)
-        dirty_spans.extend(context.acl_spans)
-        t_fib = time.perf_counter()
-
-        dirty_atoms = self._recompute_reachability(dirty_spans, report)
-        t_end = time.perf_counter()
-
-        report.timings = {
-            "edits": t_edits - t0,
-            "igp": t_igp - t_edits,
-            "bgp": t_bgp - t_igp,
-            "fib": t_fib - t_bgp,
-            "reachability": t_end - t_fib,
-            "total": t_end - t0,
-        }
-        report.counters.update(
-            {
-                "spf_sources_recomputed": len(
-                    {router for router, _ in context.ospf.sources}
-                ),
-                "bgp_prefixes_resolved": solved,
-                "fib_entries_updated": report.num_fib_changes(),
-                "atoms_analyzed": dirty_atoms,
-                "atoms_total": self.state.dataplane.atom_table.num_atoms(),
-            }
-        )
+        report.timings["edits"] = t_edits - t0
+        report.timings["total"] = t_end - t0
+        report.counters["edits_batched"] = edits_applied
         return report
 
     @contextmanager
@@ -210,539 +171,25 @@ class DifferentialNetworkAnalyzer:
         with self.fork():
             return self.analyze(change)
 
+    def what_if_batch(
+        self, changes: Iterable[Change], label: str | None = None
+    ) -> DeltaReport:
+        """Evaluate a batch of changes without committing any of them.
+
+        Equivalent to :meth:`analyze_batch` in its report — one merged
+        recompute pass — but fork-backed: the analyzer rolls back to
+        the pre-batch state afterwards, also on application errors.
+        """
+        with self.fork():
+            return self.analyze_batch(changes, label=label)
+
     # ------------------------------------------------------------------
-    # Edit dispatch
+    # Edit dispatch (stage 1)
     # ------------------------------------------------------------------
 
-    def _apply_edit(self, edit, context: _EditContext) -> None:
+    def _apply_edit(self, edit: Edit, dirty: DirtySet) -> None:
+        """Extraction: journal, then dispatch through the registry."""
+        handler = handler_for(type(edit))  # raises before any mutation
         if self._journal is not None:
             self._journal.before_edit(edit)
-        if isinstance(edit, (LinkDown, LinkUp)):
-            edit.apply(self.snapshot)
-            r1, r2 = edit.router1, edit.router2
-            context.touched_routers.update((r1, r2))
-            context.ospf.merge(self._ospf.refresh_router_adverts(r1))
-            context.ospf.merge(self._ospf.refresh_router_adverts(r2))
-            context.ospf.merge(self._ospf.refresh_pair(r1, r2))
-            context.sessions_stale = True
-        elif isinstance(edit, (ShutdownInterface, EnableInterface)):
-            edit.apply(self.snapshot)
-            context.touched_routers.add(edit.router)
-            context.ospf.merge(self._ospf.refresh_router_adverts(edit.router))
-            link = self.snapshot.topology.link_of_interface(
-                edit.router, edit.interface
-            )
-            if link is not None:
-                peer_router = link.other_end(edit.router)[0]
-                context.touched_routers.add(peer_router)
-                context.ospf.merge(self._ospf.refresh_router_adverts(peer_router))
-                context.ospf.merge(
-                    self._ospf.refresh_pair(edit.router, peer_router)
-                )
-            context.sessions_stale = True
-        elif isinstance(edit, (AddStaticRoute, RemoveStaticRoute)):
-            edit.apply(self.snapshot)
-            context.touched_routers.add(edit.router)
-        elif isinstance(
-            edit, (SetOspfCost, EnableOspfInterface, DisableOspfInterface)
-        ):
-            edit.apply(self.snapshot)
-            context.ospf.merge(self._ospf.refresh_router_adverts(edit.router))
-            peer = self.snapshot.topology.interface_peer(
-                edit.router, edit.interface
-            )
-            if peer is not None:
-                context.ospf.merge(
-                    self._ospf.refresh_pair(edit.router, peer.router)
-                )
-        elif isinstance(edit, (AnnouncePrefix, WithdrawPrefix)):
-            edit.apply(self.snapshot)
-            context.dirty_bgp_prefixes.add(edit.prefix)
-        elif isinstance(edit, (AddBgpNeighbor, RemoveBgpNeighbor)):
-            edit.apply(self.snapshot)
-            context.sessions_stale = True
-            context.all_bgp_dirty = True
-        elif isinstance(
-            edit, (SetLocalPref, AddRouteMapClause, RemoveRouteMapClause)
-        ):
-            edit.apply(self.snapshot)
-            context.policy_routers.add(edit.router)
-        elif isinstance(edit, (AddAclRule, RemoveAclRule)):
-            self._apply_acl_rule_edit(edit, context)
-        elif isinstance(edit, BindAcl):
-            self._apply_bind_acl(edit, context)
-        else:
-            raise TypeError(f"unhandled edit type {type(edit).__name__}")
-
-    # -- ACL handlers -----------------------------------------------------
-
-    def _binding_count(self, router: str, acl_name: str) -> int:
-        config = self.snapshot.configs.get(router)
-        if config is None:
-            return 0
-        count = 0
-        for settings in config.interfaces.values():
-            if settings.acl_in == acl_name:
-                count += 1
-            if settings.acl_out == acl_name:
-                count += 1
-        return count
-
-    def _apply_acl_rule_edit(
-        self, edit: AddAclRule | RemoveAclRule, context: _EditContext
-    ) -> None:
-        bindings = self._binding_count(edit.router, edit.acl)
-        edit.apply(self.snapshot)
-        if bindings == 0:
-            return  # unbound ACL: no data-plane effect
-        lo, hi = edit.rule.dst.interval()
-        register = isinstance(edit, AddAclRule)
-        dataplane = self.state.dataplane
-        for _ in range(bindings):
-            dataplane.acl_interval_structure(lo, hi, register)
-            if self._journal is not None:
-                self._journal.record_acl_structure(lo, hi, register)
-        dataplane.invalidate_span(lo, hi)
-        if self._journal is not None:
-            self._journal.record_acl_span(lo, hi)
-        context.acl_spans.append((lo, hi))
-
-    def _nonpermit_spans(self, acl: Acl) -> list[tuple[int, int]]:
-        spans: list[tuple[int, int]] = []
-        for interval_set, action in acl.project_dst():
-            if action is AclAction.PERMIT:
-                continue
-            spans.extend(interval_set.pairs)
-        return spans
-
-    def _apply_bind_acl(self, edit: BindAcl, context: _EditContext) -> None:
-        config = self.snapshot.config(edit.router)
-        settings = config.ensure_interface(edit.interface)
-        old_name = settings.acl_in if edit.direction == "in" else settings.acl_out
-        edit.apply(self.snapshot)
-        if old_name == edit.acl:
-            return  # rebinding the same ACL changes nothing
-        dataplane = self.state.dataplane
-        for name, register in ((old_name, False), (edit.acl, True)):
-            if name is None:
-                continue
-            acl = config.acls.get(name)
-            if acl is None:
-                continue
-            for rule in acl.rules:
-                lo, hi = rule.dst.interval()
-                dataplane.acl_interval_structure(lo, hi, register)
-                if self._journal is not None:
-                    self._journal.record_acl_structure(lo, hi, register)
-            for lo, hi in self._nonpermit_spans(acl):
-                dataplane.invalidate_span(lo, hi)
-                if self._journal is not None:
-                    self._journal.record_acl_span(lo, hi)
-                context.acl_spans.append((lo, hi))
-
-    # ------------------------------------------------------------------
-    # OSPF / local route recomputation
-    # ------------------------------------------------------------------
-
-    def _install_route_update(
-        self,
-        router: str,
-        protocol: str,
-        prefix: Prefix,
-        new_route: Route | None,
-        best_changed: dict,
-        report: DeltaReport,
-    ) -> bool:
-        """Install/withdraw one protocol route; track best-route flips.
-
-        Returns True if the router's best route for the prefix changed.
-        """
-        if self._journal is not None:
-            self._journal.save_rib_prefix(router, prefix)
-        rib = self.state.ribs[router]
-        old_best = rib.best(prefix)
-        if new_route is None:
-            rib.withdraw(prefix, protocol)
-        else:
-            rib.install(new_route)
-        new_best = rib.best(prefix)
-        if old_best == new_best:
-            return False
-        key = (router, prefix)
-        existing = best_changed.get(key)
-        original = existing[0] if existing is not None else old_best
-        if original == new_best:
-            best_changed.pop(key, None)
-        else:
-            best_changed[key] = (original, new_best)
-        report.record_rib(router, prefix, old_best, new_best)
-        return True
-
-    def _recompute_ospf(
-        self, context: _EditContext, best_changed: dict, report: DeltaReport
-    ) -> set[str]:
-        """Refresh OSPF routes for dirty sources/prefixes.
-
-        Returns routers whose non-BGP routes changed (IGP adapter must
-        be rebuilt for them).
-        """
-        state = self.state
-        if context.ospf.is_empty():
-            return set()
-        multi_area = len(state.ospf_state.areas()) > 1
-        adverts = None
-        totals = None
-        affected_sources = {router for router, _area in context.ospf.sources}
-        if multi_area:
-            # Inter-area summaries may have shifted anywhere; recompute
-            # them once and fall back to refreshing every OSPF source
-            # (each refresh reuses its incremental SPF — no Dijkstras).
-            adverts = backbone_advertisements(state.ospf_state)
-            totals = backbone_totals(state.ospf_state, adverts)
-            if self._journal is not None:
-                self._journal.save_backbone()
-            state.backbone_adverts = adverts
-            state.backbone_totals_map = totals
-            affected_sources = set(state.ospf_state.membership)
-
-        touched: set[str] = set()
-        for source in affected_sources:
-            new_routes = ospf_routes_for_source(
-                state.ospf_state, source, adverts, totals
-            )
-            old_routes = state.ospf_routes.get(source, {})
-            if self._journal is not None:
-                self._journal.save_ospf_routes(source)
-            changed = False
-            for prefix in set(old_routes) | set(new_routes):
-                old = old_routes.get(prefix)
-                new = new_routes.get(prefix)
-                if old == new:
-                    continue
-                changed = True
-                self._install_route_update(
-                    source, "ospf", prefix, new, best_changed, report
-                )
-            state.ospf_routes[source] = new_routes
-            if changed:
-                touched.add(source)
-
-        if not multi_area:
-            for area, prefixes in context.ospf.prefixes.items():
-                if not prefixes:
-                    continue
-                for source in state.ospf_state.area_routers(area):
-                    if source in affected_sources:
-                        continue
-                    partial = ospf_routes_for_source(
-                        state.ospf_state,
-                        source,
-                        adverts,
-                        totals,
-                        only_prefixes=prefixes,
-                    )
-                    if self._journal is not None:
-                        self._journal.save_ospf_routes(source)
-                    cached = state.ospf_routes.setdefault(source, {})
-                    changed = False
-                    for prefix in prefixes:
-                        old = cached.get(prefix)
-                        new = partial.get(prefix)
-                        if old == new:
-                            continue
-                        changed = True
-                        self._install_route_update(
-                            source, "ospf", prefix, new, best_changed, report
-                        )
-                        if new is None:
-                            cached.pop(prefix, None)
-                        else:
-                            cached[prefix] = new
-                    if changed:
-                        touched.add(source)
-        return touched
-
-    def _recompute_local(
-        self, context: _EditContext, best_changed: dict, report: DeltaReport
-    ) -> set[str]:
-        """Re-derive connected/static routes for touched routers."""
-        state = self.state
-        touched: set[str] = set()
-        for router in context.touched_routers:
-            new_connected = connected_routes(self.snapshot, router)
-            new_static = static_routes(
-                self.snapshot, router, new_connected, state.address_index
-            )
-            for protocol, new_map, cache in (
-                ("connected", new_connected, state.connected),
-                ("static", new_static, state.statics),
-            ):
-                if self._journal is not None:
-                    self._journal.save_route_cache(protocol, router)
-                old_map = cache.get(router, {})
-                for prefix in set(old_map) | set(new_map):
-                    old = old_map.get(prefix)
-                    new = new_map.get(prefix)
-                    if old == new:
-                        continue
-                    touched.add(router)
-                    self._install_route_update(
-                        router, protocol, prefix, new, best_changed, report
-                    )
-                cache[router] = new_map
-        return touched
-
-    def _refresh_igp_adapter(self, router: str) -> None:
-        if self._journal is not None:
-            self._journal.save_igp_router(router)
-        rib = self.state.ribs[router]
-        non_bgp = {}
-        for prefix in rib.prefixes():
-            best = rib.best_excluding(prefix, NON_BGP)
-            if best is not None:
-                non_bgp[prefix] = best
-        self.state.igp.set_router_routes(router, non_bgp)
-
-    # ------------------------------------------------------------------
-    # BGP recomputation
-    # ------------------------------------------------------------------
-
-    def _bgp_active(self) -> bool:
-        if self.state.bgp_solutions:
-            return True
-        return any(
-            config.bgp is not None for config in self.snapshot.configs.values()
-        )
-
-    def _bgp_pair_index(self) -> dict[tuple[str, IPv4Address], set[Prefix]]:
-        """(router, next-hop) -> prefixes whose solution involves it."""
-        index: dict[tuple[str, IPv4Address], set[Prefix]] = {}
-        for prefix, solution in self.state.bgp_solutions.items():
-            for (receiver, _sender), candidate in solution.adj_in.items():
-                if candidate.next_hop is not None:
-                    index.setdefault(
-                        (receiver, candidate.next_hop), set()
-                    ).add(prefix)
-            for router, candidate in solution.best.items():
-                if candidate.next_hop is not None:
-                    index.setdefault((router, candidate.next_hop), set()).add(
-                        prefix
-                    )
-        return index
-
-    def _pair_fingerprint(self, pair: tuple[str, IPv4Address]) -> tuple:
-        router, address = pair
-        cost = self.state.igp.cost_to(router, address)
-        resolved = self.state.igp.resolve(
-            router, address, self.state.address_index
-        )
-        return (cost, resolved)
-
-    def _session_liveness(self) -> dict[tuple[str, IPv4Address], bool]:
-        liveness = {}
-        for session in self.state.bgp_sessions:
-            if session.direct:
-                continue
-            liveness[(session.local, session.peer_ip)] = (
-                self.state.igp.cost_to(session.local, session.peer_ip) < INFINITY
-            )
-        return liveness
-
-    def _recompute_bgp(
-        self,
-        context: _EditContext,
-        pair_index: dict[tuple[str, IPv4Address], set[Prefix]],
-        pre_fingerprint: dict[tuple[str, IPv4Address], tuple],
-        pre_liveness: dict[tuple[str, IPv4Address], bool],
-        best_changed: dict,
-        report: DeltaReport,
-    ) -> int:
-        state = self.state
-        dirty: set[Prefix] = set(context.dirty_bgp_prefixes)
-
-        # Session churn.
-        if context.sessions_stale:
-            new_sessions = discover_sessions(self.snapshot, state.address_index)
-            old_keys = {
-                (s.local, s.peer, s.local_ip, s.peer_ip)
-                for s in state.bgp_sessions
-            }
-            new_keys = {
-                (s.local, s.peer, s.local_ip, s.peer_ip) for s in new_sessions
-            }
-            removed = old_keys - new_keys
-            added = new_keys - old_keys
-            if added:
-                context.all_bgp_dirty = True
-            if removed:
-                removed_pairs = {(local, peer) for local, peer, _, _ in removed}
-                for prefix, solution in state.bgp_solutions.items():
-                    for receiver, sender in solution.adj_in:
-                        if (sender, receiver) in removed_pairs:
-                            dirty.add(prefix)
-                            break
-            if self._journal is not None:
-                self._journal.save_sessions()
-            state.bgp_sessions = new_sessions
-
-        # Policy edits: prefixes flowing through the edited routers.
-        if context.policy_routers:
-            for prefix, solution in state.bgp_solutions.items():
-                for receiver, sender in solution.adj_in:
-                    if (
-                        receiver in context.policy_routers
-                        or sender in context.policy_routers
-                    ):
-                        dirty.add(prefix)
-                        break
-
-        # IGP-induced dirt: cost changes flip decisions; resolution
-        # changes require FIB rebuilds even when decisions hold.
-        resolution_refresh: set[tuple[str, Prefix]] = set()
-        for pair, prefixes in pair_index.items():
-            post = self._pair_fingerprint(pair)
-            pre = pre_fingerprint[pair]
-            if pre == post:
-                continue
-            if pre[0] != post[0]:
-                dirty.update(prefixes)
-            if pre[1] != post[1]:
-                # Even when the decision holds, the resolved next hops
-                # changed — those FIB entries must be rebuilt.
-                router = pair[0]
-                for prefix in prefixes:
-                    solution = state.bgp_solutions.get(prefix)
-                    if solution is None:
-                        continue
-                    best = solution.best.get(router)
-                    if best is not None and best.next_hop == pair[1]:
-                        resolution_refresh.add((router, prefix))
-        post_liveness = self._session_liveness()
-        if pre_liveness != post_liveness:
-            context.all_bgp_dirty = True
-
-        origins = collect_origins(self.snapshot)
-        # Origination drift beyond explicit announce/withdraw edits:
-        # redistribute-connected picks up connected-route changes.
-        for prefix in set(origins) | set(self._origins):
-            if origins.get(prefix) != self._origins.get(prefix):
-                dirty.add(prefix)
-        if self._journal is not None:
-            self._journal.save_origins()
-        self._origins = origins
-        if context.policy_routers:
-            # Policy can gate originations too (export maps on first hop).
-            for prefix, owners in origins.items():
-                if set(owners) & context.policy_routers:
-                    dirty.add(prefix)
-        if context.all_bgp_dirty:
-            dirty = set(state.bgp_solutions) | set(origins)
-
-        routers = self.snapshot.topology.router_names()
-        for prefix in sorted(dirty):
-            old_solution = state.bgp_solutions.get(prefix)
-            if self._journal is not None:
-                self._journal.save_bgp_solution(prefix)
-            if prefix in origins:
-                new_solution = solve_prefix(
-                    self.snapshot,
-                    prefix,
-                    origins[prefix],
-                    state.bgp_sessions,
-                    state.igp,
-                )
-                state.bgp_solutions[prefix] = new_solution
-            else:
-                new_solution = None
-                state.bgp_solutions.pop(prefix, None)
-            for router in routers:
-                old_route = (
-                    old_solution.route_for(router) if old_solution else None
-                )
-                new_route = (
-                    new_solution.route_for(router) if new_solution else None
-                )
-                if old_route == new_route:
-                    continue
-                self._install_route_update(
-                    router, "bgp", prefix, new_route, best_changed, report
-                )
-
-        # Resolution-only refreshes enter the FIB stage via best_changed
-        # with an unchanged best route (the FIB entry still differs).
-        for router, prefix in resolution_refresh:
-            key = (router, prefix)
-            if key not in best_changed:
-                best = state.ribs[router].best(prefix)
-                best_changed[key] = (best, best)
-        return len(dirty)
-
-    # ------------------------------------------------------------------
-    # FIB + reachability
-    # ------------------------------------------------------------------
-
-    def _update_fibs(
-        self,
-        context: _EditContext,
-        best_changed: dict,
-        report: DeltaReport,
-    ) -> list[tuple[int, int]]:
-        state = self.state
-        spans: list[tuple[int, int]] = []
-        for (router, prefix), (_old_best, _new_best) in best_changed.items():
-            best = state.ribs[router].best(prefix)
-            new_entry = None
-            if best is not None:
-                new_entry = build_fib_entry(
-                    state.igp, state.address_index, router, best
-                )
-            fib = state.fibs.get(router)
-            old_entry = fib.entry_for(prefix) if fib is not None else None
-            if old_entry == new_entry:
-                continue
-            report.record_fib(router, prefix, old_entry, new_entry)
-            if self._journal is not None:
-                self._journal.save_fib_entry(router, prefix, old_entry)
-            state.dataplane.update_fib_entry(router, prefix, new_entry)
-            spans.append(prefix.interval())
-        return spans
-
-    def _recompute_reachability(
-        self, spans: list[tuple[int, int]], report: DeltaReport
-    ) -> int:
-        if not spans:
-            report.reach_segments = []
-            return 0
-        state = self.state
-        reach = state.reachability
-        # Close the dirty region over both sides: new atoms (merges can
-        # extend past the change spans) and cached pre-change entries
-        # (a purged parent atom can extend past the split sub-atom that
-        # overlaps the change).  Without the closure the cache would
-        # develop coverage holes and later diffs would silently miss
-        # behaviour changes.
-        region = IntervalSet(spans)
-        while True:
-            dirty_atoms = [
-                atom
-                for lo, hi in region.pairs
-                for atom in state.dataplane.atom_table.atoms_overlapping(lo, hi)
-            ]
-            before = reach.entries_overlapping(region.pairs)
-            widened = region
-            for atom in dirty_atoms:
-                widened = widened.union(IntervalSet.span(atom.lo, atom.hi))
-            for lo, hi, _ in before:
-                widened = widened.union(IntervalSet.span(lo, hi))
-            if widened == region:
-                break
-            region = widened
-        if self._journal is not None:
-            self._journal.record_reachability(region.pairs, before)
-        reach.purge_overlapping(region.pairs)
-        unique_atoms = set(dirty_atoms)
-        after = [
-            (atom.lo, atom.hi, reach.for_atom(atom)) for atom in unique_atoms
-        ]
-        report.reach_segments = diff_reach_coverage(before, after)
-        return len(unique_atoms)
+        handler(self, edit, dirty)

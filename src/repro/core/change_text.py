@@ -155,17 +155,66 @@ def _parse_edit(tokens: list[str]) -> Edit:
 
 
 def parse_change(text: str, label: str = "") -> Change:
-    """Parse a change script into an atomic :class:`Change`."""
+    """Parse a change script into an atomic :class:`Change`.
+
+    The single-change form: ``---`` separators are rejected here (use
+    :func:`parse_change_batch` for multi-change scripts).
+    """
     edits: list[Edit] = []
     for line_number, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
+        if line == CHANGE_SEPARATOR:
+            raise ChangeParseError(
+                line_number,
+                raw,
+                "'---' separators need parse_change_batch",
+            )
         try:
             edits.append(_parse_edit(line.split()))
         except (ValueError, IndexError) as error:
             raise ChangeParseError(line_number, raw, str(error)) from None
     return Change(edits=edits, label=label)
+
+
+# A line holding only this token splits a script into multiple changes
+# that the batch pipeline analyzes in one recompute pass.
+CHANGE_SEPARATOR = "---"
+
+
+def parse_change_batch(text: str, label: str = "") -> list[Change]:
+    """Parse a change script into a batch of one or more changes.
+
+    ``---`` on a line of its own closes the current change and starts
+    the next; scripts without separators parse as a single-change
+    batch, exactly like :func:`parse_change`.  Empty stanzas (leading,
+    trailing, or doubled separators) are dropped, but an entirely
+    empty script still yields one empty change so callers always get
+    at least one element.  Stanza labels derive from ``label`` as
+    ``label#1``, ``label#2``, ... when there is more than one stanza.
+    """
+    stanzas: list[list[Edit]] = [[]]
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == CHANGE_SEPARATOR:
+            stanzas.append([])
+            continue
+        try:
+            stanzas[-1].append(_parse_edit(line.split()))
+        except (ValueError, IndexError) as error:
+            raise ChangeParseError(line_number, raw, str(error)) from None
+    parsed = [Change(edits=edits) for edits in stanzas if edits]
+    if not parsed:
+        return [Change(edits=[], label=label)]
+    if len(parsed) == 1:
+        parsed[0].label = label
+    else:
+        for index, change in enumerate(parsed, start=1):
+            change.label = f"{label}#{index}" if label else f"change #{index}"
+    return parsed
 
 
 def serialize_change(change: Change) -> str:
@@ -176,6 +225,13 @@ def serialize_change(change: Change) -> str:
     for edit in change.edits:
         lines.append(_serialize_edit(edit))
     return "\n".join(lines) + "\n"
+
+
+def serialize_change_batch(changes: list[Change]) -> str:
+    """Render a batch back to script text with ``---`` separators."""
+    return f"{CHANGE_SEPARATOR}\n".join(
+        serialize_change(change) for change in changes
+    )
 
 
 def _serialize_edit(edit: Edit) -> str:

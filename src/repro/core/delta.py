@@ -209,6 +209,135 @@ def coalesce_segments(segments: list[ReachSegment]) -> list[ReachSegment]:
     return merged
 
 
+def _cover(
+    segments: list[ReachSegment], los: list[int], lo: int
+) -> ReachSegment | None:
+    """The segment of a sorted disjoint list covering point ``lo``.
+
+    ``los`` is the precomputed ``[s.lo for s in segments]`` key list —
+    callers probing many points build it once.
+    """
+    from bisect import bisect_right
+
+    index = bisect_right(los, lo) - 1
+    if index >= 0:
+        segment = segments[index]
+        if segment.lo <= lo < segment.hi:
+            return segment
+    return None
+
+
+def _compose_delta(
+    added1: frozenset,
+    removed1: frozenset,
+    added2: frozenset,
+    removed2: frozenset,
+) -> tuple[frozenset, frozenset]:
+    """Sequential composition of two (added, removed) set deltas.
+
+    Remove-then-re-add and add-then-remove churn cancels: an element
+    is net-added iff it ends present having started absent, and
+    vice versa.
+    """
+    net_added = (added1 - removed2) | (added2 - removed1)
+    net_removed = (removed1 - added2) | (removed2 - added1)
+    return net_added, net_removed
+
+
+def compose_segment_lists(
+    first: list[ReachSegment], second: list[ReachSegment]
+) -> list[ReachSegment]:
+    """The canonical segments of applying ``first`` then ``second``.
+
+    Both inputs are canonical deltas against successive baselines (the
+    second's baseline is the first's post-state).  Segments are re-cut
+    at the union of boundaries, composed per elementary interval (a
+    region covered by one side only passes through unchanged), empty
+    net deltas dropped, and adjacent equal payloads merged — yielding
+    exactly what a single diff of base vs final behaviour produces.
+    """
+    points: set[int] = set()
+    for segment in first:
+        points.add(segment.lo)
+        points.add(segment.hi)
+    for segment in second:
+        points.add(segment.lo)
+        points.add(segment.hi)
+    ordered = sorted(points)
+    first_sorted = sorted(first, key=lambda s: s.lo)
+    second_sorted = sorted(second, key=lambda s: s.lo)
+    first_los = [s.lo for s in first_sorted]
+    second_los = [s.lo for s in second_sorted]
+    empty = ReachSegment(0, 0)
+    composed: list[ReachSegment] = []
+    for index in range(len(ordered) - 1):
+        lo, hi = ordered[index], ordered[index + 1]
+        one = _cover(first_sorted, first_los, lo)
+        two = _cover(second_sorted, second_los, lo)
+        if one is None and two is None:
+            continue
+        a = one if one is not None else empty
+        b = two if two is not None else empty
+        added, removed = _compose_delta(a.added, a.removed, b.added, b.removed)
+        loops_added, loops_removed = _compose_delta(
+            a.loops_added, a.loops_removed, b.loops_added, b.loops_removed
+        )
+        blackholes_added, blackholes_removed = _compose_delta(
+            a.blackholes_added,
+            a.blackholes_removed,
+            b.blackholes_added,
+            b.blackholes_removed,
+        )
+        segment = ReachSegment(
+            lo=lo,
+            hi=hi,
+            added=frozenset(added),
+            removed=frozenset(removed),
+            loops_added=frozenset(loops_added),
+            loops_removed=frozenset(loops_removed),
+            blackholes_added=frozenset(blackholes_added),
+            blackholes_removed=frozenset(blackholes_removed),
+        )
+        if not segment.is_empty():
+            composed.append(segment)
+    return coalesce_segments(composed)
+
+
+def compose_reports(
+    reports: list["DeltaReport"], label: str = ""
+) -> "DeltaReport":
+    """The single report equivalent to applying ``reports`` in order.
+
+    The correctness oracle for ``analyze_batch``: a batch of N changes
+    analyzed in one merged recompute pass must equal the composition
+    of N sequential ``analyze`` reports.  RIB/FIB transitions chain
+    through the same churn-collapsing recorders the analyzer uses
+    (A->B->A vanishes); reachability segments compose by sequential
+    set-delta algebra.  Timings and additive counters are summed —
+    they describe the work done, not the behaviour delta, and are
+    excluded from equivalence comparisons.
+    """
+    composed = DeltaReport(label)
+    for report in reports:
+        for router, per_router in report.rib_changes.items():
+            for prefix, (before, after) in per_router.items():
+                composed.record_rib(router, prefix, before, after)
+        for router, per_router in report.fib_changes.items():
+            for prefix, (before, after) in per_router.items():
+                composed.record_fib(router, prefix, before, after)
+        composed.reach_segments = compose_segment_lists(
+            composed.reach_segments, report.reach_segments
+        )
+        for key, value in report.timings.items():
+            composed.timings[key] = composed.timings.get(key, 0.0) + value
+        for key, value in report.counters.items():
+            if key == "atoms_total":
+                composed.counters[key] = value
+            else:
+                composed.counters[key] = composed.counters.get(key, 0) + value
+    return composed
+
+
 class DeltaReport:
     """Everything one change did, plus how long it took to find out."""
 
@@ -235,6 +364,8 @@ class DeltaReport:
         original = existing[0] if existing is not None else before
         if original == after:
             per_router.pop(prefix, None)
+            if not per_router:
+                del self.rib_changes[router]
         else:
             per_router[prefix] = (original, after)
 
@@ -251,10 +382,23 @@ class DeltaReport:
         original = existing[0] if existing is not None else before
         if original == after:
             per_router.pop(prefix, None)
+            if not per_router:
+                del self.fib_changes[router]
         else:
             per_router[prefix] = (original, after)
 
     # -- summaries ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Alias for :attr:`counters` (work/batching statistics).
+
+        ``stats["edits_batched"]`` reports how many primitive edits the
+        producing (batched) analysis applied before its single
+        recompute pass; everything here is surfaced under ``counters``
+        in ``--json`` output.
+        """
+        return self.counters
 
     def num_rib_changes(self) -> int:
         return sum(len(v) for v in self.rib_changes.values())

@@ -1,0 +1,655 @@
+"""Stages 2 and 3 of the change-propagation pipeline.
+
+The differential analyzer is an explicit three-stage pipeline:
+
+1. **Extraction** (:mod:`repro.core.handlers`) — each primitive edit
+   is dispatched through the handler registry, which applies it to the
+   snapshot, surgically updates the control-plane structures it
+   touches, and folds dirty markers into a :class:`DirtySet`.
+2. **Recompute** (this module) — :class:`RecomputePipeline` consumes
+   one (possibly merged) :class:`DirtySet` and refreshes exactly the
+   dirtied control-plane state: OSPF routes for affected sources and
+   changed advertisement prefixes, connected/static derivation for
+   touched routers, BGP solutions for dirty prefixes.
+3. **Differential data plane** (this module) — FIB entries are rebuilt
+   only for (router, prefix) pairs whose best route or resolution
+   changed, and reachability is recomputed only for dirty atoms,
+   diffed against the cached pre-change behaviour.
+
+Because the :class:`DirtySet` is a first-class value with a
+``merge()`` operation, a batch of N edits (or N whole changes — see
+``analyze_batch``) converges in **one** recompute pass: apply every
+edit first, union the dirty sets, then run stages 2–3 exactly once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.controlplane.bgp import collect_origins, discover_sessions, solve_prefix
+from repro.controlplane.connected import connected_routes, static_routes
+from repro.controlplane.incremental import OspfDirty
+from repro.controlplane.ospf import (
+    backbone_advertisements,
+    backbone_totals,
+    ospf_routes_for_source,
+)
+from repro.controlplane.rib import Route
+from repro.controlplane.simulation import build_fib_entry
+from repro.core.delta import DeltaReport, diff_reach_coverage
+from repro.net.addr import IPv4Address, Prefix
+from repro.net.interval import IntervalSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.analyzer import DifferentialNetworkAnalyzer
+
+INFINITY = float("inf")
+NON_BGP = frozenset({"bgp"})
+
+Span = tuple[int, int]
+RibKey = tuple[str, Prefix]
+BestChanged = dict[RibKey, tuple[Route | None, Route | None]]
+BgpPair = tuple[str, IPv4Address]
+Fingerprint = tuple[object, object]
+
+
+@dataclass
+class DirtySet:
+    """The intermediate representation between extraction and recompute.
+
+    One value summarizing everything a batch of edits invalidated:
+
+    - ``ospf`` — SPF sources whose trees changed and advertisement
+      prefixes that moved, per area (:class:`OspfDirty`);
+    - ``touched_routers`` — routers whose connected/static routes must
+      be re-derived;
+    - ``bgp_prefixes`` — prefixes whose BGP solution must be re-solved;
+    - ``policy_routers`` — routers whose BGP policy changed (dirties
+      every prefix flowing through them);
+    - ``acl_spans`` — destination header-space intervals invalidated by
+      ACL edits;
+    - ``all_bgp_dirty`` / ``sessions_stale`` — coarse flags for session
+      churn that cannot be scoped to single prefixes.
+
+    ``merge`` unions two dirty sets, which is what makes batched
+    multi-edit analysis a single recompute pass.
+    """
+
+    ospf: OspfDirty = field(default_factory=OspfDirty)
+    touched_routers: set[str] = field(default_factory=set)
+    bgp_prefixes: set[Prefix] = field(default_factory=set)
+    policy_routers: set[str] = field(default_factory=set)
+    acl_spans: list[Span] = field(default_factory=list)
+    all_bgp_dirty: bool = False
+    sessions_stale: bool = False
+
+    @property
+    def spf_sources(self) -> set[tuple[str, int]]:
+        """(router, area) pairs whose SPF trees changed."""
+        return self.ospf.sources
+
+    @property
+    def advert_prefixes(self) -> dict[int, set[Prefix]]:
+        """area -> prefixes whose OSPF advertisements changed."""
+        return self.ospf.prefixes
+
+    def merge(self, other: "DirtySet") -> "DirtySet":
+        """Fold ``other`` into this dirty set (in place); returns self."""
+        self.ospf.merge(other.ospf)
+        self.touched_routers.update(other.touched_routers)
+        self.bgp_prefixes.update(other.bgp_prefixes)
+        self.policy_routers.update(other.policy_routers)
+        self.acl_spans.extend(other.acl_spans)
+        self.all_bgp_dirty = self.all_bgp_dirty or other.all_bgp_dirty
+        self.sessions_stale = self.sessions_stale or other.sessions_stale
+        return self
+
+    def is_empty(self) -> bool:
+        return (
+            self.ospf.is_empty()
+            and not self.touched_routers
+            and not self.bgp_prefixes
+            and not self.policy_routers
+            and not self.acl_spans
+            and not self.all_bgp_dirty
+            and not self.sessions_stale
+        )
+
+    def __repr__(self) -> str:
+        parts: list[str] = []
+        if self.ospf.sources:
+            parts.append(f"{len(self.ospf.sources)} spf sources")
+        advert_count = sum(len(p) for p in self.ospf.prefixes.values())
+        if advert_count:
+            parts.append(f"{advert_count} advert prefixes")
+        if self.touched_routers:
+            parts.append(f"{len(self.touched_routers)} routers")
+        if self.bgp_prefixes:
+            parts.append(f"{len(self.bgp_prefixes)} bgp prefixes")
+        if self.policy_routers:
+            parts.append(f"{len(self.policy_routers)} policy routers")
+        if self.acl_spans:
+            parts.append(f"{len(self.acl_spans)} acl spans")
+        if self.all_bgp_dirty:
+            parts.append("all-bgp-dirty")
+        if self.sessions_stale:
+            parts.append("sessions-stale")
+        return f"DirtySet({', '.join(parts) if parts else 'empty'})"
+
+
+@dataclass
+class BgpEpoch:
+    """Pre-edit BGP observations the recompute stage diffs against.
+
+    Captured *before* any edit applies (IGP costs and session liveness
+    feed the BGP decision process, so their pre-images must be frozen
+    first), and consumed exactly once by :meth:`RecomputePipeline.run`.
+    """
+
+    active: bool
+    pair_index: dict[BgpPair, set[Prefix]] = field(default_factory=dict)
+    pre_fingerprint: dict[BgpPair, Fingerprint] = field(default_factory=dict)
+    pre_liveness: dict[BgpPair, bool] = field(default_factory=dict)
+
+
+class RecomputePipeline:
+    """Scoped recomputation + differential data plane over one analyzer.
+
+    Stateless between runs: every invocation reads the analyzer's
+    converged state, consumes one :class:`DirtySet`, and writes the
+    deltas into the given report.  The analyzer owns orchestration
+    (edit dispatch, journaling hooks, timings bookkeeping).
+    """
+
+    def __init__(self, analyzer: "DifferentialNetworkAnalyzer") -> None:
+        self.analyzer = analyzer
+
+    def __repr__(self) -> str:
+        return f"RecomputePipeline(over {self.analyzer!r})"
+
+    # ------------------------------------------------------------------
+    # Epoch capture (before any edit applies)
+    # ------------------------------------------------------------------
+
+    def begin(self) -> BgpEpoch:
+        """Freeze the pre-edit BGP observations for one recompute pass."""
+        if not self._bgp_active():
+            return BgpEpoch(active=False)
+        pair_index = self._bgp_pair_index()
+        return BgpEpoch(
+            active=True,
+            pair_index=pair_index,
+            pre_fingerprint={
+                pair: self._pair_fingerprint(pair) for pair in pair_index
+            },
+            pre_liveness=self._session_liveness(),
+        )
+
+    # ------------------------------------------------------------------
+    # The recompute + dataplane pass
+    # ------------------------------------------------------------------
+
+    def run(self, dirty: DirtySet, epoch: BgpEpoch, report: DeltaReport) -> None:
+        """Stages 2–3: consume ``dirty``, write deltas into ``report``.
+
+        Fills the ``igp``/``bgp``/``fib``/``reachability`` timings and
+        the recompute counters; the caller owns ``edits``/``total``.
+        """
+        analyzer = self.analyzer
+        state = analyzer.state
+        t0 = time.perf_counter()
+
+        best_changed: BestChanged = {}
+        igp_touched = self._recompute_ospf(dirty, best_changed, report)
+        igp_touched |= self._recompute_local(dirty, best_changed, report)
+        for router in igp_touched:
+            self._refresh_igp_adapter(router)
+        t_igp = time.perf_counter()
+
+        solved = 0
+        if epoch.active:
+            solved = self._recompute_bgp(dirty, epoch, best_changed, report)
+        t_bgp = time.perf_counter()
+
+        dirty_spans = self._update_fibs(best_changed, report)
+        dirty_spans.extend(dirty.acl_spans)
+        t_fib = time.perf_counter()
+
+        dirty_atoms = self._recompute_reachability(dirty_spans, report)
+        t_end = time.perf_counter()
+
+        report.timings.update(
+            {
+                "igp": t_igp - t0,
+                "bgp": t_bgp - t_igp,
+                "fib": t_fib - t_bgp,
+                "reachability": t_end - t_fib,
+            }
+        )
+        report.counters.update(
+            {
+                "spf_sources_recomputed": len(
+                    {router for router, _area in dirty.ospf.sources}
+                ),
+                "bgp_prefixes_resolved": solved,
+                "fib_entries_updated": report.num_fib_changes(),
+                "atoms_analyzed": dirty_atoms,
+                "atoms_total": state.dataplane.atom_table.num_atoms(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # OSPF / local route recomputation
+    # ------------------------------------------------------------------
+
+    def _install_route_update(
+        self,
+        router: str,
+        protocol: str,
+        prefix: Prefix,
+        new_route: Route | None,
+        best_changed: BestChanged,
+        report: DeltaReport,
+    ) -> bool:
+        """Install/withdraw one protocol route; track best-route flips.
+
+        Returns True if the router's best route for the prefix changed.
+        """
+        analyzer = self.analyzer
+        if analyzer._journal is not None:
+            analyzer._journal.save_rib_prefix(router, prefix)
+        rib = analyzer.state.ribs[router]
+        old_best = rib.best(prefix)
+        if new_route is None:
+            rib.withdraw(prefix, protocol)
+        else:
+            rib.install(new_route)
+        new_best = rib.best(prefix)
+        if old_best == new_best:
+            return False
+        key = (router, prefix)
+        existing = best_changed.get(key)
+        original = existing[0] if existing is not None else old_best
+        if original == new_best:
+            best_changed.pop(key, None)
+        else:
+            best_changed[key] = (original, new_best)
+        report.record_rib(router, prefix, old_best, new_best)
+        return True
+
+    def _recompute_ospf(
+        self, dirty: DirtySet, best_changed: BestChanged, report: DeltaReport
+    ) -> set[str]:
+        """Refresh OSPF routes for dirty sources/prefixes.
+
+        Returns routers whose non-BGP routes changed (IGP adapter must
+        be rebuilt for them).
+        """
+        analyzer = self.analyzer
+        state = analyzer.state
+        if dirty.ospf.is_empty():
+            return set()
+        multi_area = len(state.ospf_state.areas()) > 1
+        adverts = None
+        totals = None
+        affected_sources = {router for router, _area in dirty.ospf.sources}
+        if multi_area:
+            # Inter-area summaries may have shifted anywhere; recompute
+            # them once and fall back to refreshing every OSPF source
+            # (each refresh reuses its incremental SPF — no Dijkstras).
+            adverts = backbone_advertisements(state.ospf_state)
+            totals = backbone_totals(state.ospf_state, adverts)
+            if analyzer._journal is not None:
+                analyzer._journal.save_backbone()
+            state.backbone_adverts = adverts
+            state.backbone_totals_map = totals
+            affected_sources = set(state.ospf_state.membership)
+
+        touched: set[str] = set()
+        for source in affected_sources:
+            new_routes = ospf_routes_for_source(
+                state.ospf_state, source, adverts, totals
+            )
+            old_routes = state.ospf_routes.get(source, {})
+            if analyzer._journal is not None:
+                analyzer._journal.save_ospf_routes(source)
+            changed = False
+            for prefix in set(old_routes) | set(new_routes):
+                old = old_routes.get(prefix)
+                new = new_routes.get(prefix)
+                if old == new:
+                    continue
+                changed = True
+                self._install_route_update(
+                    source, "ospf", prefix, new, best_changed, report
+                )
+            state.ospf_routes[source] = new_routes
+            if changed:
+                touched.add(source)
+
+        if not multi_area:
+            for area, prefixes in dirty.ospf.prefixes.items():
+                if not prefixes:
+                    continue
+                for source in state.ospf_state.area_routers(area):
+                    if source in affected_sources:
+                        continue
+                    partial = ospf_routes_for_source(
+                        state.ospf_state,
+                        source,
+                        adverts,
+                        totals,
+                        only_prefixes=prefixes,
+                    )
+                    if analyzer._journal is not None:
+                        analyzer._journal.save_ospf_routes(source)
+                    cached = state.ospf_routes.setdefault(source, {})
+                    changed = False
+                    for prefix in prefixes:
+                        old = cached.get(prefix)
+                        new = partial.get(prefix)
+                        if old == new:
+                            continue
+                        changed = True
+                        self._install_route_update(
+                            source, "ospf", prefix, new, best_changed, report
+                        )
+                        if new is None:
+                            cached.pop(prefix, None)
+                        else:
+                            cached[prefix] = new
+                    if changed:
+                        touched.add(source)
+        return touched
+
+    def _recompute_local(
+        self, dirty: DirtySet, best_changed: BestChanged, report: DeltaReport
+    ) -> set[str]:
+        """Re-derive connected/static routes for touched routers."""
+        analyzer = self.analyzer
+        state = analyzer.state
+        touched: set[str] = set()
+        for router in dirty.touched_routers:
+            new_connected = connected_routes(analyzer.snapshot, router)
+            new_static = static_routes(
+                analyzer.snapshot, router, new_connected, state.address_index
+            )
+            for protocol, new_map, cache in (
+                ("connected", new_connected, state.connected),
+                ("static", new_static, state.statics),
+            ):
+                if analyzer._journal is not None:
+                    analyzer._journal.save_route_cache(protocol, router)
+                old_map = cache.get(router, {})
+                for prefix in set(old_map) | set(new_map):
+                    old = old_map.get(prefix)
+                    new = new_map.get(prefix)
+                    if old == new:
+                        continue
+                    touched.add(router)
+                    self._install_route_update(
+                        router, protocol, prefix, new, best_changed, report
+                    )
+                cache[router] = new_map
+        return touched
+
+    def _refresh_igp_adapter(self, router: str) -> None:
+        analyzer = self.analyzer
+        if analyzer._journal is not None:
+            analyzer._journal.save_igp_router(router)
+        rib = analyzer.state.ribs[router]
+        non_bgp: dict[Prefix, Route] = {}
+        for prefix in rib.prefixes():
+            best = rib.best_excluding(prefix, NON_BGP)
+            if best is not None:
+                non_bgp[prefix] = best
+        analyzer.state.igp.set_router_routes(router, non_bgp)
+
+    # ------------------------------------------------------------------
+    # BGP recomputation
+    # ------------------------------------------------------------------
+
+    def _bgp_active(self) -> bool:
+        analyzer = self.analyzer
+        if analyzer.state.bgp_solutions:
+            return True
+        return any(
+            config.bgp is not None
+            for config in analyzer.snapshot.configs.values()
+        )
+
+    def _bgp_pair_index(self) -> dict[BgpPair, set[Prefix]]:
+        """(router, next-hop) -> prefixes whose solution involves it."""
+        index: dict[BgpPair, set[Prefix]] = {}
+        for prefix, solution in self.analyzer.state.bgp_solutions.items():
+            for (receiver, _sender), candidate in solution.adj_in.items():
+                if candidate.next_hop is not None:
+                    index.setdefault(
+                        (receiver, candidate.next_hop), set()
+                    ).add(prefix)
+            for router, candidate in solution.best.items():
+                if candidate.next_hop is not None:
+                    index.setdefault((router, candidate.next_hop), set()).add(
+                        prefix
+                    )
+        return index
+
+    def _pair_fingerprint(self, pair: BgpPair) -> Fingerprint:
+        router, address = pair
+        state = self.analyzer.state
+        cost = state.igp.cost_to(router, address)
+        resolved = state.igp.resolve(router, address, state.address_index)
+        return (cost, resolved)
+
+    def _session_liveness(self) -> dict[BgpPair, bool]:
+        state = self.analyzer.state
+        liveness: dict[BgpPair, bool] = {}
+        for session in state.bgp_sessions:
+            if session.direct:
+                continue
+            liveness[(session.local, session.peer_ip)] = (
+                state.igp.cost_to(session.local, session.peer_ip) < INFINITY
+            )
+        return liveness
+
+    def _recompute_bgp(
+        self,
+        dirty: DirtySet,
+        epoch: BgpEpoch,
+        best_changed: BestChanged,
+        report: DeltaReport,
+    ) -> int:
+        analyzer = self.analyzer
+        state = analyzer.state
+        bgp_dirty: set[Prefix] = set(dirty.bgp_prefixes)
+        all_bgp_dirty = dirty.all_bgp_dirty
+
+        # Session churn.
+        if dirty.sessions_stale:
+            new_sessions = discover_sessions(
+                analyzer.snapshot, state.address_index
+            )
+            old_keys = {
+                (s.local, s.peer, s.local_ip, s.peer_ip)
+                for s in state.bgp_sessions
+            }
+            new_keys = {
+                (s.local, s.peer, s.local_ip, s.peer_ip) for s in new_sessions
+            }
+            removed = old_keys - new_keys
+            added = new_keys - old_keys
+            if added:
+                all_bgp_dirty = True
+            if removed:
+                removed_pairs = {(local, peer) for local, peer, _, _ in removed}
+                for prefix, solution in state.bgp_solutions.items():
+                    for receiver, sender in solution.adj_in:
+                        if (sender, receiver) in removed_pairs:
+                            bgp_dirty.add(prefix)
+                            break
+            if analyzer._journal is not None:
+                analyzer._journal.save_sessions()
+            state.bgp_sessions = new_sessions
+
+        # Policy edits: prefixes flowing through the edited routers.
+        if dirty.policy_routers:
+            for prefix, solution in state.bgp_solutions.items():
+                for receiver, sender in solution.adj_in:
+                    if (
+                        receiver in dirty.policy_routers
+                        or sender in dirty.policy_routers
+                    ):
+                        bgp_dirty.add(prefix)
+                        break
+
+        # IGP-induced dirt: cost changes flip decisions; resolution
+        # changes require FIB rebuilds even when decisions hold.
+        resolution_refresh: set[RibKey] = set()
+        for pair, prefixes in epoch.pair_index.items():
+            post = self._pair_fingerprint(pair)
+            pre = epoch.pre_fingerprint[pair]
+            if pre == post:
+                continue
+            if pre[0] != post[0]:
+                bgp_dirty.update(prefixes)
+            if pre[1] != post[1]:
+                # Even when the decision holds, the resolved next hops
+                # changed — those FIB entries must be rebuilt.
+                router = pair[0]
+                for prefix in prefixes:
+                    solution = state.bgp_solutions.get(prefix)
+                    if solution is None:
+                        continue
+                    best = solution.best.get(router)
+                    if best is not None and best.next_hop == pair[1]:
+                        resolution_refresh.add((router, prefix))
+        post_liveness = self._session_liveness()
+        if epoch.pre_liveness != post_liveness:
+            all_bgp_dirty = True
+
+        origins = collect_origins(analyzer.snapshot)
+        # Origination drift beyond explicit announce/withdraw edits:
+        # redistribute-connected picks up connected-route changes.
+        for prefix in set(origins) | set(analyzer._origins):
+            if origins.get(prefix) != analyzer._origins.get(prefix):
+                bgp_dirty.add(prefix)
+        if analyzer._journal is not None:
+            analyzer._journal.save_origins()
+        analyzer._origins = origins
+        if dirty.policy_routers:
+            # Policy can gate originations too (export maps on first hop).
+            for prefix, owners in origins.items():
+                if set(owners) & dirty.policy_routers:
+                    bgp_dirty.add(prefix)
+        if all_bgp_dirty:
+            bgp_dirty = set(state.bgp_solutions) | set(origins)
+
+        routers = analyzer.snapshot.topology.router_names()
+        for prefix in sorted(bgp_dirty):
+            old_solution = state.bgp_solutions.get(prefix)
+            if analyzer._journal is not None:
+                analyzer._journal.save_bgp_solution(prefix)
+            if prefix in origins:
+                new_solution = solve_prefix(
+                    analyzer.snapshot,
+                    prefix,
+                    origins[prefix],
+                    state.bgp_sessions,
+                    state.igp,
+                )
+                state.bgp_solutions[prefix] = new_solution
+            else:
+                new_solution = None
+                state.bgp_solutions.pop(prefix, None)
+            for router in routers:
+                old_route = (
+                    old_solution.route_for(router) if old_solution else None
+                )
+                new_route = (
+                    new_solution.route_for(router) if new_solution else None
+                )
+                if old_route == new_route:
+                    continue
+                self._install_route_update(
+                    router, "bgp", prefix, new_route, best_changed, report
+                )
+
+        # Resolution-only refreshes enter the FIB stage via best_changed
+        # with an unchanged best route (the FIB entry still differs).
+        for router, prefix in resolution_refresh:
+            key = (router, prefix)
+            if key not in best_changed:
+                best = state.ribs[router].best(prefix)
+                best_changed[key] = (best, best)
+        return len(bgp_dirty)
+
+    # ------------------------------------------------------------------
+    # FIB + reachability
+    # ------------------------------------------------------------------
+
+    def _update_fibs(
+        self, best_changed: BestChanged, report: DeltaReport
+    ) -> list[Span]:
+        analyzer = self.analyzer
+        state = analyzer.state
+        spans: list[Span] = []
+        for (router, prefix), (_old_best, _new_best) in best_changed.items():
+            best = state.ribs[router].best(prefix)
+            new_entry = None
+            if best is not None:
+                new_entry = build_fib_entry(
+                    state.igp, state.address_index, router, best
+                )
+            fib = state.fibs.get(router)
+            old_entry = fib.entry_for(prefix) if fib is not None else None
+            if old_entry == new_entry:
+                continue
+            report.record_fib(router, prefix, old_entry, new_entry)
+            if analyzer._journal is not None:
+                analyzer._journal.save_fib_entry(router, prefix, old_entry)
+            state.dataplane.update_fib_entry(router, prefix, new_entry)
+            spans.append(prefix.interval())
+        return spans
+
+    def _recompute_reachability(
+        self, spans: list[Span], report: DeltaReport
+    ) -> int:
+        analyzer = self.analyzer
+        if not spans:
+            report.reach_segments = []
+            return 0
+        state = analyzer.state
+        reach = state.reachability
+        # Close the dirty region over both sides: new atoms (merges can
+        # extend past the change spans) and cached pre-change entries
+        # (a purged parent atom can extend past the split sub-atom that
+        # overlaps the change).  Without the closure the cache would
+        # develop coverage holes and later diffs would silently miss
+        # behaviour changes.
+        region = IntervalSet(spans)
+        while True:
+            dirty_atoms = [
+                atom
+                for lo, hi in region.pairs
+                for atom in state.dataplane.atom_table.atoms_overlapping(lo, hi)
+            ]
+            before = reach.entries_overlapping(region.pairs)
+            widened = region
+            for atom in dirty_atoms:
+                widened = widened.union(IntervalSet.span(atom.lo, atom.hi))
+            for lo, hi, _ in before:
+                widened = widened.union(IntervalSet.span(lo, hi))
+            if widened == region:
+                break
+            region = widened
+        if analyzer._journal is not None:
+            analyzer._journal.record_reachability(region.pairs, before)
+        reach.purge_overlapping(region.pairs)
+        unique_atoms = set(dirty_atoms)
+        after = [
+            (atom.lo, atom.hi, reach.for_atom(atom)) for atom in unique_atoms
+        ]
+        report.reach_segments = diff_reach_coverage(before, after)
+        return len(unique_atoms)

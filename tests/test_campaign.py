@@ -121,6 +121,52 @@ class TestCampaignRunner:
         second = runner.run(batch)
         assert first.signatures() == second.signatures()
 
+    def test_base_pickled_once_across_parallel_runs(self, ring6):
+        """The pickled base payload is hoisted: scenarios (and runs)
+        share one converged base, so the runner pickles it exactly
+        once until the base actually changes."""
+        batch = all_single_link_failures(ring6)[:2]
+        runner = CampaignRunner(ring6.snapshot.clone(), label="ring6")
+        assert runner.pickle_count == 0
+        first = runner.run(batch, jobs=2)
+        second = runner.run(batch, jobs=2)
+        assert runner.pickle_count == 1
+        assert second.signatures() == first.signatures()
+        # Serial runs never pickle at all.
+        runner.run(batch, jobs=1)
+        assert runner.pickle_count == 1
+
+    def test_pickle_cache_invalidated_by_committed_change(self, ring6):
+        batch = all_single_link_failures(ring6)[:2]
+        runner = CampaignRunner(ring6.snapshot.clone(), label="ring6")
+        runner.run(batch, jobs=2)
+        assert runner.pickle_count == 1
+        # Committing on the shared base moves `generation`; the stale
+        # payload must not be reused.
+        runner.analyzer.analyze(batch[0].change)
+        rerun = runner.run([batch[1]] * 2, jobs=2)
+        assert runner.pickle_count == 2
+        assert len(rerun) == 2
+        # What-if evaluation inside campaigns rolls back and must NOT
+        # invalidate the cache.
+        runner.run([batch[1]] * 2, jobs=2)
+        assert runner.pickle_count == 2
+
+    def test_k_link_scenarios_evaluate_batched(self, ring6):
+        """k-link scenarios carry per-link changes and the runner
+        batches them — outcomes equal the combined-change evaluation."""
+        from repro.core.analyzer import DifferentialNetworkAnalyzer
+
+        batch = sampled_k_link_failures(ring6, k=2, samples=4, seed=9)
+        assert all(len(s.changes) == 2 for s in batch)
+        assert all(len(s.batch()) == 2 for s in batch)
+        runner = CampaignRunner(ring6.snapshot.clone())
+        report = runner.run(batch)
+        analyzer = DifferentialNetworkAnalyzer(ring6.snapshot.clone())
+        for scenario, outcome in zip(batch, report.outcomes):
+            combined = analyzer.what_if(scenario.change)
+            assert outcome.signature == combined.behavior_signature()
+
     def test_invariant_violations_flagged_and_ranked(self, ring6):
         # Failing both links of r0 isolates it: reachability to r0's
         # host subnet must be reported violated, and the partition must

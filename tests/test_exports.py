@@ -28,8 +28,13 @@ class TestLazyExports:
             "IPv4Address",
             "trace_packet",
             "parse_change",
+            "parse_change_batch",
             "simulate",
             "EquivalenceOracle",
+            "DirtySet",
+            "register_change_handler",
+            "registered_change_handlers",
+            "compose_reports",
         ):
             assert getattr(repro, name) is not None
 
