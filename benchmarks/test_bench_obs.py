@@ -1,0 +1,135 @@
+"""The no-op tracer path must stay effectively free.
+
+The analyzer carries always-on instrumentation: every recompute stage
+runs inside a span and feeds the metrics registry.  The design bet is
+that the default :data:`~repro.obs.NULL_TRACER` makes that overhead
+negligible — a null span is one allocation plus two clock reads, and
+the metric counters are dict lookups.
+
+This benchmark pins the bet down.  A "floor" tracer defined here
+strips even the null tracer's clock reads (its spans do nothing at
+all), approximating an uninstrumented analyzer without maintaining a
+second copy of the pipeline.  Acceptance: the NULL_TRACER median on
+the k=8 mixed batch workload is within ``1 + ACCEPTANCE_OVERHEAD`` of
+the floor median.  Samples interleave the two variants so drift
+(thermal, cache, GC) hits both equally.
+
+A recording :class:`~repro.obs.Tracer` is measured too — reported in
+the table for context, not gated (recording is opt-in).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import Table, median
+from repro.bench.workloads import mixed_k8_batch
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.obs import NULL_TRACER, Tracer
+from repro.workloads.scenarios import fat_tree_ospf
+
+REPEAT = 21
+INNER = 2  # batch applies per sample; averages out per-call jitter
+ACCEPTANCE_OVERHEAD = 0.05  # null tracer within 5% of the floor
+
+class _FloorSpan:
+    """A span-shaped nothing: no record, no labels, no clock reads."""
+
+    record = None
+    duration = 0.0
+
+    def set(self, **labels):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_FLOOR_SPAN = _FloorSpan()
+
+
+class _FloorTracer(Tracer):
+    """The do-nothing floor: one shared dummy span, zero timing.
+
+    Instrumentation sites read ``span.duration`` afterwards (it stays
+    0.0 here, zeroing ``report.timings``) — this is as close to
+    ripping the instrumentation out as the code path allows.
+    """
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name, **labels):
+        return _FLOOR_SPAN
+
+
+def test_null_tracer_overhead_under_5_percent(benchmark):
+    table = Table(
+        "No-op tracing overhead on the k=8 mixed batch "
+        "(fat-tree k=4, 20 routers)",
+        ["median_s", "ratio_vs_floor"],
+    )
+    scenario = fat_tree_ospf(4)
+    changes, _recovery = mixed_k8_batch(scenario)
+
+    variants = {
+        "floor (no instrumentation)": _FloorTracer(),
+        "null tracer (default)": NULL_TRACER,
+        "recording tracer": Tracer(),
+    }
+    analyzers = {
+        name: DifferentialNetworkAnalyzer(
+            scenario.snapshot.clone(), tracer=tracer
+        )
+        for name, tracer in variants.items()
+    }
+    samples: dict[str, list[float]] = {name: [] for name in variants}
+
+    # Warm every analyzer once, then interleave: each rep times every
+    # variant back-to-back (order rotating) and the gate is the
+    # median of the per-rep null/floor ratios — pairing cancels the
+    # slow drift (thermal, cache, GC) that plagues absolute medians.
+    for analyzer in analyzers.values():
+        analyzer.what_if_batch(changes)
+    order = list(variants)
+    for rep in range(REPEAT):
+        for name in order[rep % len(order):] + order[:rep % len(order)]:
+            analyzer = analyzers[name]
+            if analyzer.tracer.enabled:
+                analyzer.tracer.reset()  # unbounded growth would skew
+            start = time.perf_counter()
+            for _ in range(INNER):
+                analyzer.what_if_batch(changes)
+            samples[name].append((time.perf_counter() - start) / INNER)
+
+    floor = median(samples["floor (no instrumentation)"])
+    for name, times in samples.items():
+        table.add(
+            name,
+            median_s=median(times),
+            ratio_vs_floor=median(times) / max(floor, 1e-9),
+        )
+    table.emit()
+
+    paired_ratio = median(
+        [
+            null_s / max(floor_s, 1e-9)
+            for null_s, floor_s in zip(
+                samples["null tracer (default)"],
+                samples["floor (no instrumentation)"],
+            )
+        ]
+    )
+    assert paired_ratio <= 1 + ACCEPTANCE_OVERHEAD, (
+        f"null tracer adds {(paired_ratio - 1) * 100:.1f}% median "
+        f"overhead vs the uninstrumented floor (acceptance: "
+        f"<{ACCEPTANCE_OVERHEAD * 100:.0f}%)"
+    )
+
+    benchmark(
+        lambda: analyzers["null tracer (default)"].what_if_batch(changes)
+    )

@@ -35,6 +35,9 @@ __version__ = "1.0.0"
 _EXPORTS = {
     "Network": ("repro.api", "Network"),
     "ChangeSet": ("repro.api", "ChangeSet"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "NullTracer": ("repro.obs", "NullTracer"),
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
     "SchemaError": ("repro.core.serialize", "SchemaError"),
     "Invariant": ("repro.core.invariants", "Invariant"),
     "Violation": ("repro.core.invariants", "Violation"),

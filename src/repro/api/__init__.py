@@ -50,13 +50,17 @@ from repro.core.invariants import (
     registered_invariants,
 )
 from repro.core.serialize import SCHEMA_VERSION, SchemaError
+from repro.obs import MetricsRegistry, NullTracer, Tracer
 
 __all__ = [
     "ChangeSet",
     "Invariant",
+    "MetricsRegistry",
     "Network",
+    "NullTracer",
     "SCHEMA_VERSION",
     "SchemaError",
+    "Tracer",
     "Violation",
     "invariant_class",
     "make_invariant",

@@ -31,7 +31,7 @@ from it instead of re-simulating.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence, Union
+from typing import Any, Iterable, Mapping, Sequence, Union
 
 from repro.campaign.report import CampaignReport
 from repro.campaign.runner import CampaignRunner
@@ -48,6 +48,7 @@ from repro.core.invariants import (
 )
 from repro.core.snapshot import Snapshot
 from repro.net.addr import IPv4Address, Prefix
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.query.paths import ForwardingPaths, PathDiff, _forwarding_paths
 from repro.query.trace import PacketTrace, _trace_packet
 from repro.topology.model import Topology
@@ -103,36 +104,59 @@ class Network:
     ask differential questions against the shared converged state.
     """
 
-    def __init__(self, snapshot: Snapshot) -> None:
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        trace: "Tracer | bool" = False,
+    ) -> None:
         self.snapshot = snapshot
         # Generator metadata (roles, host subnets) when built via
         # :meth:`generate`; the campaign enumerators consume it.
         self.scenario: Scenario | None = None
         self._analyzer: DifferentialNetworkAnalyzer | None = None
+        # Observability: ``trace=True`` records a span tree for every
+        # analysis on this session (``trace=`` also accepts a caller's
+        # Tracer); the default null tracer records nothing.  The work
+        # metrics registry is always on — it only counts.
+        if isinstance(trace, Tracer):
+            self._tracer = trace
+        else:
+            self._tracer = Tracer() if trace else NULL_TRACER
+        self._metrics = MetricsRegistry()
 
     # -- constructors --------------------------------------------------------
 
     @classmethod
-    def from_snapshot(cls, snapshot: Snapshot) -> "Network":
+    def from_snapshot(
+        cls, snapshot: Snapshot, trace: "Tracer | bool" = False
+    ) -> "Network":
         """Wrap an in-memory snapshot (topology + device configs)."""
-        return cls(snapshot)
+        return cls(snapshot, trace=trace)
 
     @classmethod
-    def from_topology(cls, topology: Topology) -> "Network":
+    def from_topology(
+        cls, topology: Topology, trace: "Tracer | bool" = False
+    ) -> "Network":
         """Wrap a bare topology with empty device configurations."""
-        return cls(Snapshot(topology=topology))
+        return cls(Snapshot(topology=topology), trace=trace)
 
     @classmethod
     def from_analyzer(cls, analyzer: DifferentialNetworkAnalyzer) -> "Network":
-        """Adopt an already-converged analyzer (no re-simulation)."""
+        """Adopt an already-converged analyzer (no re-simulation).
+
+        The analyzer's tracer and metrics registry are adopted too, so
+        spans recorded before and after adoption land in one tree.
+        """
         network = cls(analyzer.snapshot)
         network._analyzer = analyzer
+        network._tracer = analyzer.tracer
+        network._metrics = analyzer.metrics
         return network
 
     @classmethod
-    def load(cls, directory: str) -> "Network":
+    def load(cls, directory: str, trace: "Tracer | bool" = False) -> "Network":
         """Load a snapshot saved with :meth:`save` / ``Snapshot.save``."""
-        return cls(Snapshot.load(directory))
+        return cls(Snapshot.load(directory), trace=trace)
 
     @classmethod
     def generate(
@@ -141,6 +165,7 @@ class Network:
         size: int = 4,
         seed: int = 0,
         edges: int | None = None,
+        trace: "Tracer | bool" = False,
     ) -> "Network":
         """A configured built-in scenario network.
 
@@ -171,7 +196,7 @@ class Network:
             raise ValueError(
                 f"unknown topology {topology!r}; known: {TOPOLOGY_KINDS}"
             )
-        network = cls(scenario.snapshot)
+        network = cls(scenario.snapshot, trace=trace)
         network.scenario = scenario
         return network
 
@@ -181,8 +206,31 @@ class Network:
     def analyzer(self) -> DifferentialNetworkAnalyzer:
         """The underlying differential analyzer (converges on first use)."""
         if self._analyzer is None:
-            self._analyzer = DifferentialNetworkAnalyzer(self.snapshot)
+            self._analyzer = DifferentialNetworkAnalyzer(
+                self.snapshot, tracer=self._tracer, metrics=self._metrics
+            )
         return self._analyzer
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        """The session tracer (the null tracer unless ``trace=`` set)."""
+        return self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Cumulative work metrics across every analysis on this session."""
+        return self._metrics
+
+    def profile(self) -> dict[str, Any]:
+        """The recorded span tree as a versioned JSON document.
+
+        Meaningful after analyses on a session constructed with
+        ``trace=True`` (or an explicit tracer); the null tracer yields
+        an empty span list.
+        """
+        return self._tracer.to_dict()
 
     @property
     def state(self) -> NetworkState:

@@ -1,0 +1,110 @@
+"""The perf regression gate: current smoke pulse vs committed baseline.
+
+``benchmarks/smoke.py`` regenerates ``BENCH_smoke.json`` on every CI
+run.  This module turns the artifact-only upload into a gate: compare
+the fresh document against the baseline committed at the repo root
+and fail the build when any shared entry's median regresses past the
+threshold (default >30%).
+
+Rules of the comparison (see :func:`compare`):
+
+- entries are matched by ``name``; entries new in the current run
+  pass (there is nothing to regress against), entries that vanished
+  fail (a silently dropped benchmark is how regressions hide);
+- baselines below the noise floor (default 1ms) are skipped — at
+  that scale scheduler jitter swamps any real signal;
+- the gate reads medians, so a single outlier sample cannot fail it.
+
+Usage (exits 1 on regression)::
+
+    PYTHONPATH=src python -m repro.bench.compare \
+        BENCH_smoke.json /tmp/fresh.json --threshold 1.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Mapping
+
+DEFAULT_THRESHOLD = 1.3  # fail on >30% median regression
+DEFAULT_NOISE_FLOOR_S = 0.001
+
+
+def compare(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+) -> list[str]:
+    """Regression messages comparing two smoke documents; empty = pass."""
+    problems: list[str] = []
+    baseline_entries = {
+        entry["name"]: entry for entry in baseline["results"]
+    }
+    current_entries = {entry["name"]: entry for entry in current["results"]}
+
+    for name in sorted(set(baseline_entries) - set(current_entries)):
+        problems.append(
+            f"{name}: present in the baseline but missing from the "
+            f"current run"
+        )
+
+    for name in sorted(set(baseline_entries) & set(current_entries)):
+        base_median = float(baseline_entries[name]["median_s"])
+        current_median = float(current_entries[name]["median_s"])
+        if base_median < noise_floor_s:
+            continue
+        ratio = current_median / base_median
+        if ratio > threshold:
+            problems.append(
+                f"{name}: median {current_median * 1e3:.2f}ms is "
+                f"{ratio:.2f}x the baseline "
+                f"{base_median * 1e3:.2f}ms (threshold {threshold:.2f}x)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when the smoke benchmark regressed vs baseline"
+    )
+    parser.add_argument("baseline", help="committed BENCH_smoke.json")
+    parser.add_argument("current", help="freshly regenerated document")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="fail when current/baseline median exceeds this "
+        "(default: 1.3 = 30%% regression)",
+    )
+    parser.add_argument(
+        "--noise-floor-ms", type=float,
+        default=DEFAULT_NOISE_FLOOR_S * 1e3,
+        help="skip entries whose baseline median is below this "
+        "(default: 1ms)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.current) as handle:
+        current = json.load(handle)
+    problems = compare(
+        baseline,
+        current,
+        threshold=args.threshold,
+        noise_floor_s=args.noise_floor_ms / 1e3,
+    )
+    shared = {e["name"] for e in baseline["results"]} & {
+        e["name"] for e in current["results"]
+    }
+    if problems:
+        print("perf regression gate FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"perf regression gate passed ({len(shared)} entries compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ from typing import Any, Mapping
 from repro.core import serialize
 from repro.core.delta import DeltaReport
 from repro.core.invariants import Invariant, Violation, _check_invariants
+from repro.obs import MetricsRegistry
 
 
 @dataclass
@@ -42,6 +43,11 @@ class ScenarioOutcome:
     monitored_pairs_lost: int | None = None
     # Hashable behaviour summary (None when signatures are disabled).
     signature: tuple | None = None
+    # Scoped work-metrics snapshot (a MetricsRegistry payload) of this
+    # scenario's evaluation.  Deterministic by the obs contract, so it
+    # is identical across backends and the parent can merge snapshots
+    # byte-stably in enumeration order.
+    metrics: dict | None = None
 
     @classmethod
     def from_report(
@@ -51,6 +57,7 @@ class ScenarioOutcome:
         invariants: list[Invariant],
         with_signature: bool = True,
         monitored_spans: list[tuple[int, int]] | None = None,
+        metrics: dict | None = None,
     ) -> "ScenarioOutcome":
         """Reduce one delta report to an outcome record."""
         gained, lost = report.num_pair_changes()
@@ -78,16 +85,20 @@ class ScenarioOutcome:
             monitored_pairs_gained=monitored_gained,
             monitored_pairs_lost=monitored_lost,
             signature=report.behavior_signature() if with_signature else None,
+            metrics=metrics,
         )
 
     @classmethod
-    def from_error(cls, scenario, error: Exception) -> "ScenarioOutcome":
+    def from_error(
+        cls, scenario, error: Exception, metrics: dict | None = None
+    ) -> "ScenarioOutcome":
         """An outcome for a scenario that failed to apply."""
         return cls(
             name=scenario.name,
             kind=scenario.kind,
             ok=False,
             error=f"{type(error).__name__}: {error}",
+            metrics=metrics,
         )
 
     def blast_radius(self) -> int:
@@ -140,6 +151,7 @@ class ScenarioOutcome:
                 if self.signature is None
                 else serialize.encode_signature(self.signature)
             ),
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -167,6 +179,7 @@ class ScenarioOutcome:
                 if signature is None
                 else serialize.decode_signature(signature)
             ),
+            metrics=data.get("metrics"),
         )
 
     def __str__(self) -> str:
@@ -202,6 +215,8 @@ class CampaignReport:
         self.jobs = jobs
         self.outcomes: list[ScenarioOutcome] = []
         self.wall_time = 0.0
+        # Merged work metrics across all outcomes (see finish()).
+        self.metrics: MetricsRegistry = MetricsRegistry()
         self._started = time.perf_counter()
 
     # -- collection ----------------------------------------------------------
@@ -211,6 +226,17 @@ class CampaignReport:
 
     def finish(self) -> "CampaignReport":
         self.wall_time = time.perf_counter() - self._started
+        # Merge per-scenario snapshots in enumeration order.  Both
+        # backends add outcomes in that order and the snapshots are
+        # deterministic work counts, so the merged registry — and its
+        # sorted-JSON dump — is byte-identical serial vs parallel.
+        merged = MetricsRegistry()
+        merged.counter("campaign.scenarios").inc(len(self.outcomes))
+        merged.counter("campaign.errors").inc(len(self.failed()))
+        for outcome in self.outcomes:
+            if outcome.metrics is not None:
+                merged.merge_payload(outcome.metrics)
+        self.metrics = merged
         return self
 
     # -- views ----------------------------------------------------------------
@@ -295,6 +321,7 @@ class CampaignReport:
                 "jobs": self.jobs,
                 "wall_time": self.wall_time,
                 "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+                "metrics": self.metrics.to_payload(),
             },
         )
 
@@ -308,6 +335,8 @@ class CampaignReport:
         report.wall_time = data["wall_time"]
         for outcome in data["outcomes"]:
             report.add(ScenarioOutcome.from_dict(outcome))
+        if "metrics" in data:
+            report.metrics = MetricsRegistry.from_payload(data["metrics"])
         return report
 
     def __str__(self) -> str:

@@ -33,6 +33,7 @@ from repro.core.change import ChangeError
 from repro.core.invariants import Invariant
 from repro.core.snapshot import Snapshot
 from repro.net.addr import Prefix
+from repro.obs import MetricsRegistry
 from repro.topology.model import TopologyError
 
 # Worker-process globals, installed once per worker by _init_worker.
@@ -72,6 +73,15 @@ def _evaluate(
     with_signatures: bool,
     monitored_spans: list[tuple[int, int]] | None,
 ) -> ScenarioOutcome:
+    # Each scenario evaluates against its own scoped metrics registry:
+    # the snapshot ships back with the outcome (also across process
+    # boundaries) and the parent merges snapshots in enumeration
+    # order, so serial and multiprocessing backends aggregate to
+    # byte-identical metrics.  The registry holds only deterministic
+    # work counts — wall time stays in report.timings and spans.
+    scoped = MetricsRegistry()
+    saved = analyzer.metrics
+    analyzer.metrics = scoped
     try:
         # Multi-change scenarios batch through one merged-DirtySet
         # recompute pass; the report (and its label) is identical to
@@ -85,13 +95,18 @@ def _evaluate(
         # (unknown router/link) raise TopologyError directly.  Either
         # way the fork rolled back; record and move on so one bad
         # scenario cannot poison the batch (or abort a worker pool).
-        return ScenarioOutcome.from_error(scenario, error)
+        return ScenarioOutcome.from_error(
+            scenario, error, metrics=scoped.to_payload()
+        )
+    finally:
+        analyzer.metrics = saved
     return ScenarioOutcome.from_report(
         scenario,
         report,
         invariants,
         with_signature=with_signatures,
         monitored_spans=monitored_spans,
+        metrics=scoped.to_payload(),
     )
 
 
@@ -189,8 +204,17 @@ class CampaignRunner:
             jobs = 1
         scenarios = list(scenarios)
         if jobs <= 1 or len(scenarios) <= 1:
-            return self._run_serial(scenarios)
-        return self._run_parallel(scenarios, jobs, chunk_size)
+            with self.analyzer.tracer.span(
+                "campaign.run", backend="serial", scenarios=len(scenarios)
+            ):
+                return self._run_serial(scenarios)
+        with self.analyzer.tracer.span(
+            "campaign.run",
+            backend="multiprocessing",
+            scenarios=len(scenarios),
+            jobs=min(jobs, len(scenarios)),
+        ):
+            return self._run_parallel(scenarios, jobs, chunk_size)
 
     def _pickled_base(self) -> bytes:
         """The base analyzer, pickled once and cached across runs."""

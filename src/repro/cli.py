@@ -11,7 +11,11 @@ Operator-facing workflow over on-disk snapshots, built entirely on the
   ``counters.edits_batched`` in the report records the batch size);
   ``--commit`` writes the changed snapshot back, ``--baseline`` also
   runs the snapshot-diff baseline and verifies agreement, ``--json``
-  emits the schema-versioned delta report.
+  emits the schema-versioned delta report.  ``--profile`` traces the
+  analysis with :mod:`repro.obs` and emits the versioned span-tree
+  JSON (per-stage timings with dirty-set attribution);
+  ``--profile-out FILE`` / ``--chrome-out FILE`` write the span tree
+  / a Chrome trace-event timeline to disk instead.
 - ``trace <snapshot-dir> <source> <dst-ip>`` — packet trace with
   optional ``--src/--proto/--dport``; ``--json`` emits the trace.
 - ``campaign <kind>`` — batch what-if analysis over a built-in
@@ -19,7 +23,9 @@ Operator-facing workflow over on-disk snapshots, built entirely on the
   ``k-links``, ``acl``, ``bgp``), evaluate them with forked analyzer
   state (``--jobs N`` for the multiprocessing backend), and print the
   ranked blast-radius report (or the full report with ``--json``).
-  ``--invariant NAME`` picks checks from the invariant registry.
+  ``--invariant NAME`` picks checks from the invariant registry;
+  ``--metrics-out FILE`` writes the merged work-metrics document
+  (byte-identical across backends).
 - ``demo <directory>`` — write a small example snapshot + change
   script to play with (``--topology/--size/--seed`` pick the fabric).
 
@@ -57,15 +63,22 @@ def _no_arg_invariants() -> list[str]:
     return names
 
 
-def _load(directory: str) -> Network:
+def _load(directory: str, trace: bool = False) -> Network:
     try:
-        return Network.load(directory)
+        return Network.load(directory, trace=trace)
     except FileNotFoundError as error:
         raise SystemExit(f"error: cannot load snapshot: {error}")
 
 
 def _emit_json(document: dict[str, Any]) -> None:
     print(json.dumps(document, sort_keys=True, indent=2))
+
+
+def _write_json(path: str, document: dict[str, Any]) -> None:
+    """Deterministic on-disk JSON (sorted keys, trailing newline)."""
+    with open(path, "w") as handle:
+        handle.write(json.dumps(document, sort_keys=True, indent=2))
+        handle.write("\n")
 
 
 def cmd_show(args: argparse.Namespace) -> int:
@@ -87,12 +100,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.change_text import parse_change_batch
     from repro.core.snapshot_diff import SnapshotDiff
 
-    network = _load(args.snapshot)
+    profiling = args.profile or args.profile_out or args.chrome_out
+    # --profile without --profile-out streams the span-tree JSON to
+    # stdout, so human chatter is suppressed like --json does.
+    quiet = args.json or args.profile
+    network = _load(args.snapshot, trace=profiling)
     with open(args.change) as handle:
         # `---` separators split the script into multiple changes; the
         # whole batch converges in one recompute pass either way.
         changes = parse_change_batch(handle.read(), label=args.change)
-    if not args.json:
+    if not quiet:
         for change in changes:
             print(change.describe())
 
@@ -104,26 +121,34 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
         reference = baseline.analyze(combined)
     report = network.apply(changes, label=args.change)
-    if not args.json and len(changes) > 1:
+    if not quiet and len(changes) > 1:
         print(
             f"\nbatched: {report.counters['edits_batched']} edits across "
             f"{len(changes)} changes in one recompute pass"
         )
     if args.json:
         _emit_json(report.to_dict())
-    else:
+    elif not args.profile:
         print()
         print(report.summary())
+    if profiling:
+        profile_document = network.profile()
+        if args.profile_out:
+            _write_json(args.profile_out, profile_document)
+        if args.chrome_out:
+            _write_json(args.chrome_out, network.tracer.to_chrome_trace())
+        if args.profile and not args.json:
+            _emit_json(profile_document)
     if args.baseline:
         agree = report.behavior_signature() == reference.behavior_signature()
         speedup = reference.timings["total"] / max(report.timings["total"], 1e-9)
-        if not args.json:
+        if not quiet:
             print(f"\nbaseline agrees: {agree} (speedup {speedup:.1f}x)")
         if not agree:
             return 1
     if args.commit:
         network.save(args.snapshot)
-        if not args.json:
+        if not quiet:
             print(f"\ncommitted to {args.snapshot}")
     return 0
 
@@ -202,6 +227,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         # vanishing is a reroute, not an outage.
         monitored=host_subnets,
     )
+    if args.metrics_out:
+        _write_json(args.metrics_out, report.metrics.to_dict())
     if args.json:
         _emit_json(report.to_dict())
     else:
@@ -264,6 +291,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run the snapshot-diff baseline and compare")
     analyze.add_argument("--json", action="store_true",
                          help="emit the schema-versioned delta report as JSON")
+    analyze.add_argument("--profile", action="store_true",
+                         help="trace the analysis and emit the versioned "
+                         "span-tree JSON (per-stage timings with dirty-set "
+                         "attribution) to stdout; combine with --json by "
+                         "using --profile-out instead")
+    analyze.add_argument("--profile-out", metavar="FILE",
+                         help="write the span-tree JSON document to FILE "
+                         "(implies tracing)")
+    analyze.add_argument("--chrome-out", metavar="FILE",
+                         help="write a Chrome trace-event JSON timeline to "
+                         "FILE (open in chrome://tracing; implies tracing)")
     analyze.set_defaults(handler=cmd_analyze)
 
     trace = commands.add_parser("trace", help="trace one packet")
@@ -327,6 +365,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--json", action="store_true",
         help="emit the schema-versioned campaign report as JSON",
+    )
+    campaign.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the merged work-metrics JSON document to FILE "
+        "(byte-identical across serial and parallel backends)",
     )
     campaign.set_defaults(handler=cmd_campaign)
 

@@ -39,7 +39,6 @@ base — the campaign engine (:mod:`repro.campaign`) is built on this.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Sequence
 
@@ -52,6 +51,7 @@ from repro.core.forking import ForkError, UndoJournal
 from repro.core.handlers import handler_for
 from repro.core.pipeline import DirtySet, RecomputePipeline
 from repro.core.snapshot import Snapshot
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 
 
 def batch_label(changes: Sequence[Change]) -> str:
@@ -67,9 +67,20 @@ def batch_label(changes: Sequence[Change]) -> str:
 class DifferentialNetworkAnalyzer:
     """Incremental change-impact analysis over one live network."""
 
-    def __init__(self, snapshot: Snapshot) -> None:
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.snapshot = snapshot
-        self.state = simulate(snapshot, precompute_reachability=True)
+        # Observability is opt-in: the default NULL_TRACER times spans
+        # (feeding report.timings) but records nothing; the metrics
+        # registry accumulates deterministic work counts either way.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        with self.tracer.span("analyze.converge"):
+            self.state = simulate(snapshot, precompute_reachability=True)
         self._ospf = OspfIncremental(self.state)
         self._origins = collect_origins(snapshot)
         self._journal: UndoJournal | None = None
@@ -113,31 +124,42 @@ class DifferentialNetworkAnalyzer:
         batch = list(changes)
         report = DeltaReport(label if label is not None else batch_label(batch))
         committed = self._journal is None
-        t0 = time.perf_counter()
 
-        try:
-            epoch = self._pipeline.begin()
-            dirty = DirtySet()
-            edits_applied = 0
-            for change in batch:
-                for edit in change.edits:
-                    self._apply_edit(edit, dirty)
-                    edits_applied += 1
-            t_edits = time.perf_counter()
+        with self.tracer.span(
+            "analyze.batch",
+            label=report.label,
+            changes=len(batch),
+            committed=committed,
+        ) as root:
+            try:
+                with self.tracer.span("analyze.edits") as edits_span:
+                    with self.tracer.span("analyze.epoch"):
+                        epoch = self._pipeline.begin()
+                    dirty = DirtySet()
+                    edits_applied = 0
+                    for change in batch:
+                        for edit in change.edits:
+                            self._apply_edit(edit, dirty)
+                            edits_applied += 1
+                    edits_span.set(edits=edits_applied)
 
-            self._pipeline.run(dirty, epoch, report)
-            t_end = time.perf_counter()
-        finally:
-            # A failed committed application may still have mutated
-            # state (edits apply in order, without a fork nothing
-            # rolls back), so caches keyed on `generation` must see it
-            # move either way.
-            if committed:
-                self.generation += 1
+                self._pipeline.run(dirty, epoch, report)
+            finally:
+                # A failed committed application may still have mutated
+                # state (edits apply in order, without a fork nothing
+                # rolls back), so caches keyed on `generation` must see it
+                # move either way.
+                if committed:
+                    self.generation += 1
 
-        report.timings["edits"] = t_edits - t0
-        report.timings["total"] = t_end - t0
+        # Compatibility view: the pre-obs timing keys, now fed from
+        # span durations (the pipeline fills igp/bgp/fib/reachability).
+        report.timings["edits"] = edits_span.duration
+        report.timings["total"] = root.duration
         report.counters["edits_batched"] = edits_applied
+        self.metrics.counter("analyze.calls").inc()
+        self.metrics.counter("analyze.edits").inc(edits_applied)
+        self.metrics.histogram("analyze.batch_size").observe(edits_applied)
         return report
 
     @contextmanager

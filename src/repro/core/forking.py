@@ -40,6 +40,7 @@ from repro.net.addr import Prefix
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.analyzer import DifferentialNetworkAnalyzer
     from repro.core.change import Edit
+    from repro.obs import Span
 
 _UNSET = object()  # "never saved" marker distinct from None/missing
 _MISSING = object()  # "key was absent" marker for dict restores
@@ -170,9 +171,22 @@ class UndoJournal:
 
     def rollback(self) -> None:
         """Restore the analyzer to its pre-fork state, exactly."""
+        with self.analyzer.tracer.span("fork.rollback") as span:
+            self._rollback(span)
+        metrics = self.analyzer.metrics
+        metrics.counter("fork.rollbacks").inc()
+        metrics.counter("fork.rib_prefixes_restored").inc(len(self._rib))
+        metrics.counter("fork.fib_entries_restored").inc(len(self._fib))
+
+    def _rollback(self, span: "Span") -> None:
         analyzer = self.analyzer
         state = analyzer.state
         snapshot = analyzer.snapshot
+        span.set(
+            rib_prefixes=len(self._rib),
+            fib_entries=len(self._fib),
+            ospf_checkpoint=self._ospf_checkpoint is not None,
+        )
 
         # Control plane: plain reference/copy restores.
         if self._sessions is not _UNSET:

@@ -24,7 +24,6 @@ edit first, union the dirty sets, then run stages 2–3 exactly once.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -94,6 +93,24 @@ class DirtySet:
     def advert_prefixes(self) -> dict[int, set[Prefix]]:
         """area -> prefixes whose OSPF advertisements changed."""
         return self.ospf.prefixes
+
+    def sizes(self) -> dict[str, int]:
+        """Per-axis cardinalities, for stage attribution and metrics.
+
+        These are the numbers a recompute-stage span carries as
+        labels, so a profile can answer "which stage cost what, and
+        why" — the *why* being how much each axis dirtied.
+        """
+        return {
+            "spf_sources": len(self.ospf.sources),
+            "advert_prefixes": sum(
+                len(prefixes) for prefixes in self.ospf.prefixes.values()
+            ),
+            "touched_routers": len(self.touched_routers),
+            "bgp_prefixes": len(self.bgp_prefixes),
+            "policy_routers": len(self.policy_routers),
+            "acl_spans": len(self.acl_spans),
+        }
 
     def merge(self, other: "DirtySet") -> "DirtySet":
         """Fold ``other`` into this dirty set (in place); returns self."""
@@ -196,49 +213,85 @@ class RecomputePipeline:
 
         Fills the ``igp``/``bgp``/``fib``/``reachability`` timings and
         the recompute counters; the caller owns ``edits``/``total``.
+
+        Every stage runs under a tracer span labelled with the
+        dirty-set sizes that explain its cost (per-stage DirtySet
+        attribution); the legacy timing keys are fed from the span
+        durations, so ``--json`` consumers see identical keys.
         """
         analyzer = self.analyzer
         state = analyzer.state
-        t0 = time.perf_counter()
+        tracer = analyzer.tracer
+        sizes = dirty.sizes()
 
-        best_changed: BestChanged = {}
-        igp_touched = self._recompute_ospf(dirty, best_changed, report)
-        igp_touched |= self._recompute_local(dirty, best_changed, report)
-        for router in igp_touched:
-            self._refresh_igp_adapter(router)
-        t_igp = time.perf_counter()
+        with tracer.span(
+            "pipeline.igp",
+            spf_sources=sizes["spf_sources"],
+            advert_prefixes=sizes["advert_prefixes"],
+            touched_routers=sizes["touched_routers"],
+        ) as igp_span:
+            best_changed: BestChanged = {}
+            igp_touched = self._recompute_ospf(dirty, best_changed, report)
+            igp_touched |= self._recompute_local(dirty, best_changed, report)
+            for router in igp_touched:
+                self._refresh_igp_adapter(router)
 
-        solved = 0
-        if epoch.active:
-            solved = self._recompute_bgp(dirty, epoch, best_changed, report)
-        t_bgp = time.perf_counter()
+        with tracer.span(
+            "pipeline.bgp",
+            bgp_prefixes=sizes["bgp_prefixes"],
+            policy_routers=sizes["policy_routers"],
+            all_bgp_dirty=dirty.all_bgp_dirty,
+            sessions_stale=dirty.sessions_stale,
+        ) as bgp_span:
+            solved = 0
+            if epoch.active:
+                solved = self._recompute_bgp(
+                    dirty, epoch, best_changed, report
+                )
+            bgp_span.set(prefixes_solved=solved)
 
-        dirty_spans = self._update_fibs(best_changed, report)
-        dirty_spans.extend(dirty.acl_spans)
-        t_fib = time.perf_counter()
+        with tracer.span("pipeline.fib") as fib_span:
+            dirty_spans = self._update_fibs(best_changed, report)
+            dirty_spans.extend(dirty.acl_spans)
+            fib_span.set(entries_updated=report.num_fib_changes())
 
-        dirty_atoms = self._recompute_reachability(dirty_spans, report)
-        t_end = time.perf_counter()
+        with tracer.span(
+            "pipeline.reachability", acl_spans=sizes["acl_spans"]
+        ) as reach_span:
+            dirty_atoms = self._recompute_reachability(dirty_spans, report)
+            reach_span.set(atoms_analyzed=dirty_atoms)
 
         report.timings.update(
             {
-                "igp": t_igp - t0,
-                "bgp": t_bgp - t_igp,
-                "fib": t_fib - t_bgp,
-                "reachability": t_end - t_fib,
+                "igp": igp_span.duration,
+                "bgp": bgp_span.duration,
+                "fib": fib_span.duration,
+                "reachability": reach_span.duration,
             }
         )
-        report.counters.update(
-            {
-                "spf_sources_recomputed": len(
-                    {router for router, _area in dirty.ospf.sources}
-                ),
-                "bgp_prefixes_resolved": solved,
-                "fib_entries_updated": report.num_fib_changes(),
-                "atoms_analyzed": dirty_atoms,
-                "atoms_total": state.dataplane.atom_table.num_atoms(),
-            }
-        )
+        counters = {
+            "spf_sources_recomputed": len(
+                {router for router, _area in dirty.ospf.sources}
+            ),
+            "bgp_prefixes_resolved": solved,
+            "fib_entries_updated": report.num_fib_changes(),
+            "atoms_analyzed": dirty_atoms,
+            "atoms_total": state.dataplane.atom_table.num_atoms(),
+        }
+        report.counters.update(counters)
+
+        metrics = analyzer.metrics
+        metrics.counter("pipeline.passes").inc()
+        for key in (
+            "spf_sources_recomputed",
+            "bgp_prefixes_resolved",
+            "fib_entries_updated",
+            "atoms_analyzed",
+        ):
+            metrics.counter(f"pipeline.{key}").inc(counters[key])
+        metrics.gauge("pipeline.atoms_total").set(counters["atoms_total"])
+        for axis, size in sizes.items():
+            metrics.histogram(f"dirty.{axis}").observe(size)
 
     # ------------------------------------------------------------------
     # OSPF / local route recomputation

@@ -1,0 +1,263 @@
+"""Work metrics: named counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` replaces the loose ``report.counters``
+writes scattered through the analyzer, pipeline, fork journal, and
+campaign runner with named, typed, mergeable instruments:
+
+- :class:`Counter` — monotonically increasing totals
+  (``pipeline.spf_sources_recomputed``);
+- :class:`Gauge` — last-written levels (``pipeline.atoms_total``);
+- :class:`Histogram` — fixed-bound distributions of per-operation
+  work (``dirty.spf_sources`` observed once per recompute pass).
+
+**Determinism contract**: the registry holds only quantities that are
+a pure function of (snapshot, changes) — counts of work, never wall
+time (wall-clock belongs to :class:`~repro.obs.trace.Tracer`).  That
+is what makes campaign metrics mergeable byte-identically: each
+scenario evaluation snapshots its own registry, the parent merges the
+snapshots in enumeration order, and serial vs multiprocessing
+backends produce the same bytes.
+
+Export is a versioned JSON document (``kind: "metrics"``) through
+:meth:`MetricsRegistry.to_dict`; :meth:`from_dict` rejects unknown
+schema versions with :class:`~repro.core.serialize.SchemaError`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Union
+
+from repro.core import serialize
+
+Number = Union[int, float]
+
+# Powers of two up to 64k: dirty-set sizes, batch sizes, and touched
+# counts all land here, and fixed bounds are what make two histograms
+# from different processes mergeable.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    float(1 << exponent) for exponent in range(17)
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+@dataclass
+class Gauge:
+    """A level: last write wins (also across merges)."""
+
+    name: str
+    value: Number | None = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A fixed-bound distribution of observed values.
+
+    Buckets are cumulative-style upper bounds (``value <= bound``
+    lands in that bucket; larger values land in the overflow bucket),
+    shared by construction so histograms merge by element-wise count
+    addition.  ``total``/``min``/``max`` ride along for summaries.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "low", "high")
+
+    def __init__(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(float(bound) for bound in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram {name!r} bounds must be strictly increasing"
+            )
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total: Number = 0
+        self.low: Number | None = None
+        self.high: Number | None = None
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.low = value if self.low is None else min(self.low, value)
+        self.high = value if self.high is None else max(self.high, value)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds "
+                f"differ ({len(self.bounds)} vs {len(other.bounds)} edges)"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        if other.low is not None:
+            self.low = other.low if self.low is None else min(self.low, other.low)
+        if other.high is not None:
+            self.high = (
+                other.high if self.high is None else max(self.high, other.high)
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count}, "
+            f"mean={self.mean():.2f}, min={self.low}, max={self.high})"
+        )
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, mergeable, versioned.
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name (the
+    dotted ``component.metric`` convention mirrors span names);
+    :meth:`merge` folds another registry in — counters add, gauges
+    take the other's value, histograms add bucket counts — and is the
+    primitive behind cross-process campaign aggregation.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    # -- views ----------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Counter values by name (sorted), for quick assertions."""
+        return {
+            name: self._counters[name].value
+            for name in sorted(self._counters)
+        }
+
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    # -- merge ----------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (in place); returns self.
+
+        Deterministic given a deterministic fold order — campaign
+        aggregation merges per-scenario snapshots in enumeration
+        order, which is what makes serial and multiprocessing
+        backends byte-identical.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).value += counter.value
+        for name, gauge in other._gauges.items():
+            if gauge.value is not None:
+                self.gauge(name).value = gauge.value
+        for name, histogram in other._histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
+        return self
+
+    def merge_payload(self, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        """Merge a :meth:`to_payload` fragment (cross-process path)."""
+        return self.merge(MetricsRegistry.from_payload(payload))
+
+    # -- serialization --------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready fragment with sorted, stable key order."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(self._histograms[name].bounds),
+                    "counts": list(self._histograms[name].counts),
+                    "count": self._histograms[name].count,
+                    "total": self._histograms[name].total,
+                    "min": self._histograms[name].low,
+                    "max": self._histograms[name].high,
+                }
+                for name in sorted(self._histograms)
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        for name, value in payload.get("counters", {}).items():
+            registry.counter(name).value = value
+        for name, value in payload.get("gauges", {}).items():
+            registry.gauge(name).value = value
+        for name, data in payload.get("histograms", {}).items():
+            histogram = registry.histogram(name, data["bounds"])
+            histogram.counts = list(data["counts"])
+            histogram.count = data["count"]
+            histogram.total = data["total"]
+            histogram.low = data["min"]
+            histogram.high = data["max"]
+        return registry
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON document (``kind: "metrics"``)."""
+        return serialize.document("metrics", self.to_payload())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry; raises SchemaError on unknown versions."""
+        serialize.check_document(data, "metrics")
+        return cls.from_payload(data)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, "
+            f"{len(self._histograms)} histograms)"
+        )
