@@ -151,7 +151,34 @@ def run_suite(repeat: int, warmup: int) -> dict[str, Any]:
         )
     )
 
-    # 3. Serial single-link campaign sweep on a ring.
+    # 3. The same k=8 batch with provenance on — the tracked number is
+    # the attribution overhead ratio, which the bench gate keeps <10%.
+    provenance_samples, provenance_report = _measure(
+        lambda: analyzer.what_if_batch(changes, provenance=True),
+        repeat,
+        warmup,
+    )
+    results.append(
+        _entry(
+            "batch_apply_k8_provenance",
+            provenance_samples,
+            params={"k": 4, "edits": edits},
+            observed={
+                "routers": scenario.topology.num_routers(),
+                "overhead_vs_plain": round(
+                    median(provenance_samples)
+                    / max(median(batch_samples), 1e-9),
+                    2,
+                ),
+                "edits_attributed": len(
+                    provenance_report.provenance.edits
+                ),
+            },
+            ops=dict(provenance_report.counters),
+        )
+    )
+
+    # 4. Serial single-link campaign sweep on a ring.
     ring = ring_ospf(8)
     batch = all_single_link_failures(ring)
     runner = CampaignRunner(ring.snapshot.clone(), label="ring8")

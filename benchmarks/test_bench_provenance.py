@@ -1,0 +1,112 @@
+"""Provenance must be cheap when on and free when off.
+
+Attribution rides the existing dirty-set machinery: handlers already
+compute the per-edit footprints, so provenance mode only adds origin
+stamping on merge, cause-set lookups per delta, and event-log appends.
+The design bet is that this costs well under 10% on a realistic batch
+— and exactly nothing when the flag stays off (the pipeline never
+consults the attribution path without a record).
+
+Acceptance, both as medians of paired per-rep ratios on the k=8 mixed
+batch (interleaved sampling, same discipline as the tracing
+benchmark):
+
+- provenance **off** is within noise of the pre-provenance baseline
+  (the same analyzer before this feature existed has no code-path
+  difference; we allow the tracing benchmark's 5% noise band);
+- provenance **on** adds less than 10% median overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import Table, median
+from repro.bench.workloads import mixed_k8_batch
+from repro.core.analyzer import DifferentialNetworkAnalyzer
+from repro.obs import EventLog
+from repro.workloads.scenarios import fat_tree_ospf
+
+REPEAT = 21
+INNER = 2  # batch applies per sample; averages out per-call jitter
+ACCEPTANCE_OFF = 0.05  # flag off: indistinguishable (noise band)
+ACCEPTANCE_ON = 0.10  # flag on: < 10% median overhead
+
+
+def test_provenance_overhead_under_10_percent(benchmark):
+    table = Table(
+        "Provenance overhead on the k=8 mixed batch "
+        "(fat-tree k=4, 20 routers)",
+        ["median_s", "ratio_vs_off"],
+    )
+    scenario = fat_tree_ospf(4)
+    changes, _recovery = mixed_k8_batch(scenario)
+
+    analyzers = {
+        "provenance off (baseline)": DifferentialNetworkAnalyzer(
+            scenario.snapshot.clone()
+        ),
+        "provenance off (events attached)": DifferentialNetworkAnalyzer(
+            scenario.snapshot.clone(), events=EventLog()
+        ),
+        "provenance on": DifferentialNetworkAnalyzer(
+            scenario.snapshot.clone(), events=EventLog()
+        ),
+    }
+    with_provenance = {"provenance on"}
+    samples: dict[str, list[float]] = {name: [] for name in analyzers}
+
+    # Warm every analyzer once, then interleave: each rep times every
+    # variant back-to-back (order rotating) and each gate is the
+    # median of the per-rep paired ratios — pairing cancels slow drift
+    # (thermal, cache, GC) that plagues absolute medians.
+    for name, analyzer in analyzers.items():
+        analyzer.what_if_batch(changes, provenance=name in with_provenance)
+    order = list(analyzers)
+    for rep in range(REPEAT):
+        for name in order[rep % len(order):] + order[:rep % len(order)]:
+            analyzer = analyzers[name]
+            if analyzer.events is not None:
+                analyzer.events.clear()  # unbounded growth would skew
+            flag = name in with_provenance
+            start = time.perf_counter()
+            for _ in range(INNER):
+                analyzer.what_if_batch(changes, provenance=flag)
+            samples[name].append((time.perf_counter() - start) / INNER)
+
+    baseline = median(samples["provenance off (baseline)"])
+    for name, times in samples.items():
+        table.add(
+            name,
+            median_s=median(times),
+            ratio_vs_off=median(times) / max(baseline, 1e-9),
+        )
+    table.emit()
+
+    def paired_ratio(name: str) -> float:
+        return median(
+            [
+                variant_s / max(base_s, 1e-9)
+                for variant_s, base_s in zip(
+                    samples[name], samples["provenance off (baseline)"]
+                )
+            ]
+        )
+
+    off_ratio = paired_ratio("provenance off (events attached)")
+    assert off_ratio <= 1 + ACCEPTANCE_OFF, (
+        f"an attached-but-silent event log adds "
+        f"{(off_ratio - 1) * 100:.1f}% median overhead with provenance "
+        f"off (acceptance: <{ACCEPTANCE_OFF * 100:.0f}%)"
+    )
+    on_ratio = paired_ratio("provenance on")
+    assert on_ratio <= 1 + ACCEPTANCE_ON, (
+        f"provenance adds {(on_ratio - 1) * 100:.1f}% median overhead "
+        f"on the k=8 batch (acceptance: <{ACCEPTANCE_ON * 100:.0f}%)"
+    )
+
+    benchmark(
+        lambda: analyzers["provenance on"].what_if_batch(
+            changes, provenance=True
+        )
+    )

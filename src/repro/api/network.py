@@ -48,7 +48,7 @@ from repro.core.invariants import (
 )
 from repro.core.snapshot import Snapshot
 from repro.net.addr import IPv4Address, Prefix
-from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+from repro.obs import NULL_TRACER, EventLog, MetricsRegistry, Tracer
 from repro.query.paths import ForwardingPaths, PathDiff, _forwarding_paths
 from repro.query.trace import PacketTrace, _trace_packet
 from repro.topology.model import Topology
@@ -123,6 +123,10 @@ class Network:
         else:
             self._tracer = Tracer() if trace else NULL_TRACER
         self._metrics = MetricsRegistry()
+        # Structured event log: provenance-enabled analyses append
+        # span/metric/provenance records here under monotonic sequence
+        # numbers.  Always attached, populated only on demand.
+        self._events = EventLog()
 
     # -- constructors --------------------------------------------------------
 
@@ -151,6 +155,10 @@ class Network:
         network._analyzer = analyzer
         network._tracer = analyzer.tracer
         network._metrics = analyzer.metrics
+        if analyzer.events is not None:
+            network._events = analyzer.events
+        else:
+            analyzer.events = network._events
         return network
 
     @classmethod
@@ -207,7 +215,10 @@ class Network:
         """The underlying differential analyzer (converges on first use)."""
         if self._analyzer is None:
             self._analyzer = DifferentialNetworkAnalyzer(
-                self.snapshot, tracer=self._tracer, metrics=self._metrics
+                self.snapshot,
+                tracer=self._tracer,
+                metrics=self._metrics,
+                events=self._events,
             )
         return self._analyzer
 
@@ -222,6 +233,17 @@ class Network:
     def metrics(self) -> MetricsRegistry:
         """Cumulative work metrics across every analysis on this session."""
         return self._metrics
+
+    @property
+    def events(self) -> EventLog:
+        """The session's structured event log.
+
+        Provenance-enabled analyses (``apply``/``preview`` with
+        ``provenance=True``) append span, metric, and provenance
+        records here; export with ``events.to_dict()`` (versioned
+        JSON) or ``events.to_jsonl()``.
+        """
+        return self._events
 
     def profile(self) -> dict[str, Any]:
         """The recorded span tree as a versioned JSON document.
@@ -256,7 +278,10 @@ class Network:
         return ChangeSet(label)
 
     def apply(
-        self, change: ChangesLike, label: str | None = None
+        self,
+        change: ChangesLike,
+        label: str | None = None,
+        provenance: bool = False,
     ) -> DeltaReport:
         """Commit a change — or a whole batch of changes — and return
         everything it (they) did.
@@ -270,11 +295,20 @@ class Network:
         size), at a fraction of the cost.  The network's converged
         state advances to the post-change network; subsequent queries
         see the change applied.
+
+        ``provenance=True`` attributes every delta to the edits that
+        (may have) caused it and streams structured records into
+        :attr:`events` — see :meth:`DeltaReport.why`.
         """
-        return self.analyzer.analyze_batch(_as_changes(change), label=label)
+        return self.analyzer.analyze_batch(
+            _as_changes(change), label=label, provenance=provenance
+        )
 
     def preview(
-        self, change: ChangesLike, label: str | None = None
+        self,
+        change: ChangesLike,
+        label: str | None = None,
+        provenance: bool = False,
     ) -> DeltaReport:
         """Evaluate a change (or batch of changes) without committing.
 
@@ -282,8 +316,12 @@ class Network:
         same change(s), but the converged state rolls back afterwards —
         also when the change fails to apply.  Sequences run through the
         same single-recompute batch pipeline as :meth:`apply`.
+        ``provenance=True`` behaves exactly as in :meth:`apply`; the
+        provenance record and event-log records survive the rollback.
         """
-        return self.analyzer.what_if_batch(_as_changes(change), label=label)
+        return self.analyzer.what_if_batch(
+            _as_changes(change), label=label, provenance=provenance
+        )
 
     def campaign(
         self,
@@ -294,6 +332,8 @@ class Network:
         monitored: Sequence[Prefix] | None = None,
         with_signatures: bool = True,
         label: str = "",
+        provenance: bool = False,
+        with_spans: bool = False,
     ) -> CampaignReport:
         """Batch what-if analysis of many scenarios against this state.
 
@@ -305,7 +345,11 @@ class Network:
         (there is nothing to parallelize) — check ``report.backend``
         for what actually ran.  ``invariants`` accepts instances or
         registered names; ``monitored`` scopes blast-radius ranking to
-        the given prefixes.
+        the given prefixes.  ``provenance=True`` attributes every
+        scenario's deltas and violations to its edits (outcome
+        ``causes``) and merges per-worker event logs into
+        ``report.events``; ``with_spans=True`` records per-scenario
+        span forests for ``report.chrome_trace()``.
         """
         if backend is not None:
             if backend == "serial":
@@ -323,6 +367,8 @@ class Network:
             with_signatures=with_signatures,
             label=label or self.snapshot.summary(),
             monitored=list(monitored) if monitored is not None else None,
+            provenance=provenance,
+            with_spans=with_spans,
         )
         return runner.run(list(scenarios), jobs=jobs)
 

@@ -17,7 +17,41 @@ from typing import Any, Mapping
 from repro.core import serialize
 from repro.core.delta import DeltaReport
 from repro.core.invariants import Invariant, Violation, _check_invariants
-from repro.obs import MetricsRegistry
+from repro.obs import EventLog, MetricsRegistry
+
+
+def _cause_summary(
+    report: DeltaReport,
+    violations: Mapping[str, list[Violation]],
+) -> dict[str, Any]:
+    """JSON-ready per-scenario causality digest.
+
+    Ships the batch's edit table, per-segment cause sets, and — the
+    headline — every invariant violation attributed to the edit ids
+    that (may have) caused it.  Derived entirely from deterministic
+    cause maps, so it is byte-identical across backends.
+    """
+    record = report.provenance
+    assert record is not None
+    return {
+        "edits": [info.to_payload() for info in record.edits],
+        "segments": record.segment_causes(report.reach_segments),
+        "violations": [
+            {
+                "invariant": name,
+                "detail": violation.detail,
+                "segment": [violation.segment_lo, violation.segment_hi],
+                "repaired": violation.repaired,
+                "edits": sorted(
+                    record.causes_over(
+                        violation.segment_lo, violation.segment_hi
+                    )
+                ),
+            }
+            for name, per_invariant in sorted(violations.items())
+            for violation in per_invariant
+        ],
+    }
 
 
 @dataclass
@@ -48,6 +82,18 @@ class ScenarioOutcome:
     # is identical across backends and the parent can merge snapshots
     # byte-stably in enumeration order.
     metrics: dict | None = None
+    # Causality digest (edit table, per-segment causes, violation
+    # attribution) of a provenance-enabled evaluation; None otherwise.
+    causes: dict | None = None
+    # Scoped event-log slice (raw records, scenario-local seq numbers)
+    # of a provenance-enabled evaluation.  The parent report absorbs
+    # slices in enumeration order, so the merged log is byte-identical
+    # across backends.
+    events: list | None = None
+    # Scoped span-forest payloads (wall-clock!) recorded when the
+    # campaign runs with spans on — feeds the merged chrome trace.
+    # Never part of any determinism contract.
+    spans: list | None = None
 
     @classmethod
     def from_report(
@@ -58,6 +104,8 @@ class ScenarioOutcome:
         with_signature: bool = True,
         monitored_spans: list[tuple[int, int]] | None = None,
         metrics: dict | None = None,
+        events: list | None = None,
+        spans: list | None = None,
     ) -> "ScenarioOutcome":
         """Reduce one delta report to an outcome record."""
         gained, lost = report.num_pair_changes()
@@ -72,6 +120,12 @@ class ScenarioOutcome:
                 ):
                     monitored_gained += len(segment.added)
                     monitored_lost += len(segment.removed)
+        violations = _check_invariants(report, invariants)
+        causes = (
+            _cause_summary(report, violations)
+            if report.provenance is not None
+            else None
+        )
         return cls(
             name=scenario.name,
             kind=scenario.kind,
@@ -81,16 +135,24 @@ class ScenarioOutcome:
             pairs_lost=lost,
             segments=len(report.reach_segments),
             duration=report.timings.get("total", 0.0),
-            violations=_check_invariants(report, invariants),
+            violations=violations,
             monitored_pairs_gained=monitored_gained,
             monitored_pairs_lost=monitored_lost,
             signature=report.behavior_signature() if with_signature else None,
             metrics=metrics,
+            causes=causes,
+            events=events,
+            spans=spans,
         )
 
     @classmethod
     def from_error(
-        cls, scenario, error: Exception, metrics: dict | None = None
+        cls,
+        scenario,
+        error: Exception,
+        metrics: dict | None = None,
+        events: list | None = None,
+        spans: list | None = None,
     ) -> "ScenarioOutcome":
         """An outcome for a scenario that failed to apply."""
         return cls(
@@ -99,6 +161,8 @@ class ScenarioOutcome:
             ok=False,
             error=f"{type(error).__name__}: {error}",
             metrics=metrics,
+            events=events,
+            spans=spans,
         )
 
     def blast_radius(self) -> int:
@@ -129,7 +193,7 @@ class ScenarioOutcome:
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready fragment (the enclosing report carries the
         schema version)."""
-        return {
+        data: dict[str, Any] = {
             "name": self.name,
             "kind": self.kind,
             "ok": self.ok,
@@ -153,6 +217,15 @@ class ScenarioOutcome:
             ),
             "metrics": self.metrics,
         }
+        # Opt-in payloads keep the base document byte-stable: the keys
+        # appear only when the campaign ran with the feature enabled.
+        if self.causes is not None:
+            data["causes"] = self.causes
+        if self.events is not None:
+            data["events"] = self.events
+        if self.spans is not None:
+            data["spans"] = self.spans
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioOutcome":
@@ -180,6 +253,9 @@ class ScenarioOutcome:
                 else serialize.decode_signature(signature)
             ),
             metrics=data.get("metrics"),
+            causes=data.get("causes"),
+            events=data.get("events"),
+            spans=data.get("spans"),
         )
 
     def __str__(self) -> str:
@@ -217,6 +293,9 @@ class CampaignReport:
         self.wall_time = 0.0
         # Merged work metrics across all outcomes (see finish()).
         self.metrics: MetricsRegistry = MetricsRegistry()
+        # Merged structured event log across all provenance-enabled
+        # outcomes (see finish()); empty otherwise.
+        self.events: EventLog = EventLog()
         self._started = time.perf_counter()
 
     # -- collection ----------------------------------------------------------
@@ -237,6 +316,14 @@ class CampaignReport:
             if outcome.metrics is not None:
                 merged.merge_payload(outcome.metrics)
         self.metrics = merged
+        # Per-worker event-log slices merge exactly like the metrics:
+        # enumeration order, with sequence numbers reassigned densely —
+        # so the merged log is byte-identical serial vs multiprocessing.
+        log = EventLog()
+        for outcome in self.outcomes:
+            if outcome.events:
+                log.absorb(outcome.events)
+        self.events = log
         return self
 
     # -- views ----------------------------------------------------------------
@@ -271,6 +358,51 @@ class CampaignReport:
     def total_analysis_time(self) -> float:
         """Sum of per-scenario analysis seconds (CPU work, not wall)."""
         return sum(o.duration for o in self.outcomes)
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """One Chrome trace-event timeline over every scenario's spans.
+
+        Each scenario's recorded span forest (see the runner's
+        ``with_spans``) becomes one named thread on the timeline, so
+        ``chrome://tracing`` / Perfetto shows the whole campaign —
+        serial or multiprocessing — side by side.  Scenarios without
+        spans are skipped.
+        """
+        events: list[dict[str, Any]] = []
+        for tid, outcome in enumerate(self.outcomes):
+            if not outcome.spans:
+                continue
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": outcome.name},
+                }
+            )
+
+            def visit(payload: Mapping[str, Any], tid: int = tid) -> None:
+                events.append(
+                    {
+                        "name": payload["name"],
+                        "ph": "X",
+                        "ts": payload["start"] * 1e6,
+                        "dur": payload["duration"] * 1e6,
+                        "pid": 0,
+                        "tid": tid,
+                        "args": {
+                            key: payload["labels"][key]
+                            for key in sorted(payload["labels"])
+                        },
+                    }
+                )
+                for child in payload["children"]:
+                    visit(child, tid)
+
+            for root in outcome.spans:
+                visit(root)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     # -- rendering -------------------------------------------------------------
 
@@ -313,17 +445,17 @@ class CampaignReport:
 
     def to_dict(self) -> dict[str, Any]:
         """Schema-versioned JSON document (see :mod:`repro.core.serialize`)."""
-        return serialize.document(
-            "campaign-report",
-            {
-                "label": self.label,
-                "backend": self.backend,
-                "jobs": self.jobs,
-                "wall_time": self.wall_time,
-                "outcomes": [outcome.to_dict() for outcome in self.outcomes],
-                "metrics": self.metrics.to_payload(),
-            },
-        )
+        payload: dict[str, Any] = {
+            "label": self.label,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "wall_time": self.wall_time,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "metrics": self.metrics.to_payload(),
+        }
+        if len(self.events):
+            payload["events"] = self.events.to_payload()
+        return serialize.document("campaign-report", payload)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignReport":
@@ -337,6 +469,8 @@ class CampaignReport:
             report.add(ScenarioOutcome.from_dict(outcome))
         if "metrics" in data:
             report.metrics = MetricsRegistry.from_payload(data["metrics"])
+        if "events" in data:
+            report.events.absorb(data["events"])
         return report
 
     def __str__(self) -> str:

@@ -33,7 +33,7 @@ from repro.core.change import ChangeError
 from repro.core.invariants import Invariant
 from repro.core.snapshot import Snapshot
 from repro.net.addr import Prefix
-from repro.obs import MetricsRegistry
+from repro.obs import EventLog, MetricsRegistry, Tracer
 from repro.topology.model import TopologyError
 
 # Worker-process globals, installed once per worker by _init_worker.
@@ -45,11 +45,15 @@ def _init_worker(
     invariants: list[Invariant],
     with_signatures: bool,
     monitored_spans: list[tuple[int, int]] | None,
+    provenance: bool,
+    with_spans: bool,
 ) -> None:
     _WORKER["analyzer"] = pickle.loads(payload)
     _WORKER["invariants"] = invariants
     _WORKER["with_signatures"] = with_signatures
     _WORKER["monitored_spans"] = monitored_spans
+    _WORKER["provenance"] = provenance
+    _WORKER["with_spans"] = with_spans
 
 
 def _evaluate_in_worker(
@@ -62,6 +66,8 @@ def _evaluate_in_worker(
         _WORKER["invariants"],
         _WORKER["with_signatures"],
         _WORKER["monitored_spans"],
+        _WORKER["provenance"],
+        _WORKER["with_spans"],
     )
     return index, outcome
 
@@ -72,6 +78,8 @@ def _evaluate(
     invariants: list[Invariant],
     with_signatures: bool,
     monitored_spans: list[tuple[int, int]] | None,
+    provenance: bool = False,
+    with_spans: bool = False,
 ) -> ScenarioOutcome:
     # Each scenario evaluates against its own scoped metrics registry:
     # the snapshot ships back with the outcome (also across process
@@ -79,15 +87,38 @@ def _evaluate(
     # order, so serial and multiprocessing backends aggregate to
     # byte-identical metrics.  The registry holds only deterministic
     # work counts — wall time stays in report.timings and spans.
+    # Provenance-enabled campaigns scope an event log the same way
+    # (its payloads are deterministic too); ``with_spans`` scopes a
+    # recording tracer whose wall-clock forest feeds the chrome
+    # timeline and is never part of a determinism contract.
     scoped = MetricsRegistry()
     saved = analyzer.metrics
     analyzer.metrics = scoped
+    scoped_events = EventLog() if provenance else None
+    saved_events = analyzer.events
+    if provenance:
+        analyzer.events = scoped_events
+    scoped_tracer = Tracer() if with_spans else None
+    saved_tracer = analyzer.tracer
+    if scoped_tracer is not None:
+        analyzer.tracer = scoped_tracer
+
+    def _events_payload() -> list | None:
+        return scoped_events.to_payload() if scoped_events else None
+
+    def _spans_payload() -> list | None:
+        if scoped_tracer is None:
+            return None
+        return [root.to_payload() for root in scoped_tracer.roots]
+
     try:
         # Multi-change scenarios batch through one merged-DirtySet
         # recompute pass; the report (and its label) is identical to
         # what_if of the combined change.
         report = analyzer.what_if_batch(
-            scenario.batch(), label=scenario.change.label
+            scenario.batch(),
+            label=scenario.change.label,
+            provenance=provenance,
         )
     except (ChangeError, TopologyError) as error:
         # Both are "this change does not fit this network" — edits
@@ -96,10 +127,16 @@ def _evaluate(
         # way the fork rolled back; record and move on so one bad
         # scenario cannot poison the batch (or abort a worker pool).
         return ScenarioOutcome.from_error(
-            scenario, error, metrics=scoped.to_payload()
+            scenario,
+            error,
+            metrics=scoped.to_payload(),
+            events=_events_payload(),
+            spans=_spans_payload(),
         )
     finally:
         analyzer.metrics = saved
+        analyzer.events = saved_events
+        analyzer.tracer = saved_tracer
     return ScenarioOutcome.from_report(
         scenario,
         report,
@@ -107,6 +144,8 @@ def _evaluate(
         with_signature=with_signatures,
         monitored_spans=monitored_spans,
         metrics=scoped.to_payload(),
+        events=_events_payload(),
+        spans=_spans_payload(),
     )
 
 
@@ -120,6 +159,8 @@ class CampaignRunner:
         with_signatures: bool = True,
         label: str = "",
         monitored: list[Prefix] | None = None,
+        provenance: bool = False,
+        with_spans: bool = False,
     ) -> None:
         # Converging is the expensive part; do it once, up front, and
         # share the warm analyzer across runs and backends.
@@ -129,6 +170,8 @@ class CampaignRunner:
             with_signatures,
             label,
             monitored,
+            provenance,
+            with_spans,
         )
 
     @classmethod
@@ -139,11 +182,19 @@ class CampaignRunner:
         with_signatures: bool = True,
         label: str = "",
         monitored: list[Prefix] | None = None,
+        provenance: bool = False,
+        with_spans: bool = False,
     ) -> "CampaignRunner":
         """Wrap an existing warm analyzer instead of re-simulating."""
         runner = cls.__new__(cls)
         runner._configure(
-            analyzer, invariants, with_signatures, label, monitored
+            analyzer,
+            invariants,
+            with_signatures,
+            label,
+            monitored,
+            provenance,
+            with_spans,
         )
         return runner
 
@@ -154,11 +205,20 @@ class CampaignRunner:
         with_signatures: bool,
         label: str,
         monitored: list[Prefix] | None,
+        provenance: bool = False,
+        with_spans: bool = False,
     ) -> None:
         self.analyzer = analyzer
         self.invariants = list(invariants or [])
         self.with_signatures = with_signatures
         self.label = label or analyzer.snapshot.summary()
+        # Provenance attributes every scenario's deltas and violations
+        # to its edits and ships scoped event-log slices back with the
+        # outcomes; with_spans records a per-scenario span forest for
+        # the merged chrome timeline.  Both default off — they widen
+        # outcome payloads.
+        self.provenance = provenance
+        self.with_spans = with_spans
         # The pickled base payload is hoisted across runs: scenarios
         # share one converged base, so re-pickling it per run (let
         # alone per scenario) is pure waste.  ``pickle_count`` exists
@@ -237,6 +297,8 @@ class CampaignRunner:
                     self.invariants,
                     self.with_signatures,
                     self.monitored_spans,
+                    self.provenance,
+                    self.with_spans,
                 )
             )
         return report.finish()
@@ -261,6 +323,8 @@ class CampaignRunner:
                 self.invariants,
                 self.with_signatures,
                 self.monitored_spans,
+                self.provenance,
+                self.with_spans,
             ),
         ) as pool:
             for index, outcome in pool.imap_unordered(

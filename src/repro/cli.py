@@ -15,7 +15,18 @@ Operator-facing workflow over on-disk snapshots, built entirely on the
   analysis with :mod:`repro.obs` and emits the versioned span-tree
   JSON (per-stage timings with dirty-set attribution);
   ``--profile-out FILE`` / ``--chrome-out FILE`` write the span tree
-  / a Chrome trace-event timeline to disk instead.
+  / a Chrome trace-event timeline to disk instead (``--json
+  --profile`` emits both documents, report first).  ``--provenance``
+  attributes every delta to its causing edits; ``--provenance-out`` /
+  ``--events-out`` / ``--metrics-out`` save the provenance document,
+  the structured event log (JSONL), and the work metrics.
+- ``explain`` — causality queries over a provenance-enabled analysis
+  (``explain <snapshot> <change-script>``, fork-backed, never
+  commits) or a saved document (``explain --from FILE``): which edits
+  changed one FIB/RIB entry (``--router/--prefix``), everything one
+  edit caused (``--edit N``), behaviour changes toward an address
+  (``--dst IP``), and invariant violations attributed to edits
+  (``--invariant NAME``).
 - ``trace <snapshot-dir> <source> <dst-ip>`` — packet trace with
   optional ``--src/--proto/--dport``; ``--json`` emits the trace.
 - ``campaign <kind>`` — batch what-if analysis over a built-in
@@ -25,7 +36,10 @@ Operator-facing workflow over on-disk snapshots, built entirely on the
   ranked blast-radius report (or the full report with ``--json``).
   ``--invariant NAME`` picks checks from the invariant registry;
   ``--metrics-out FILE`` writes the merged work-metrics document
-  (byte-identical across backends).
+  (byte-identical across backends); ``--provenance`` /
+  ``--events-out FILE`` attribute each scenario's deltas to its edits
+  and write the merged event log; ``--chrome-out FILE`` writes one
+  timeline with every scenario's span forest as a named thread.
 - ``demo <directory>`` — write a small example snapshot + change
   script to play with (``--topology/--size/--seed`` pick the fabric).
 
@@ -120,7 +134,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             label=args.change,
         )
         reference = baseline.analyze(combined)
-    report = network.apply(changes, label=args.change)
+    wants_provenance = bool(
+        args.provenance or args.provenance_out or args.events_out
+    )
+    report = network.apply(
+        changes, label=args.change, provenance=wants_provenance
+    )
     if not quiet and len(changes) > 1:
         print(
             f"\nbatched: {report.counters['edits_batched']} edits across "
@@ -131,13 +150,28 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     elif not args.profile:
         print()
         print(report.summary())
+    if args.provenance_out:
+        assert report.provenance is not None
+        _write_json(
+            args.provenance_out,
+            report.provenance.to_dict(report.reach_segments),
+        )
+    if args.events_out:
+        with open(args.events_out, "w") as handle:
+            handle.write(network.events.to_jsonl())
+            handle.write("\n")
+    if args.metrics_out:
+        _write_json(args.metrics_out, network.metrics.to_dict())
     if profiling:
         profile_document = network.profile()
         if args.profile_out:
             _write_json(args.profile_out, profile_document)
         if args.chrome_out:
             _write_json(args.chrome_out, network.tracer.to_chrome_trace())
-        if args.profile and not args.json:
+        if args.profile:
+            # Both --json and --profile emit their documents: the delta
+            # report first, then the span tree (sequential JSON values
+            # on stdout — any streaming parser reads them back).
             _emit_json(profile_document)
     if args.baseline:
         agree = report.behavior_signature() == reference.behavior_signature()
@@ -226,15 +260,171 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         # Rank by host-visible impact: a failed link's own /31
         # vanishing is a reroute, not an outage.
         monitored=host_subnets,
+        provenance=bool(args.provenance or args.events_out),
+        with_spans=bool(args.chrome_out),
     )
     if args.metrics_out:
         _write_json(args.metrics_out, report.metrics.to_dict())
+    if args.chrome_out:
+        _write_json(args.chrome_out, report.chrome_trace())
+    if args.events_out:
+        with open(args.events_out, "w") as handle:
+            handle.write(report.events.to_jsonl())
+            handle.write("\n")
     if args.json:
         _emit_json(report.to_dict())
     else:
         print()
         print(report.summary(top=args.top))
     return 1 if report.failed() else 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.serialize import SchemaError
+    from repro.net.addr import IPv4Address
+    from repro.obs.provenance import ProvenanceRecord
+
+    report = None
+    violations: list = []
+    if args.from_file:
+        if args.snapshot or args.change:
+            raise SystemExit(
+                "error: --from FILE replaces the snapshot/change arguments"
+            )
+        try:
+            with open(args.from_file) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(f"error: cannot read {args.from_file}: {error}")
+        if data.get("kind") == "delta-report":
+            # A saved delta report embeds its provenance document.
+            data = data.get("provenance")
+            if data is None:
+                raise SystemExit(
+                    "error: this delta report was produced without "
+                    "--provenance; re-run analyze with it"
+                )
+        try:
+            record = ProvenanceRecord.from_dict(data)
+        except (SchemaError, KeyError, TypeError) as error:
+            raise SystemExit(
+                f"error: not a provenance document: {error}"
+            )
+    else:
+        if not (args.snapshot and args.change):
+            raise SystemExit(
+                "error: provide a snapshot directory and change script, "
+                "or query a saved document with --from FILE"
+            )
+        from repro.core.change_text import parse_change_batch
+
+        network = _load(args.snapshot)
+        with open(args.change) as handle:
+            changes = parse_change_batch(handle.read(), label=args.change)
+        # Fork-backed: explain never commits the change.
+        report = network.preview(changes, label=args.change, provenance=True)
+        record = report.provenance
+        assert record is not None
+        for name in args.invariant or []:
+            try:
+                violations.extend(network.check(report, [name]))
+            except (TypeError, ValueError) as error:
+                raise SystemExit(f"error: {error}")
+        if args.provenance_out:
+            _write_json(
+                args.provenance_out,
+                record.to_dict(report.reach_segments),
+            )
+
+    answer: dict[str, Any] = {"label": record.label}
+    lines: list[str] = []
+
+    queried = False
+    if args.edit is not None:
+        queried = True
+        try:
+            attribution = record.attribution(args.edit)
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}")
+        answer["edit"] = attribution
+        info = record.edit(args.edit)
+        lines.append(f"{info} caused:")
+        lines.append(f"  {len(attribution['rib'])} RIB changes, "
+                     f"{len(attribution['fib'])} FIB changes, "
+                     f"{len(attribution['acl_spans'])} ACL spans")
+        for router, prefix in attribution["fib"][: args.top]:
+            lines.append(f"    fib {router} {prefix}")
+    if args.router is not None or args.prefix is not None:
+        if args.router is None or args.prefix is None:
+            raise SystemExit(
+                "error: --router and --prefix go together (one FIB/RIB "
+                "entry)"
+            )
+        queried = True
+        ids = sorted(record.entry_causes(args.router, args.prefix))
+        answer["entry"] = {
+            "router": args.router,
+            "prefix": args.prefix,
+            "edits": ids,
+        }
+        header = f"{args.router} / {args.prefix}"
+        if ids:
+            lines.append(f"{header} changed because of:")
+            lines.extend(f"  {line}" for line in record.describe(ids))
+        else:
+            lines.append(f"{header}: no recorded cause (entry unchanged)")
+    if args.dst is not None:
+        queried = True
+        try:
+            value = IPv4Address(args.dst).value
+        except ValueError as error:
+            raise SystemExit(f"error: {error}")
+        ids = sorted(record.causes_over(value, value + 1))
+        answer["dst"] = {"address": args.dst, "edits": ids}
+        if ids:
+            lines.append(f"behaviour toward {args.dst} changed because of:")
+            lines.extend(f"  {line}" for line in record.describe(ids))
+        else:
+            lines.append(f"behaviour toward {args.dst} did not change")
+    if violations:
+        assert report is not None
+        attributed = []
+        for violation in violations:
+            causes = sorted(
+                edit.edit_id for edit in report.why(violation)
+            )
+            attributed.append(
+                {
+                    "invariant": violation.invariant,
+                    "detail": violation.detail,
+                    "repaired": violation.repaired,
+                    "edits": causes,
+                }
+            )
+            lines.append(f"{violation}")
+            lines.extend(
+                f"  caused by {line}" for line in record.describe(causes)
+            )
+        answer["violations"] = attributed
+    if not queried and not violations:
+        # No specific query: show the edit table, the causal headline.
+        answer["edits"] = [info.to_payload() for info in record.edits]
+        lines.append(
+            f"provenance {record.label!r}: {len(record.edits)} edits, "
+            f"{len(record.rib_causes)} RIB / {len(record.fib_causes)} FIB "
+            f"cause sets, {len(record.acl_causes)} ACL spans"
+        )
+        lines.extend(f"  {info}" for info in record.edits)
+        lines.append(
+            "query with --router/--prefix, --dst, or --edit N"
+        )
+
+    if args.json:
+        _emit_json(answer)
+    else:
+        for line in lines:
+            print(line)
+    return 0
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -302,6 +492,20 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--chrome-out", metavar="FILE",
                          help="write a Chrome trace-event JSON timeline to "
                          "FILE (open in chrome://tracing; implies tracing)")
+    analyze.add_argument("--metrics-out", metavar="FILE",
+                         help="write the session work-metrics JSON document "
+                         "to FILE (deterministic work counts)")
+    analyze.add_argument("--provenance", action="store_true",
+                         help="attribute every delta to the edits that "
+                         "caused it (the --json report gains a provenance "
+                         "section; see also 'repro explain')")
+    analyze.add_argument("--provenance-out", metavar="FILE",
+                         help="write the provenance JSON document to FILE "
+                         "(implies --provenance; query with "
+                         "'repro explain --from FILE')")
+    analyze.add_argument("--events-out", metavar="FILE",
+                         help="write the structured event log as JSONL to "
+                         "FILE (implies --provenance)")
     analyze.set_defaults(handler=cmd_analyze)
 
     trace = commands.add_parser("trace", help="trace one packet")
@@ -371,7 +575,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged work-metrics JSON document to FILE "
         "(byte-identical across serial and parallel backends)",
     )
+    campaign.add_argument(
+        "--chrome-out", metavar="FILE",
+        help="record per-scenario span forests and write one merged "
+        "Chrome trace-event timeline to FILE (every scenario is a "
+        "named thread; open in chrome://tracing)",
+    )
+    campaign.add_argument(
+        "--provenance", action="store_true",
+        help="attribute each scenario's deltas and violations to its "
+        "edits (outcome 'causes' in --json) and merge per-worker "
+        "event logs into the report",
+    )
+    campaign.add_argument(
+        "--events-out", metavar="FILE",
+        help="write the merged structured event log as JSONL to FILE "
+        "(implies --provenance; byte-identical across backends)",
+    )
     campaign.set_defaults(handler=cmd_campaign)
+
+    explain = commands.add_parser(
+        "explain",
+        help="answer causality queries: which edit caused which delta",
+    )
+    explain.add_argument(
+        "snapshot", nargs="?",
+        help="snapshot directory (omit when using --from)",
+    )
+    explain.add_argument(
+        "change", nargs="?",
+        help="change script to analyze with provenance (never commits)",
+    )
+    explain.add_argument(
+        "--from", dest="from_file", metavar="FILE",
+        help="query a saved provenance document (or a delta report "
+        "saved with --provenance) instead of running an analysis",
+    )
+    explain.add_argument(
+        "--router", help="router of the FIB/RIB entry to explain"
+    )
+    explain.add_argument(
+        "--prefix", help="prefix of the FIB/RIB entry to explain"
+    )
+    explain.add_argument(
+        "--dst", metavar="IP",
+        help="explain every behaviour change toward one IPv4 address",
+    )
+    explain.add_argument(
+        "--edit", type=int, metavar="N",
+        help="show everything edit #N (may have) caused",
+    )
+    explain.add_argument(
+        "--invariant", action="append", metavar="NAME",
+        help="check an invariant and attribute its violations to edits "
+        "(repeatable; live mode only)",
+    )
+    explain.add_argument(
+        "--top", type=int, default=10,
+        help="rows listed per attribution (default: 10)",
+    )
+    explain.add_argument(
+        "--provenance-out", metavar="FILE",
+        help="also save the provenance JSON document to FILE",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the query answer as JSON",
+    )
+    explain.set_defaults(handler=cmd_explain)
 
     demo = commands.add_parser("demo", help="write a demo snapshot")
     demo.add_argument("directory")

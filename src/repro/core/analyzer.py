@@ -51,7 +51,8 @@ from repro.core.forking import ForkError, UndoJournal
 from repro.core.handlers import handler_for
 from repro.core.pipeline import DirtySet, RecomputePipeline
 from repro.core.snapshot import Snapshot
-from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+from repro.obs import NULL_TRACER, EventLog, MetricsRegistry, Tracer
+from repro.obs.provenance import ProvenanceRecord
 
 
 def batch_label(changes: Sequence[Change]) -> str:
@@ -72,13 +73,17 @@ class DifferentialNetworkAnalyzer:
         snapshot: Snapshot,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
     ) -> None:
         self.snapshot = snapshot
         # Observability is opt-in: the default NULL_TRACER times spans
         # (feeding report.timings) but records nothing; the metrics
         # registry accumulates deterministic work counts either way.
+        # The event log (when attached) receives span/metric/provenance
+        # records only for provenance-enabled passes.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events
         with self.tracer.span("analyze.converge"):
             self.state = simulate(snapshot, precompute_reachability=True)
         self._ospf = OspfIncremental(self.state)
@@ -101,15 +106,20 @@ class DifferentialNetworkAnalyzer:
     # Public API
     # ------------------------------------------------------------------
 
-    def analyze(self, change: Change) -> DeltaReport:
+    def analyze(
+        self, change: Change, provenance: bool = False
+    ) -> DeltaReport:
         """Apply ``change`` and return everything it did.
 
         The analyzer's state advances to the post-change network.
         """
-        return self.analyze_batch([change])
+        return self.analyze_batch([change], provenance=provenance)
 
     def analyze_batch(
-        self, changes: Iterable[Change], label: str | None = None
+        self,
+        changes: Iterable[Change],
+        label: str | None = None,
+        provenance: bool = False,
     ) -> DeltaReport:
         """Apply a whole sequence of changes in one recompute pass.
 
@@ -120,9 +130,20 @@ class DifferentialNetworkAnalyzer:
         equal to the sequential composition of per-change ``analyze``
         calls (A->B->A churn collapses away), at a fraction of the
         cost.  The analyzer's state advances to the post-batch network.
+
+        ``provenance=True`` additionally attributes every delta to the
+        edits that (may have) caused it: each edit gets a dense id in
+        application order, its handler runs against a fresh dirty set
+        that is stamped with the id before merging, and the recompute
+        stages propagate the ids onto the deltas — see
+        :attr:`DeltaReport.provenance` / :meth:`DeltaReport.why`.
         """
         batch = list(changes)
         report = DeltaReport(label if label is not None else batch_label(batch))
+        record: ProvenanceRecord | None = None
+        if provenance:
+            record = ProvenanceRecord(report.label)
+            report.provenance = record
         committed = self._journal is None
 
         with self.tracer.span(
@@ -137,9 +158,34 @@ class DifferentialNetworkAnalyzer:
                         epoch = self._pipeline.begin()
                     dirty = DirtySet()
                     edits_applied = 0
+                    if record is not None and self.events is not None:
+                        self.events.span(
+                            "analyze.batch",
+                            label=report.label,
+                            changes=len(batch),
+                            committed=committed,
+                        )
                     for change in batch:
                         for edit in change.edits:
-                            self._apply_edit(edit, dirty)
+                            if record is None:
+                                self._apply_edit(edit, dirty)
+                            else:
+                                edit_id = record.register_edit(
+                                    type(edit).__name__,
+                                    edit.describe(),
+                                    change.label or "",
+                                )
+                                per_edit = DirtySet()
+                                self._apply_edit(edit, per_edit)
+                                per_edit.attribute(edit_id)
+                                dirty.merge(per_edit)
+                                if self.events is not None:
+                                    self.events.provenance(
+                                        edit_id=edit_id,
+                                        kind=type(edit).__name__,
+                                        detail=edit.describe(),
+                                        change=change.label or "",
+                                    )
                             edits_applied += 1
                     edits_span.set(edits=edits_applied)
 
@@ -160,6 +206,15 @@ class DifferentialNetworkAnalyzer:
         self.metrics.counter("analyze.calls").inc()
         self.metrics.counter("analyze.edits").inc(edits_applied)
         self.metrics.histogram("analyze.batch_size").observe(edits_applied)
+        if record is not None and self.events is not None:
+            # Pass summary closes the provenance stream for this batch.
+            self.events.provenance(
+                label=report.label,
+                edits=len(record.edits),
+                rib_changes=report.num_rib_changes(),
+                fib_changes=report.num_fib_changes(),
+                segments=len(report.reach_segments),
+            )
         return report
 
     @contextmanager
@@ -183,7 +238,7 @@ class DifferentialNetworkAnalyzer:
             self._journal = None
             journal.rollback()
 
-    def what_if(self, change: Change) -> DeltaReport:
+    def what_if(self, change: Change, provenance: bool = False) -> DeltaReport:
         """Evaluate ``change`` without committing it.
 
         Equivalent to ``analyze`` in its report, but the analyzer's
@@ -191,19 +246,26 @@ class DifferentialNetworkAnalyzer:
         change fails to apply.
         """
         with self.fork():
-            return self.analyze(change)
+            return self.analyze(change, provenance=provenance)
 
     def what_if_batch(
-        self, changes: Iterable[Change], label: str | None = None
+        self,
+        changes: Iterable[Change],
+        label: str | None = None,
+        provenance: bool = False,
     ) -> DeltaReport:
         """Evaluate a batch of changes without committing any of them.
 
         Equivalent to :meth:`analyze_batch` in its report — one merged
         recompute pass — but fork-backed: the analyzer rolls back to
         the pre-batch state afterwards, also on application errors.
+        The provenance record (and any event-log records) survive the
+        rollback — they document what the evaluation *would* do.
         """
         with self.fork():
-            return self.analyze_batch(changes, label=label)
+            return self.analyze_batch(
+                changes, label=label, provenance=provenance
+            )
 
     # ------------------------------------------------------------------
     # Edit dispatch (stage 1)

@@ -26,6 +26,7 @@ from repro.core import serialize
 from repro.dataplane.fib import FibEntry
 from repro.dataplane.reachability import AtomReachability
 from repro.net.addr import Prefix
+from repro.obs.provenance import EditInfo, ProvenanceRecord
 
 Pair = tuple[str, str]  # (source router, owner router)
 
@@ -316,15 +317,54 @@ def compose_reports(
     set-delta algebra.  Timings and additive counters are summed —
     they describe the work done, not the behaviour delta, and are
     excluded from equivalence comparisons.
+
+    Provenance composes too (when every input carries it): the edit
+    tables concatenate — re-numbering each report's dense edit ids by
+    the running offset, exactly the ids a single batched analysis
+    would have assigned — and cause sets union through the same
+    churn-collapsing recorders, so composed attribution is
+    byte-comparable with batched attribution.
     """
     composed = DeltaReport(label)
+    with_provenance = bool(reports) and all(
+        report.provenance is not None for report in reports
+    )
+    if with_provenance:
+        composed.provenance = ProvenanceRecord(label)
     for report in reports:
+        offset = 0
+        record = report.provenance
+        if with_provenance and composed.provenance is not None:
+            assert record is not None
+            offset = composed.provenance.absorb_edits(record)
         for router, per_router in report.rib_changes.items():
             for prefix, (before, after) in per_router.items():
-                composed.record_rib(router, prefix, before, after)
+                causes = None
+                if with_provenance and record is not None:
+                    causes = {
+                        edit_id + offset
+                        for edit_id in record.rib_causes.get(
+                            (router, str(prefix)), set()
+                        )
+                    } or None
+                composed.record_rib(router, prefix, before, after, causes)
         for router, per_router in report.fib_changes.items():
             for prefix, (before, after) in per_router.items():
-                composed.record_fib(router, prefix, before, after)
+                causes = None
+                if with_provenance and record is not None:
+                    causes = {
+                        edit_id + offset
+                        for edit_id in record.fib_causes.get(
+                            (router, str(prefix)), set()
+                        )
+                    } or None
+                composed.record_fib(router, prefix, before, after, causes)
+        if with_provenance and composed.provenance is not None:
+            assert record is not None
+            for (lo, hi), ids in record.acl_causes.items():
+                composed.provenance.record_acl_span(
+                    lo, hi, {edit_id + offset for edit_id in ids}
+                )
         composed.reach_segments = compose_segment_lists(
             composed.reach_segments, report.reach_segments
         )
@@ -348,6 +388,9 @@ class DeltaReport:
         self.reach_segments: list[ReachSegment] = []
         self.timings: dict[str, float] = {}
         self.counters: dict[str, int] = {}
+        # Edit->delta attribution; populated only when the producing
+        # analysis ran with ``provenance=True``.
+        self.provenance: ProvenanceRecord | None = None
 
     # -- recording (collapses transient flips) -------------------------------
 
@@ -357,8 +400,13 @@ class DeltaReport:
         prefix: Prefix,
         before: Route | None,
         after: Route | None,
+        causes: set[int] | None = None,
     ) -> None:
-        """Note a best-route transition, collapsing A->B->A churn."""
+        """Note a best-route transition, collapsing A->B->A churn.
+
+        ``causes`` (provenance mode) unions edit ids into the entry's
+        cause set; a net-cancelled entry drops its causes in lockstep.
+        """
         per_router = self.rib_changes.setdefault(router, {})
         existing = per_router.get(prefix)
         original = existing[0] if existing is not None else before
@@ -366,8 +414,12 @@ class DeltaReport:
             per_router.pop(prefix, None)
             if not per_router:
                 del self.rib_changes[router]
+            if self.provenance is not None:
+                self.provenance.drop_rib(router, str(prefix))
         else:
             per_router[prefix] = (original, after)
+            if self.provenance is not None and causes is not None:
+                self.provenance.record_rib(router, str(prefix), causes)
 
     def record_fib(
         self,
@@ -375,6 +427,7 @@ class DeltaReport:
         prefix: Prefix,
         before: FibEntry | None,
         after: FibEntry | None,
+        causes: set[int] | None = None,
     ) -> None:
         """Note a FIB transition, collapsing A->B->A churn."""
         per_router = self.fib_changes.setdefault(router, {})
@@ -384,8 +437,69 @@ class DeltaReport:
             per_router.pop(prefix, None)
             if not per_router:
                 del self.fib_changes[router]
+            if self.provenance is not None:
+                self.provenance.drop_fib(router, str(prefix))
         else:
             per_router[prefix] = (original, after)
+            if self.provenance is not None and causes is not None:
+                self.provenance.record_fib(
+                    router, str(prefix), prefix.interval(), causes
+                )
+
+    # -- attribution queries ------------------------------------------------
+
+    def why(self, entry: Any) -> list[EditInfo]:
+        """The edits that (may have) caused ``entry``, in id order.
+
+        ``entry`` is one of:
+
+        - a ``(router, prefix)`` pair — FIB/RIB change attribution;
+        - a :class:`ReachSegment` — causes over its interval;
+        - anything with ``segment_lo``/``segment_hi`` attributes (a
+          :class:`~repro.core.invariants.Violation`) — likewise.
+
+        Raises ``ValueError`` if this report was produced without
+        ``provenance=True``.
+        """
+        record = self.provenance
+        if record is None:
+            raise ValueError(
+                "this report carries no provenance; re-run the analysis "
+                "with provenance=True"
+            )
+        if isinstance(entry, ReachSegment):
+            ids = record.causes_over(entry.lo, entry.hi)
+        elif hasattr(entry, "segment_lo") and hasattr(entry, "segment_hi"):
+            ids = record.causes_over(entry.segment_lo, entry.segment_hi)
+        elif isinstance(entry, tuple) and len(entry) == 2:
+            router, prefix = entry
+            ids = record.entry_causes(router, str(prefix))
+        else:
+            raise TypeError(
+                f"cannot attribute {entry!r}: expected a (router, prefix) "
+                "pair, a ReachSegment, or a Violation"
+            )
+        return [record.edit(edit_id) for edit_id in sorted(ids)]
+
+    def attribute(self, edit_id: int) -> dict[str, Any]:
+        """Everything edit ``edit_id`` (may have) caused in this report.
+
+        Returns a JSON-ready dict: the edit's info plus the RIB/FIB
+        entries, ACL spans, and reachability segments carrying its id.
+        """
+        record = self.provenance
+        if record is None:
+            raise ValueError(
+                "this report carries no provenance; re-run the analysis "
+                "with provenance=True"
+            )
+        result = record.attribution(edit_id)
+        result["segments"] = [
+            [segment.lo, segment.hi]
+            for segment in self.reach_segments
+            if edit_id in record.causes_over(segment.lo, segment.hi)
+        ]
+        return result
 
     # -- summaries ---------------------------------------------------------------
 
@@ -436,21 +550,23 @@ class DeltaReport:
                 for router, per_router in sorted(changes.items())
             }
 
-        return serialize.document(
-            "delta-report",
-            {
-                "label": self.label,
-                "rib_changes": encode_changes(
-                    self.rib_changes, serialize.encode_route
-                ),
-                "fib_changes": encode_changes(
-                    self.fib_changes, serialize.encode_fib_entry
-                ),
-                "reach_segments": [s.to_dict() for s in self.reach_segments],
-                "timings": dict(self.timings),
-                "counters": dict(self.counters),
-            },
-        )
+        payload = {
+            "label": self.label,
+            "rib_changes": encode_changes(
+                self.rib_changes, serialize.encode_route
+            ),
+            "fib_changes": encode_changes(
+                self.fib_changes, serialize.encode_fib_entry
+            ),
+            "reach_segments": [s.to_dict() for s in self.reach_segments],
+            "timings": dict(self.timings),
+            "counters": dict(self.counters),
+        }
+        if self.provenance is not None:
+            payload["provenance"] = self.provenance.to_dict(
+                self.reach_segments
+            )
+        return serialize.document("delta-report", payload)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DeltaReport":
@@ -479,6 +595,8 @@ class DeltaReport:
         ]
         report.timings = dict(data["timings"])
         report.counters = dict(data["counters"])
+        if "provenance" in data:
+            report.provenance = ProvenanceRecord.from_dict(data["provenance"])
         return report
 
     # -- comparison between analysis paths ---------------------------------------

@@ -27,6 +27,14 @@ entry this way).  Handlers run with the fork journal already primed
 before-images); handlers that mutate *converged* state beyond the
 snapshot must record their own undo hooks, exactly like the built-in
 ACL handlers below.
+
+**Provenance contract**: handlers never see edit ids.  Under
+``provenance=True`` the analyzer runs each handler against a *fresh*
+:class:`DirtySet` and stamps everything the handler deposited with
+the edit's id (:meth:`DirtySet.attribute`) before merging into the
+batch set — so every dirty marker a handler produces is automatically
+tagged with the edit that produced it, and custom handlers registered
+by workloads participate in attribution without any extra code.
 """
 
 from __future__ import annotations

@@ -25,7 +25,7 @@ edit first, union the dirty sets, then run stages 2–3 exactly once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, cast
 
 from repro.controlplane.bgp import collect_origins, discover_sessions, solve_prefix
 from repro.controlplane.connected import connected_routes, static_routes
@@ -43,6 +43,7 @@ from repro.net.interval import IntervalSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.analyzer import DifferentialNetworkAnalyzer
+    from repro.obs.provenance import ProvenanceRecord
 
 INFINITY = float("inf")
 NON_BGP = frozenset({"bgp"})
@@ -74,6 +75,16 @@ class DirtySet:
 
     ``merge`` unions two dirty sets, which is what makes batched
     multi-edit analysis a single recompute pass.
+
+    **Provenance**: when a batch is analyzed with attribution on, each
+    edit's handler runs against a fresh dirty set which is then
+    stamped via :meth:`attribute` — every entry it produced is tagged
+    with the edit's :data:`~repro.obs.provenance.EditId` in
+    ``origins`` (keyed ``(axis, element)``) — before being merged into
+    the batch set.  ``merge`` unions the contributing ids per axis
+    element, so after stage 1 the batch dirty set knows exactly which
+    edits dirtied what, and the recompute stages can propagate those
+    ids onto the deltas they emit.
     """
 
     ospf: OspfDirty = field(default_factory=OspfDirty)
@@ -83,6 +94,9 @@ class DirtySet:
     acl_spans: list[Span] = field(default_factory=list)
     all_bgp_dirty: bool = False
     sessions_stale: bool = False
+    # (axis, element) -> contributing edit ids; empty unless the batch
+    # is analyzed with provenance on.
+    origins: dict[tuple[str, object], set[int]] = field(default_factory=dict)
 
     @property
     def spf_sources(self) -> set[tuple[str, int]]:
@@ -113,7 +127,12 @@ class DirtySet:
         }
 
     def merge(self, other: "DirtySet") -> "DirtySet":
-        """Fold ``other`` into this dirty set (in place); returns self."""
+        """Fold ``other`` into this dirty set (in place); returns self.
+
+        Origins union per axis element, so provenance survives the
+        batch union: an element dirtied by several edits ends up
+        attributed to all of them.
+        """
         self.ospf.merge(other.ospf)
         self.touched_routers.update(other.touched_routers)
         self.bgp_prefixes.update(other.bgp_prefixes)
@@ -121,7 +140,53 @@ class DirtySet:
         self.acl_spans.extend(other.acl_spans)
         self.all_bgp_dirty = self.all_bgp_dirty or other.all_bgp_dirty
         self.sessions_stale = self.sessions_stale or other.sessions_stale
+        for key, ids in other.origins.items():
+            self.origins.setdefault(key, set()).update(ids)
         return self
+
+    # -- provenance ---------------------------------------------------------
+
+    def attribute(self, edit_id: int) -> "DirtySet":
+        """Tag every current entry as contributed by ``edit_id``.
+
+        Called by the analyzer right after one edit's handler ran
+        against a fresh dirty set: everything in here was produced by
+        that edit.  Returns self.
+        """
+
+        def mark(axis: str, element: object) -> None:
+            self.origins.setdefault((axis, element), set()).add(edit_id)
+
+        for source in self.ospf.sources:
+            mark("spf_source", source)
+        for area, prefixes in self.ospf.prefixes.items():
+            for prefix in prefixes:
+                mark("advert_prefix", (area, prefix))
+        for router in self.touched_routers:
+            mark("touched_router", router)
+        for prefix in self.bgp_prefixes:
+            mark("bgp_prefix", prefix)
+        for router in self.policy_routers:
+            mark("policy_router", router)
+        for span in self.acl_spans:
+            mark("acl_span", span)
+        if self.all_bgp_dirty:
+            mark("all_bgp_dirty", None)
+        if self.sessions_stale:
+            mark("sessions_stale", None)
+        return self
+
+    def origin(self, axis: str, element: object = None) -> set[int]:
+        """The edit ids that dirtied one axis element (empty if none)."""
+        return self.origins.get((axis, element), set())
+
+    def igp_origin_union(self) -> set[int]:
+        """Every edit id that touched an IGP-feeding axis."""
+        ids: set[int] = set()
+        for (axis, _element), contributors in self.origins.items():
+            if axis in ("spf_source", "advert_prefix", "touched_router"):
+                ids |= contributors
+        return ids
 
     def is_empty(self) -> bool:
         return (
@@ -169,6 +234,88 @@ class BgpEpoch:
     pair_index: dict[BgpPair, set[Prefix]] = field(default_factory=dict)
     pre_fingerprint: dict[BgpPair, Fingerprint] = field(default_factory=dict)
     pre_liveness: dict[BgpPair, bool] = field(default_factory=dict)
+
+
+class _Attribution:
+    """Pass-scoped cause derivation (provenance mode only).
+
+    Precomputes per-router/per-prefix views of the dirty set's
+    origins, accumulates which edits changed IGP state at each router
+    (BGP decisions and next-hop resolutions downstream of those
+    routers inherit the causes), and answers each stage's "which edit
+    ids caused this delta?" queries.  Every lookup falls back to the
+    full edit-id set — cause sets are a sound may-have-caused
+    over-approximation, never silently empty.
+    """
+
+    def __init__(self, dirty: DirtySet, record: "ProvenanceRecord") -> None:
+        self.dirty = dirty
+        self.record = record
+        self.spf_ids: dict[str, set[int]] = {}
+        self.advert_ids: dict[Prefix, set[int]] = {}
+        for (axis, element), ids in dirty.origins.items():
+            if axis == "spf_source":
+                router = cast("tuple[str, int]", element)[0]
+                self.spf_ids.setdefault(router, set()).update(ids)
+            elif axis == "advert_prefix":
+                prefix = cast("tuple[int, Prefix]", element)[1]
+                self.advert_ids.setdefault(prefix, set()).update(ids)
+        self.igp_union = dirty.igp_origin_union()
+        # router -> edits that changed its IGP routes this pass.
+        self.igp_router_causes: dict[str, set[int]] = {}
+        # (router, prefix) FIB refreshes forced by next-hop resolution
+        # changes (the best route itself held).
+        self.resolution_causes: dict[RibKey, set[int]] = {}
+
+    def fallback(self) -> set[int]:
+        return self.record.all_ids()
+
+    def ospf_cause(self, source: str, prefix: Prefix) -> set[int]:
+        """Causes of an OSPF route change at ``source`` for ``prefix``:
+        the edits that dirtied the source's SPF tree or the prefix's
+        advertisement (multi-area fallback refreshes sources no edit
+        dirtied directly — those fall back to the IGP contributors)."""
+        ids = set(self.spf_ids.get(source, ())) | set(
+            self.advert_ids.get(prefix, ())
+        )
+        if not ids:
+            ids = set(self.igp_union)
+        return ids or self.fallback()
+
+    def local_cause(self, router: str) -> set[int]:
+        ids = set(self.dirty.origin("touched_router", router))
+        return ids or self.fallback()
+
+    def session_cause(self, local: str, peer: str) -> set[int]:
+        """Causes of a BGP session appearing/disappearing: the edits
+        that touched either endpoint, else whatever staled sessions."""
+        ids = set(self.dirty.origin("touched_router", local)) | set(
+            self.dirty.origin("touched_router", peer)
+        )
+        if not ids:
+            ids = set(self.dirty.origin("sessions_stale"))
+        return ids or self.fallback()
+
+    def note_igp(self, router: str, ids: set[int]) -> None:
+        self.igp_router_causes.setdefault(router, set()).update(ids)
+
+    def igp_cause_at(self, router: str) -> set[int]:
+        """The edits that changed IGP state at ``router`` this pass."""
+        ids = self.igp_router_causes.get(router)
+        if ids:
+            return set(ids)
+        return set(self.igp_union) or self.fallback()
+
+    def fib_cause(self, router: str, prefix: Prefix) -> set[int]:
+        """Causes of a FIB rebuild: the entry's RIB causes when the
+        best route moved, else the IGP edits that re-resolved it."""
+        ids = self.record.rib_causes.get((router, str(prefix)))
+        if ids:
+            return set(ids)
+        resolved = self.resolution_causes.get((router, prefix))
+        if resolved:
+            return set(resolved)
+        return self.igp_cause_at(router)
 
 
 class RecomputePipeline:
@@ -223,6 +370,11 @@ class RecomputePipeline:
         state = analyzer.state
         tracer = analyzer.tracer
         sizes = dirty.sizes()
+        attr = (
+            _Attribution(dirty, report.provenance)
+            if report.provenance is not None
+            else None
+        )
 
         with tracer.span(
             "pipeline.igp",
@@ -231,8 +383,12 @@ class RecomputePipeline:
             touched_routers=sizes["touched_routers"],
         ) as igp_span:
             best_changed: BestChanged = {}
-            igp_touched = self._recompute_ospf(dirty, best_changed, report)
-            igp_touched |= self._recompute_local(dirty, best_changed, report)
+            igp_touched = self._recompute_ospf(
+                dirty, best_changed, report, attr
+            )
+            igp_touched |= self._recompute_local(
+                dirty, best_changed, report, attr
+            )
             for router in igp_touched:
                 self._refresh_igp_adapter(router)
 
@@ -246,12 +402,12 @@ class RecomputePipeline:
             solved = 0
             if epoch.active:
                 solved = self._recompute_bgp(
-                    dirty, epoch, best_changed, report
+                    dirty, epoch, best_changed, report, attr
                 )
             bgp_span.set(prefixes_solved=solved)
 
         with tracer.span("pipeline.fib") as fib_span:
-            dirty_spans = self._update_fibs(best_changed, report)
+            dirty_spans = self._update_fibs(best_changed, report, attr)
             dirty_spans.extend(dirty.acl_spans)
             fib_span.set(entries_updated=report.num_fib_changes())
 
@@ -260,6 +416,15 @@ class RecomputePipeline:
         ) as reach_span:
             dirty_atoms = self._recompute_reachability(dirty_spans, report)
             reach_span.set(atoms_analyzed=dirty_atoms)
+
+        if attr is not None and report.provenance is not None:
+            # Invalidated header-space spans carry their origins onto
+            # the provenance record — reachability segments overlapping
+            # them inherit these causes.
+            for lo, hi in dirty.acl_spans:
+                report.provenance.record_acl_span(
+                    lo, hi, dirty.origin("acl_span", (lo, hi)) or attr.fallback()
+                )
 
         report.timings.update(
             {
@@ -293,6 +458,39 @@ class RecomputePipeline:
         for axis, size in sizes.items():
             metrics.histogram(f"dirty.{axis}").observe(size)
 
+        events = analyzer.events
+        if events is not None and report.provenance is not None:
+            # Event-log payloads are deterministic by contract: stage
+            # labels are dirty-set sizes and the metric values are work
+            # counts — never wall-clock (that stays in the span trace).
+            events.span(
+                "pipeline.igp",
+                spf_sources=sizes["spf_sources"],
+                advert_prefixes=sizes["advert_prefixes"],
+                touched_routers=sizes["touched_routers"],
+            )
+            events.span(
+                "pipeline.bgp",
+                bgp_prefixes=sizes["bgp_prefixes"],
+                policy_routers=sizes["policy_routers"],
+                prefixes_solved=solved,
+            )
+            events.span(
+                "pipeline.fib", entries_updated=report.num_fib_changes()
+            )
+            events.span(
+                "pipeline.reachability",
+                acl_spans=sizes["acl_spans"],
+                atoms_analyzed=dirty_atoms,
+            )
+            for key in (
+                "spf_sources_recomputed",
+                "bgp_prefixes_resolved",
+                "fib_entries_updated",
+                "atoms_analyzed",
+            ):
+                events.metric(f"pipeline.{key}", counters[key])
+
     # ------------------------------------------------------------------
     # OSPF / local route recomputation
     # ------------------------------------------------------------------
@@ -305,10 +503,12 @@ class RecomputePipeline:
         new_route: Route | None,
         best_changed: BestChanged,
         report: DeltaReport,
+        causes: set[int] | None = None,
     ) -> bool:
         """Install/withdraw one protocol route; track best-route flips.
 
         Returns True if the router's best route for the prefix changed.
+        ``causes`` (provenance mode) attributes the flip to edit ids.
         """
         analyzer = self.analyzer
         if analyzer._journal is not None:
@@ -329,11 +529,15 @@ class RecomputePipeline:
             best_changed.pop(key, None)
         else:
             best_changed[key] = (original, new_best)
-        report.record_rib(router, prefix, old_best, new_best)
+        report.record_rib(router, prefix, old_best, new_best, causes=causes)
         return True
 
     def _recompute_ospf(
-        self, dirty: DirtySet, best_changed: BestChanged, report: DeltaReport
+        self,
+        dirty: DirtySet,
+        best_changed: BestChanged,
+        report: DeltaReport,
+        attr: _Attribution | None = None,
     ) -> set[str]:
         """Refresh OSPF routes for dirty sources/prefixes.
 
@@ -375,8 +579,12 @@ class RecomputePipeline:
                 if old == new:
                     continue
                 changed = True
+                causes = None
+                if attr is not None:
+                    causes = attr.ospf_cause(source, prefix)
+                    attr.note_igp(source, causes)
                 self._install_route_update(
-                    source, "ospf", prefix, new, best_changed, report
+                    source, "ospf", prefix, new, best_changed, report, causes
                 )
             state.ospf_routes[source] = new_routes
             if changed:
@@ -406,8 +614,18 @@ class RecomputePipeline:
                         if old == new:
                             continue
                         changed = True
+                        causes = None
+                        if attr is not None:
+                            causes = attr.ospf_cause(source, prefix)
+                            attr.note_igp(source, causes)
                         self._install_route_update(
-                            source, "ospf", prefix, new, best_changed, report
+                            source,
+                            "ospf",
+                            prefix,
+                            new,
+                            best_changed,
+                            report,
+                            causes,
                         )
                         if new is None:
                             cached.pop(prefix, None)
@@ -418,13 +636,18 @@ class RecomputePipeline:
         return touched
 
     def _recompute_local(
-        self, dirty: DirtySet, best_changed: BestChanged, report: DeltaReport
+        self,
+        dirty: DirtySet,
+        best_changed: BestChanged,
+        report: DeltaReport,
+        attr: _Attribution | None = None,
     ) -> set[str]:
         """Re-derive connected/static routes for touched routers."""
         analyzer = self.analyzer
         state = analyzer.state
         touched: set[str] = set()
         for router in dirty.touched_routers:
+            causes = attr.local_cause(router) if attr is not None else None
             new_connected = connected_routes(analyzer.snapshot, router)
             new_static = static_routes(
                 analyzer.snapshot, router, new_connected, state.address_index
@@ -442,8 +665,11 @@ class RecomputePipeline:
                     if old == new:
                         continue
                     touched.add(router)
+                    if attr is not None and causes is not None:
+                        attr.note_igp(router, causes)
                     self._install_route_update(
-                        router, protocol, prefix, new, best_changed, report
+                        router, protocol, prefix, new, best_changed, report,
+                        causes,
                     )
                 cache[router] = new_map
         return touched
@@ -513,11 +739,27 @@ class RecomputePipeline:
         epoch: BgpEpoch,
         best_changed: BestChanged,
         report: DeltaReport,
+        attr: _Attribution | None = None,
     ) -> int:
         analyzer = self.analyzer
         state = analyzer.state
         bgp_dirty: set[Prefix] = set(dirty.bgp_prefixes)
         all_bgp_dirty = dirty.all_bgp_dirty
+
+        # Per-prefix cause bookkeeping (provenance mode): every branch
+        # that dirties a prefix notes *why*; ``all_cause`` backs the
+        # prefixes only reached through an all-dirty expansion.
+        bgp_cause: dict[Prefix, set[int]] = {}
+        all_cause: set[int] = set()
+
+        def note(prefix: Prefix, ids: set[int]) -> None:
+            bgp_cause.setdefault(prefix, set()).update(ids)
+
+        if attr is not None:
+            for prefix in dirty.bgp_prefixes:
+                note(prefix, set(dirty.origin("bgp_prefix", prefix)))
+            if dirty.all_bgp_dirty:
+                all_cause |= dirty.origin("all_bgp_dirty")
 
         # Session churn.
         if dirty.sessions_stale:
@@ -535,13 +777,24 @@ class RecomputePipeline:
             added = new_keys - old_keys
             if added:
                 all_bgp_dirty = True
+                if attr is not None:
+                    for local, peer, _local_ip, _peer_ip in added:
+                        all_cause |= attr.session_cause(local, peer)
             if removed:
                 removed_pairs = {(local, peer) for local, peer, _, _ in removed}
+                pair_cause: dict[tuple[str, str], set[int]] = {}
+                if attr is not None:
+                    for local, peer, _local_ip, _peer_ip in removed:
+                        pair_cause[(local, peer)] = attr.session_cause(
+                            local, peer
+                        )
                 for prefix, solution in state.bgp_solutions.items():
                     for receiver, sender in solution.adj_in:
                         if (sender, receiver) in removed_pairs:
                             bgp_dirty.add(prefix)
-                            break
+                            if attr is None:
+                                break
+                            note(prefix, pair_cause[(sender, receiver)])
             if analyzer._journal is not None:
                 analyzer._journal.save_sessions()
             state.bgp_sessions = new_sessions
@@ -550,12 +803,20 @@ class RecomputePipeline:
         if dirty.policy_routers:
             for prefix, solution in state.bgp_solutions.items():
                 for receiver, sender in solution.adj_in:
-                    if (
-                        receiver in dirty.policy_routers
-                        or sender in dirty.policy_routers
-                    ):
+                    hit = {
+                        router
+                        for router in (receiver, sender)
+                        if router in dirty.policy_routers
+                    }
+                    if hit:
                         bgp_dirty.add(prefix)
-                        break
+                        if attr is None:
+                            break
+                        for router in hit:
+                            note(
+                                prefix,
+                                set(dirty.origin("policy_router", router)),
+                            )
 
         # IGP-induced dirt: cost changes flip decisions; resolution
         # changes require FIB rebuilds even when decisions hold.
@@ -565,8 +826,14 @@ class RecomputePipeline:
             pre = epoch.pre_fingerprint[pair]
             if pre == post:
                 continue
+            pair_igp_cause = (
+                attr.igp_cause_at(pair[0]) if attr is not None else None
+            )
             if pre[0] != post[0]:
                 bgp_dirty.update(prefixes)
+                if attr is not None and pair_igp_cause is not None:
+                    for prefix in prefixes:
+                        note(prefix, pair_igp_cause)
             if pre[1] != post[1]:
                 # Even when the decision holds, the resolved next hops
                 # changed — those FIB entries must be rebuilt.
@@ -578,9 +845,17 @@ class RecomputePipeline:
                     best = solution.best.get(router)
                     if best is not None and best.next_hop == pair[1]:
                         resolution_refresh.add((router, prefix))
+                        if attr is not None and pair_igp_cause is not None:
+                            attr.resolution_causes.setdefault(
+                                (router, prefix), set()
+                            ).update(pair_igp_cause)
         post_liveness = self._session_liveness()
         if epoch.pre_liveness != post_liveness:
             all_bgp_dirty = True
+            if attr is not None:
+                for pair in set(epoch.pre_liveness) | set(post_liveness):
+                    if epoch.pre_liveness.get(pair) != post_liveness.get(pair):
+                        all_cause |= attr.igp_cause_at(pair[0])
 
         origins = collect_origins(analyzer.snapshot)
         # Origination drift beyond explicit announce/withdraw edits:
@@ -588,16 +863,44 @@ class RecomputePipeline:
         for prefix in set(origins) | set(analyzer._origins):
             if origins.get(prefix) != analyzer._origins.get(prefix):
                 bgp_dirty.add(prefix)
+                if attr is not None:
+                    # Explicit announce/withdraw edits stamp the
+                    # prefix axis directly; connected-route drift is
+                    # pinned through the owning routers instead.
+                    drift: set[int] = set(
+                        dirty.origin("bgp_prefix", prefix)
+                    )
+                    owners = set(origins.get(prefix, ())) | set(
+                        analyzer._origins.get(prefix, ())
+                    )
+                    for owner in owners:
+                        drift |= dirty.origin("touched_router", owner)
+                    note(prefix, drift or attr.fallback())
         if analyzer._journal is not None:
             analyzer._journal.save_origins()
         analyzer._origins = origins
         if dirty.policy_routers:
             # Policy can gate originations too (export maps on first hop).
-            for prefix, owners in origins.items():
-                if set(owners) & dirty.policy_routers:
+            for prefix, owners_list in origins.items():
+                hit = set(owners_list) & dirty.policy_routers
+                if hit:
                     bgp_dirty.add(prefix)
+                    if attr is not None:
+                        for router in hit:
+                            note(
+                                prefix,
+                                set(dirty.origin("policy_router", router)),
+                            )
         if all_bgp_dirty:
             bgp_dirty = set(state.bgp_solutions) | set(origins)
+
+        def cause_for(prefix: Prefix) -> set[int] | None:
+            if attr is None:
+                return None
+            ids = set(bgp_cause.get(prefix, ()))
+            if not ids:
+                ids = set(all_cause)
+            return ids or attr.fallback()
 
         routers = analyzer.snapshot.topology.router_names()
         for prefix in sorted(bgp_dirty):
@@ -616,6 +919,7 @@ class RecomputePipeline:
             else:
                 new_solution = None
                 state.bgp_solutions.pop(prefix, None)
+            prefix_causes = cause_for(prefix)
             for router in routers:
                 old_route = (
                     old_solution.route_for(router) if old_solution else None
@@ -626,7 +930,13 @@ class RecomputePipeline:
                 if old_route == new_route:
                     continue
                 self._install_route_update(
-                    router, "bgp", prefix, new_route, best_changed, report
+                    router,
+                    "bgp",
+                    prefix,
+                    new_route,
+                    best_changed,
+                    report,
+                    prefix_causes,
                 )
 
         # Resolution-only refreshes enter the FIB stage via best_changed
@@ -643,7 +953,10 @@ class RecomputePipeline:
     # ------------------------------------------------------------------
 
     def _update_fibs(
-        self, best_changed: BestChanged, report: DeltaReport
+        self,
+        best_changed: BestChanged,
+        report: DeltaReport,
+        attr: _Attribution | None = None,
     ) -> list[Span]:
         analyzer = self.analyzer
         state = analyzer.state
@@ -659,7 +972,12 @@ class RecomputePipeline:
             old_entry = fib.entry_for(prefix) if fib is not None else None
             if old_entry == new_entry:
                 continue
-            report.record_fib(router, prefix, old_entry, new_entry)
+            causes = (
+                attr.fib_cause(router, prefix) if attr is not None else None
+            )
+            report.record_fib(
+                router, prefix, old_entry, new_entry, causes=causes
+            )
             if analyzer._journal is not None:
                 analyzer._journal.save_fib_entry(router, prefix, old_entry)
             state.dataplane.update_fib_entry(router, prefix, new_entry)

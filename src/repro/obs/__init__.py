@@ -26,14 +26,28 @@ Span-naming convention: dotted lowercase ``component.operation`` —
 plus ``fork.rollback`` and ``campaign.run``.  Labels are flat
 JSON-scalar key/values; recompute-stage spans carry the dirty-set
 sizes that explain their cost.
+
+Two further instruments answer *which edit caused what*:
+
+- :class:`ProvenanceRecord` — per-batch edit table
+  (:class:`EditInfo` with dense :data:`~repro.obs.provenance.EditId`
+  ids) plus may-have-caused sets per RIB/FIB change and ACL span,
+  with derived reachability-segment and violation causes
+  (``kind: "provenance"``).
+- :class:`EventLog` — an append-only stream interleaving span,
+  metric, and provenance records under monotonic sequence numbers
+  (``kind: "event-log"``, JSONL export); payloads are deterministic
+  by contract, so per-worker slices merge byte-identically.
 """
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.provenance import EditInfo, ProvenanceRecord
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -44,11 +58,14 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "EditInfo",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ProvenanceRecord",
     "Span",
     "SpanRecord",
     "Tracer",

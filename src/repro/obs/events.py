@@ -1,0 +1,140 @@
+"""Append-only structured event log with monotonic sequence numbers.
+
+Spans say where time went, metrics say how much work happened; the
+event log says **in what order** — one append-only stream per
+analyzer interleaving three record types:
+
+- ``span`` — a pipeline stage or analysis pass closed, with its
+  deterministic labels (dirty-set sizes, edit counts — never
+  durations);
+- ``metric`` — a named work count observed during the pass;
+- ``provenance`` — an edit was registered for attribution, or a pass
+  finished with an attribution summary.
+
+Records are plain JSON-scalar dicts wrapped as
+``{"seq": n, "type": t, "data": {...}}`` with ``seq`` monotonically
+increasing per log.  By contract the payloads are *deterministic*:
+wall-clock values belong to the tracer, not here.  That is what lets
+campaign workers ship per-scenario log slices that
+:meth:`EventLog.absorb` re-sequences into one stream byte-identical
+across serial and multiprocessing backends (the same discipline as
+metric merging).
+
+Export: versioned JSON (``kind: "event-log"``) via
+:meth:`EventLog.to_dict`/:meth:`EventLog.from_dict`, or JSON-Lines via
+:meth:`EventLog.to_jsonl` — one sorted-key object per line, suitable
+for appending to a file and replaying with any JSONL tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator, Mapping, Union
+
+from repro.core import serialize
+
+EVENT_TYPES = ("span", "metric", "provenance")
+
+Scalar = Union[int, float, str, bool, None]
+
+
+class EventLog:
+    """An append-only, monotonically sequenced stream of records."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    # -- appending ----------------------------------------------------------
+
+    def append(self, type_: str, data: Mapping[str, Scalar]) -> dict[str, Any]:
+        """Append one record; returns it (with its ``seq`` assigned)."""
+        if type_ not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {type_!r} (expected one of {EVENT_TYPES})"
+            )
+        record = {
+            "seq": len(self.records),
+            "type": type_,
+            "data": dict(data),
+        }
+        self.records.append(record)
+        return record
+
+    def span(self, name: str, **labels: Scalar) -> None:
+        """Append a span-close event (name + deterministic labels)."""
+        self.append("span", {"name": name, **labels})
+
+    def metric(self, name: str, value: Union[int, float]) -> None:
+        """Append one observed work count."""
+        self.append("metric", {"name": name, "value": value})
+
+    def provenance(self, **data: Scalar) -> None:
+        """Append one attribution record."""
+        self.append("provenance", data)
+
+    # -- merging ------------------------------------------------------------
+
+    def absorb(self, records: Iterable[Mapping[str, Any]]) -> "EventLog":
+        """Re-sequence ``records`` onto the end of this log; returns self.
+
+        The source records' own ``seq`` values are discarded — the
+        merged stream is renumbered densely, so absorbing per-worker
+        slices in enumeration order yields one byte-stable log
+        regardless of which backend produced the slices.
+        """
+        for record in records:
+            self.append(record["type"], record["data"])
+        return self
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # -- views --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records)
+
+    def of_type(self, type_: str) -> list[dict[str, Any]]:
+        """The records of one type, in sequence order."""
+        return [r for r in self.records if r["type"] == type_]
+
+    def __repr__(self) -> str:
+        counts = {t: len(self.of_type(t)) for t in EVENT_TYPES}
+        parts = ", ".join(f"{n} {t}" for t, n in counts.items() if n)
+        return f"EventLog({len(self.records)} records: {parts or 'empty'})"
+
+    # -- serialization ------------------------------------------------------
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        """The raw record list (what workers ship to the merger)."""
+        return [dict(r) for r in self.records]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON document (``kind: "event-log"``)."""
+        return serialize.document(
+            "event-log", {"records": self.to_payload()}
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EventLog":
+        serialize.check_document(data, "event-log")
+        log = cls()
+        log.absorb(data["records"])
+        return log
+
+    def to_jsonl(self) -> str:
+        """One sorted-key JSON object per line (byte-stable)."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True) for record in self.records
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventLog":
+        log = cls()
+        log.absorb(
+            json.loads(line) for line in text.splitlines() if line.strip()
+        )
+        return log

@@ -1,0 +1,286 @@
+"""Causal provenance: which edit caused which delta.
+
+A batch of edits converges in one recompute pass
+(:meth:`~repro.core.analyzer.DifferentialNetworkAnalyzer.analyze_batch`),
+so by the time a route flips or a violation fires, the per-edit
+trail is gone — unless it is carried explicitly.  This module is that
+carrier: a :class:`ProvenanceRecord` assigns each edit in a batch a
+stable, dense :data:`EditId` (its 0-based application order), and the
+pipeline stages deposit **cause sets** — the edit ids that may have
+produced each RIB change, FIB change, and invalidated header-space
+span — as they emit deltas.
+
+Reachability-segment and violation causes are *derived*, not stored:
+a segment's causes are the union of causes of every FIB change and
+ACL span overlapping its ``[lo, hi)`` interval (:meth:`causes_over`).
+Deriving keeps the batched and sequentially-composed documents
+byte-identical wherever the underlying RIB/FIB cause maps agree.
+
+Semantics: cause sets are a **sound may-have-caused
+over-approximation** at the granularity of the dirty-set axes.  Every
+edit that actually produced a delta is in its cause set; an edit that
+dirtied the same axis element without changing the outcome can appear
+too.  For batches whose edits have disjoint dirty footprints (the
+common case, and the shape the determinism tests pin), attribution is
+exact and byte-identical across batched vs. sequential composition
+and serial vs. multiprocessing backends.
+
+This module is dependency-light by design (it never imports network
+types): prefixes are carried as their canonical strings, intervals as
+``(lo, hi)`` pairs, so the record round-trips through JSON
+(``kind: "provenance"``) without the object layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence, Union
+
+from repro.core import serialize
+
+EditId = int
+RibKey = tuple[str, str]  # (router, prefix string)
+Span = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class EditInfo:
+    """One registered edit: its stable id and human description."""
+
+    edit_id: EditId
+    kind: str
+    detail: str
+    change: str = ""
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "id": self.edit_id,
+            "kind": self.kind,
+            "detail": self.detail,
+            "change": self.change,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, Any]) -> "EditInfo":
+        return cls(
+            edit_id=data["id"],
+            kind=data["kind"],
+            detail=data["detail"],
+            change=data.get("change", ""),
+        )
+
+    def __str__(self) -> str:
+        label = f" ({self.change})" if self.change else ""
+        return f"#{self.edit_id} {self.kind}: {self.detail}{label}"
+
+
+class ProvenanceRecord:
+    """Edit table plus cause maps for one analysis pass (or batch)."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.edits: list[EditInfo] = []
+        self.rib_causes: dict[RibKey, set[EditId]] = {}
+        self.fib_causes: dict[RibKey, set[EditId]] = {}
+        self.fib_intervals: dict[RibKey, Span] = {}
+        self.acl_causes: dict[Span, set[EditId]] = {}
+        # Segment causes are derived from the maps above when the
+        # owning report serializes; a record rebuilt from JSON keeps
+        # the loaded list so it re-serializes byte-identically.
+        self.cached_segment_causes: list[list[Any]] | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ProvenanceRecord({self.label!r}: {len(self.edits)} edits, "
+            f"{len(self.rib_causes)} RIB / {len(self.fib_causes)} FIB "
+            f"cause sets, {len(self.acl_causes)} ACL spans)"
+        )
+
+    # -- building -----------------------------------------------------------
+
+    def register_edit(
+        self, kind: str, detail: str, change: str = ""
+    ) -> EditId:
+        """Assign the next dense edit id; returns it."""
+        info = EditInfo(
+            edit_id=len(self.edits), kind=kind, detail=detail, change=change
+        )
+        self.edits.append(info)
+        return info.edit_id
+
+    def all_ids(self) -> set[EditId]:
+        """Every registered edit id (the coarsest sound cause set)."""
+        return {info.edit_id for info in self.edits}
+
+    def record_rib(
+        self, router: str, prefix: str, causes: Iterable[EditId]
+    ) -> None:
+        """Union ``causes`` into the RIB cause set for (router, prefix)."""
+        self.rib_causes.setdefault((router, prefix), set()).update(causes)
+
+    def drop_rib(self, router: str, prefix: str) -> None:
+        """Forget a RIB cause set (the change net-cancelled)."""
+        self.rib_causes.pop((router, prefix), None)
+
+    def record_fib(
+        self,
+        router: str,
+        prefix: str,
+        interval: Span,
+        causes: Iterable[EditId],
+    ) -> None:
+        key = (router, prefix)
+        self.fib_causes.setdefault(key, set()).update(causes)
+        self.fib_intervals[key] = (interval[0], interval[1])
+
+    def drop_fib(self, router: str, prefix: str) -> None:
+        key = (router, prefix)
+        self.fib_causes.pop(key, None)
+        self.fib_intervals.pop(key, None)
+
+    def record_acl_span(
+        self, lo: int, hi: int, causes: Iterable[EditId]
+    ) -> None:
+        self.acl_causes.setdefault((lo, hi), set()).update(causes)
+
+    # -- queries ------------------------------------------------------------
+
+    def edit(self, edit_id: EditId) -> EditInfo:
+        if not 0 <= edit_id < len(self.edits):
+            raise KeyError(f"no edit with id {edit_id}")
+        return self.edits[edit_id]
+
+    def describe(self, ids: Iterable[EditId]) -> list[str]:
+        """Human-readable lines for a cause set, in id order."""
+        return [str(self.edit(edit_id)) for edit_id in sorted(set(ids))]
+
+    def entry_causes(self, router: str, prefix: str) -> set[EditId]:
+        """Causes for one (router, prefix): FIB first, RIB fallback."""
+        key = (router, prefix)
+        causes = self.fib_causes.get(key)
+        if causes is None:
+            causes = self.rib_causes.get(key)
+        return set(causes) if causes is not None else set()
+
+    def causes_over(self, lo: int, hi: int) -> set[EditId]:
+        """Union of causes of every FIB change / ACL span overlapping
+        the destination interval ``[lo, hi)``."""
+        causes: set[EditId] = set()
+        for key, (s_lo, s_hi) in self.fib_intervals.items():
+            if s_lo < hi and lo < s_hi:
+                causes.update(self.fib_causes.get(key, ()))
+        for (s_lo, s_hi), ids in self.acl_causes.items():
+            if s_lo < hi and lo < s_hi:
+                causes.update(ids)
+        return causes
+
+    def segment_causes(
+        self, segments: Iterable[Any]
+    ) -> list[list[Any]]:
+        """``[lo, hi, [edit ids]]`` per reach segment (``.lo``/``.hi``)."""
+        return [
+            [segment.lo, segment.hi, sorted(self.causes_over(segment.lo, segment.hi))]
+            for segment in segments
+        ]
+
+    def attribution(self, edit_id: EditId) -> dict[str, Any]:
+        """Everything one edit (may have) caused, JSON-ready."""
+        info = self.edit(edit_id)
+        return {
+            "edit": info.to_payload(),
+            "rib": sorted(
+                list(key) for key, ids in self.rib_causes.items()
+                if edit_id in ids
+            ),
+            "fib": sorted(
+                list(key) for key, ids in self.fib_causes.items()
+                if edit_id in ids
+            ),
+            "acl_spans": sorted(
+                list(span) for span, ids in self.acl_causes.items()
+                if edit_id in ids
+            ),
+        }
+
+    # -- composition --------------------------------------------------------
+
+    def absorb_edits(self, other: "ProvenanceRecord") -> EditId:
+        """Append ``other``'s edit table; returns the id offset its
+        causes must be shifted by (sequential composition)."""
+        offset = len(self.edits)
+        for info in other.edits:
+            self.register_edit(info.kind, info.detail, info.change)
+        return offset
+
+    # -- serialization ------------------------------------------------------
+
+    @staticmethod
+    def _encode_causes(
+        causes: Mapping[RibKey, set[EditId]]
+    ) -> dict[str, dict[str, list[EditId]]]:
+        encoded: dict[str, dict[str, list[EditId]]] = {}
+        for (router, prefix), ids in sorted(causes.items()):
+            encoded.setdefault(router, {})[prefix] = sorted(ids)
+        return encoded
+
+    def to_dict(
+        self, segments: Union[Iterable[Any], None] = None
+    ) -> dict[str, Any]:
+        """Schema-versioned JSON document (``kind: "provenance"``).
+
+        ``segments`` — the owning report's reach segments, used to
+        derive per-segment causes; omitted, the list loaded by
+        :meth:`from_dict` (if any) is re-emitted.
+        """
+        if segments is not None:
+            segment_causes = self.segment_causes(segments)
+        else:
+            segment_causes = self.cached_segment_causes or []
+        return serialize.document(
+            "provenance",
+            {
+                "label": self.label,
+                "edits": [info.to_payload() for info in self.edits],
+                "rib_causes": self._encode_causes(self.rib_causes),
+                "fib_causes": {
+                    router: {
+                        prefix: {
+                            "edits": ids,
+                            "interval": list(
+                                self.fib_intervals[(router, prefix)]
+                            ),
+                        }
+                        for prefix, ids in per_router.items()
+                    }
+                    for router, per_router in self._encode_causes(
+                        self.fib_causes
+                    ).items()
+                },
+                "acl_span_causes": [
+                    [lo, hi, sorted(ids)]
+                    for (lo, hi), ids in sorted(self.acl_causes.items())
+                ],
+                "segment_causes": segment_causes,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProvenanceRecord":
+        serialize.check_document(data, "provenance")
+        record = cls(data["label"])
+        record.edits = [
+            EditInfo.from_payload(payload) for payload in data["edits"]
+        ]
+        for router, per_router in data["rib_causes"].items():
+            for prefix, ids in per_router.items():
+                record.record_rib(router, prefix, ids)
+        for router, per_router in data["fib_causes"].items():
+            for prefix, entry in per_router.items():
+                lo, hi = entry["interval"]
+                record.record_fib(router, prefix, (lo, hi), entry["edits"])
+        for lo, hi, ids in data["acl_span_causes"]:
+            record.record_acl_span(lo, hi, ids)
+        record.cached_segment_causes = [
+            [lo, hi, list(ids)] for lo, hi, ids in data["segment_causes"]
+        ]
+        return record

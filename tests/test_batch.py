@@ -485,3 +485,64 @@ class TestNetworkBatchFacade:
         ).what_if(down)
         assert preview.behavior_signature() == reference.behavior_signature()
         assert preview.label == down.label
+
+
+class TestBatchProvenance:
+    """Provenance rides the PR-5 equivalence contract.
+
+    The full per-kind byte-identity matrix (all 19 edit kinds, batched
+    vs sequential-composition attribution) lives in
+    ``tests/test_provenance.py``; here we pin the two interactions with
+    the batching machinery itself.
+    """
+
+    def test_provenance_flag_leaves_report_unchanged(
+        self, fat_tree_k4_scenario
+    ):
+        """provenance=True must not perturb any non-provenance byte."""
+        gen = ChangeGenerator(fat_tree_k4_scenario, seed=63)
+        down, _up = gen.random_link_failure()
+        add, _remove = gen.random_static_route()
+        changes = [down, add]
+        analyzer = DifferentialNetworkAnalyzer(
+            fat_tree_k4_scenario.snapshot.clone()
+        )
+        plain = analyzer.what_if_batch(changes)
+        traced = analyzer.what_if_batch(changes, provenance=True)
+        traced_doc = traced.to_dict()
+        assert traced_doc.pop("provenance")["kind"] == "provenance"
+        plain_doc = plain.to_dict()
+        for doc in (plain_doc, traced_doc):
+            doc.pop("timings")
+            doc.pop("counters")
+        assert json.dumps(plain_doc, sort_keys=True) == json.dumps(
+            traced_doc, sort_keys=True
+        )
+
+    def test_compose_reports_renumbers_edit_ids(self, fat_tree_k4_scenario):
+        """Sequential composition offsets each report's edit table so
+        ids stay dense and in application order across the batch."""
+        gen = ChangeGenerator(fat_tree_k4_scenario, seed=64)
+        down, _up = gen.random_link_failure()
+        add, _remove = gen.random_static_route()
+        analyzer = DifferentialNetworkAnalyzer(
+            fat_tree_k4_scenario.snapshot.clone()
+        )
+        with analyzer.fork():
+            reports = [
+                analyzer.analyze(change, provenance=True)
+                for change in (down, add)
+            ]
+        composed = compose_reports(reports, label="pair")
+        record = composed.provenance
+        assert record is not None
+        assert [info.edit_id for info in record.edits] == [0, 1]
+        assert {info.kind for info in record.edits} == {
+            "LinkDown",
+            "AddStaticRoute",
+        }
+        # Every recorded cause refers to a renumbered, registered id.
+        for ids in list(record.rib_causes.values()) + list(
+            record.fib_causes.values()
+        ):
+            assert ids <= record.all_ids()

@@ -320,3 +320,74 @@ class TestCampaignCli:
         assert serialize_topology(first.topology) == serialize_topology(
             second.topology
         )
+
+
+class TestCampaignProvenanceMerge:
+    """Serial vs multiprocessing equality of the merged event log.
+
+    Per-scenario event-log slices travel back with the outcomes and
+    the parent merges them in enumeration order, so ``jobs=N`` must be
+    invisible in the provenance artifacts too — byte-identical JSONL.
+    """
+
+    @pytest.fixture(scope="class")
+    def ring6(self):
+        return ring_ospf(6)
+
+    def test_event_log_merge_serial_equals_parallel(self, ring6):
+        batch = all_single_link_failures(ring6)
+        runner = CampaignRunner(
+            ring6.snapshot.clone(), label="ring6", provenance=True
+        )
+        serial = runner.run(batch, jobs=1)
+        parallel = runner.run(batch, jobs=2)
+        assert len(serial.events) > 0
+        assert serial.events.to_jsonl() == parallel.events.to_jsonl()
+        assert [outcome.causes for outcome in serial.outcomes] == [
+            outcome.causes for outcome in parallel.outcomes
+        ]
+        serial_doc = serial.to_dict()
+        parallel_doc = parallel.to_dict()
+        for document in (serial_doc, parallel_doc):
+            document.pop("wall_time")
+            document.pop("backend")
+            document.pop("jobs")
+            for outcome in document["outcomes"]:
+                outcome.pop("duration")
+        assert serial_doc == parallel_doc
+
+    def test_invariant_causes_survive_the_pool(self, ring6):
+        subnet = ring6.fabric.host_subnets["r0"][0]
+        invariants = [
+            LoopFreedom(),
+            ReachabilityInvariant(source="r3", owner="r0", prefix=subnet),
+        ]
+        batch = all_single_link_failures(ring6)
+        batch.append(
+            WhatIfScenario(
+                name="isolate r0",
+                change=Change.of(
+                    LinkDown("r0", "r1"),
+                    LinkDown("r0", "r5"),
+                    label="isolate r0",
+                ),
+                kind="partition",
+            )
+        )
+        runner = CampaignRunner(
+            ring6.snapshot.clone(),
+            invariants=invariants,
+            provenance=True,
+        )
+        serial = runner.run(batch, jobs=1)
+        parallel = runner.run(batch, jobs=2)
+        attributed = 0
+        for left, right in zip(serial.outcomes, parallel.outcomes):
+            assert left.causes == right.causes
+            if left.violations:
+                assert left.causes is not None
+                assert left.causes["violations"]
+                for violation in left.causes["violations"]:
+                    assert violation["edits"]
+                    attributed += 1
+        assert attributed >= 1  # the partition scenario violates
