@@ -1,0 +1,99 @@
+"""The serving layer's two economic bets, pinned down.
+
+1. **Warm cache hits are effectively free.**  A hit answers from the
+   LRU without touching the analyzer, so its latency must sit far
+   below a cold analysis.  Acceptance: warm-hit median < 0.2x the
+   cold-miss median over a live socket round trip.
+2. **The codec beats raw pickle.**  Campaign workers and service
+   startup ship converged bases around; the chunked container (canonical
+   text + compressed pickle) must be smaller than the raw pickle it
+   replaced.  Acceptance: ``dumps_base`` payload < raw pickle payload.
+
+Samples go over a real TCP socket (loopback), so the hit latency
+includes the full frame round trip — the number an operator sees.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from repro.api import Network
+from repro.bench.harness import Table, median
+from repro.core import codec
+from repro.service import ReproService, ServiceClient
+
+COLD_SAMPLES = 5
+WARM_SAMPLES = 21
+ACCEPTANCE_WARM_RATIO = 0.2  # warm hit < 0.2x cold miss median
+
+
+def test_warm_hit_latency_under_fifth_of_cold_miss():
+    service = ReproService(Network.generate("ring", size=8), cache_size=64)
+    address = service.start_in_thread("127.0.0.1:0")
+    try:
+        with ServiceClient.connect(address) as client:
+            # Cold misses: distinct link-down scripts, each a fresh
+            # fork-backed analysis.
+            cold = []
+            for index in range(COLD_SAMPLES):
+                script = f"link down r{index} r{(index + 1) % 8}"
+                start = time.perf_counter()
+                client.request("preview", script=script, label="cold")
+                cold.append(time.perf_counter() - start)
+                assert client.last_cache == "miss"
+            # Warm hits: the same script answered from the LRU.
+            script = "link down r0 r1"
+            client.request("preview", script=script, label="warm")
+            warm = []
+            for _ in range(WARM_SAMPLES):
+                start = time.perf_counter()
+                client.request("preview", script=script, label="warm")
+                warm.append(time.perf_counter() - start)
+                assert client.last_cache == "hit"
+    finally:
+        service.stop()
+
+    cold_median = median(cold)
+    warm_median = median(warm)
+    ratio = warm_median / cold_median
+
+    table = Table(
+        "service request latency (ring n=8, loopback TCP)",
+        ["median_ms", "ratio_to_cold"],
+    )
+    table.add("cold miss (analysis)", median_ms=cold_median * 1e3,
+              ratio_to_cold=1.0)
+    table.add("warm hit (cache)", median_ms=warm_median * 1e3,
+              ratio_to_cold=ratio)
+    print()
+    print(table.render())
+
+    assert ratio < ACCEPTANCE_WARM_RATIO, (
+        f"warm hit median {warm_median * 1e3:.2f}ms is {ratio:.2f}x the "
+        f"cold miss median {cold_median * 1e3:.2f}ms "
+        f"(acceptance < {ACCEPTANCE_WARM_RATIO}x)"
+    )
+
+
+def test_codec_payload_smaller_than_pickle(fat_tree6_analyzer):
+    data = codec.dumps_base(fat_tree6_analyzer)
+    raw = pickle.dumps(fat_tree6_analyzer, protocol=pickle.HIGHEST_PROTOCOL)
+
+    table = Table(
+        "converged base payload (fat-tree k=6)",
+        ["bytes", "vs_pickle"],
+    )
+    table.add("raw pickle", bytes=len(raw), vs_pickle=1.0)
+    table.add("codec container", bytes=len(data),
+              vs_pickle=len(data) / len(raw))
+    print()
+    print(table.render())
+
+    assert len(data) < len(raw), (
+        f"codec container ({len(data)}B) must beat raw pickle "
+        f"({len(raw)}B)"
+    )
+    # The container stays honest: digest-verified and self-describing.
+    sizes = codec.describe(data)
+    assert codec.CHUNK_BASE in sizes and codec.CHUNK_TOPOLOGY in sizes

@@ -36,6 +36,15 @@ Typical session::
 """
 
 from repro.api.changeset import ChangeSet
+from repro.api.errors import (
+    ChangeError,
+    ChangeParseError,
+    ConvergenceError,
+    InvalidChangeError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+)
 from repro.api.network import Network
 from repro.core.handlers import (
     register_change_handler,
@@ -49,15 +58,21 @@ from repro.core.invariants import (
     register_invariant,
     registered_invariants,
 )
-from repro.core.serialize import SCHEMA_VERSION, SchemaError
+from repro.core.serialize import SCHEMA_VERSION
 from repro.obs import MetricsRegistry, NullTracer, Tracer
 
 __all__ = [
+    "ChangeError",
+    "ChangeParseError",
     "ChangeSet",
+    "ConvergenceError",
     "Invariant",
+    "InvalidChangeError",
     "MetricsRegistry",
     "Network",
     "NullTracer",
+    "ProtocolError",
+    "ReproError",
     "SCHEMA_VERSION",
     "SchemaError",
     "Tracer",

@@ -1,0 +1,39 @@
+"""The public exception surface of :mod:`repro.api`.
+
+One importable home for everything the facade, the serializer, and the
+service raise on purpose::
+
+    ReproError                      # catch-all base
+    ├── SchemaError                 # (also ValueError) bad document version/kind
+    ├── ConvergenceError            # (also RuntimeError) base failed to converge
+    ├── InvalidChangeError          # (also ValueError) change/argument misfit
+    │   ├── ChangeError             #   edit cannot apply to this snapshot
+    │   └── ChangeParseError        #   malformed change script (line context)
+    └── ProtocolError               # (also ValueError) malformed service frame
+
+Each class double-inherits from the stdlib exception it historically
+was, so legacy ``except ValueError`` call sites keep catching.  The
+service layer maps this hierarchy onto structured error frames by
+class name (see :mod:`repro.service.protocol`), and clients re-raise
+the matching class on their side — errors round-trip the wire typed.
+"""
+
+from repro.core.change import ChangeError
+from repro.core.change_text import ChangeParseError
+from repro.core.errors import (
+    ConvergenceError,
+    InvalidChangeError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+)
+
+__all__ = [
+    "ChangeError",
+    "ChangeParseError",
+    "ConvergenceError",
+    "InvalidChangeError",
+    "ProtocolError",
+    "ReproError",
+    "SchemaError",
+]

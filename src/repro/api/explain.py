@@ -1,0 +1,116 @@
+"""Shared causality-query answering over a provenance record.
+
+``repro explain`` (CLI) and the ``explain`` service op answer the same
+questions — which edits changed one FIB/RIB entry, everything one edit
+caused, behaviour changes toward an address, violations attributed to
+edits.  This module holds the one implementation both surfaces call:
+:func:`explain_answer` builds the structured JSON answer *and* the
+human-readable rendering in one pass, so the two outputs can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.api.errors import InvalidChangeError
+from repro.core.delta import DeltaReport
+from repro.core.invariants import Violation
+from repro.net.addr import IPv4Address
+from repro.obs.provenance import ProvenanceRecord
+
+
+def explain_answer(
+    record: ProvenanceRecord,
+    report: DeltaReport | None = None,
+    violations: Sequence[Violation] = (),
+    edit: int | None = None,
+    router: str | None = None,
+    prefix: str | None = None,
+    dst: str | None = None,
+    top: int = 10,
+) -> tuple[dict[str, Any], list[str]]:
+    """Answer causality queries against one provenance record.
+
+    Returns ``(answer, lines)``: the structured answer payload (the
+    CLI's ``--json`` body and the service's ``explain-answer``
+    document) and its text rendering.  With no query arguments the
+    answer is the edit-table headline.  Bad arguments (unknown edit
+    id, half an entry query, a malformed address) raise
+    :class:`~repro.api.errors.InvalidChangeError`.
+    """
+    answer: dict[str, Any] = {"label": record.label}
+    lines: list[str] = []
+
+    queried = False
+    if edit is not None:
+        queried = True
+        try:
+            attribution = record.attribution(edit)
+        except KeyError as error:
+            raise InvalidChangeError(str(error.args[0])) from None
+        answer["edit"] = attribution
+        info = record.edit(edit)
+        lines.append(f"{info} caused:")
+        lines.append(f"  {len(attribution['rib'])} RIB changes, "
+                     f"{len(attribution['fib'])} FIB changes, "
+                     f"{len(attribution['acl_spans'])} ACL spans")
+        for entry_router, entry_prefix in attribution["fib"][:top]:
+            lines.append(f"    fib {entry_router} {entry_prefix}")
+    if router is not None or prefix is not None:
+        if router is None or prefix is None:
+            raise InvalidChangeError(
+                "--router and --prefix go together (one FIB/RIB entry)"
+            )
+        queried = True
+        ids = sorted(record.entry_causes(router, prefix))
+        answer["entry"] = {"router": router, "prefix": prefix, "edits": ids}
+        header = f"{router} / {prefix}"
+        if ids:
+            lines.append(f"{header} changed because of:")
+            lines.extend(f"  {line}" for line in record.describe(ids))
+        else:
+            lines.append(f"{header}: no recorded cause (entry unchanged)")
+    if dst is not None:
+        queried = True
+        try:
+            value = IPv4Address(dst).value
+        except ValueError as error:
+            raise InvalidChangeError(str(error)) from None
+        ids = sorted(record.causes_over(value, value + 1))
+        answer["dst"] = {"address": dst, "edits": ids}
+        if ids:
+            lines.append(f"behaviour toward {dst} changed because of:")
+            lines.extend(f"  {line}" for line in record.describe(ids))
+        else:
+            lines.append(f"behaviour toward {dst} did not change")
+    if violations:
+        assert report is not None
+        attributed: list[dict[str, Any]] = []
+        for violation in violations:
+            causes = sorted(info.edit_id for info in report.why(violation))
+            attributed.append(
+                {
+                    "invariant": violation.invariant,
+                    "detail": violation.detail,
+                    "repaired": violation.repaired,
+                    "edits": causes,
+                }
+            )
+            lines.append(f"{violation}")
+            lines.extend(
+                f"  caused by {line}" for line in record.describe(causes)
+            )
+        answer["violations"] = attributed
+    if not queried and not violations:
+        # No specific query: show the edit table, the causal headline.
+        answer["edits"] = [info.to_payload() for info in record.edits]
+        lines.append(
+            f"provenance {record.label!r}: {len(record.edits)} edits, "
+            f"{len(record.rib_causes)} RIB / {len(record.fib_causes)} FIB "
+            f"cause sets, {len(record.acl_causes)} ACL spans"
+        )
+        lines.extend(f"  {info}" for info in record.edits)
+        lines.append("query with --router/--prefix, --dst, or --edit N")
+
+    return answer, lines

@@ -31,8 +31,9 @@ from it instead of re-simulating.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence, Union
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence, Union
 
+from repro.api.errors import ConvergenceError, InvalidChangeError, ReproError
 from repro.campaign.report import CampaignReport
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.scenarios import WhatIfScenario
@@ -55,6 +56,9 @@ from repro.topology.model import Topology
 from repro.workloads.scenarios import Scenario
 
 from repro.api.changeset import ChangeSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.client import ServiceClient
 
 ChangeLike = Union[Change, ChangeSet]
 ChangesLike = Union[ChangeLike, Sequence[ChangeLike]]
@@ -127,6 +131,12 @@ class Network:
         # span/metric/provenance records here under monotonic sequence
         # numbers.  Always attached, populated only on demand.
         self._events = EventLog()
+        # The campaign runner (and its encoded base payload) is cached
+        # across :meth:`campaign` calls with equal configuration, so a
+        # service answering many campaign requests encodes the base
+        # once; :meth:`close` releases it.
+        self._runner: CampaignRunner | None = None
+        self._runner_key: tuple[Any, ...] | None = None
 
     # -- constructors --------------------------------------------------------
 
@@ -201,25 +211,80 @@ class Network:
         elif topology == "internet2":
             scenario = builders.internet2_bgp()
         else:
-            raise ValueError(
+            raise InvalidChangeError(
                 f"unknown topology {topology!r}; known: {TOPOLOGY_KINDS}"
             )
         network = cls(scenario.snapshot, trace=trace)
         network.scenario = scenario
         return network
 
+    @staticmethod
+    def connect(address: str) -> "ServiceClient":
+        """A client session against a running what-if service.
+
+        ``address`` is ``host:port`` (TCP) or a filesystem path (Unix
+        socket) of a ``repro serve`` daemon.  The returned
+        :class:`~repro.service.client.ServiceClient` speaks the
+        newline-delimited versioned-JSON frame protocol and mirrors
+        the facade's query surface — ``preview``/``analyze_batch``/
+        ``campaign``/``explain`` return the same result types this
+        class does, decoded from the same versioned documents.  Use it
+        as a context manager, like the in-process facade.
+        """
+        from repro.service.client import ServiceClient
+
+        return ServiceClient.connect(address)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release everything the session holds beyond the snapshot.
+
+        Drops the converged analyzer (and with it any fork journal),
+        the cached campaign runner and its encoded base payload, and
+        the recorded spans/events.  The facade stays usable — the next
+        analysis re-converges — but a ``with Network...`` block exits
+        with the heavy state gone.
+        """
+        if self._runner is not None:
+            self._runner.close()
+        self._runner = None
+        self._runner_key = None
+        self._analyzer = None
+        self._events = EventLog()
+        if self._tracer is not NULL_TRACER:
+            self._tracer = Tracer()
+
+    def __enter__(self) -> "Network":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- converged state -----------------------------------------------------
 
     @property
     def analyzer(self) -> DifferentialNetworkAnalyzer:
-        """The underlying differential analyzer (converges on first use)."""
+        """The underlying differential analyzer (converges on first use).
+
+        A snapshot the simulator cannot converge raises
+        :class:`~repro.api.errors.ConvergenceError` (chaining the
+        underlying failure) instead of leaking engine internals.
+        """
         if self._analyzer is None:
-            self._analyzer = DifferentialNetworkAnalyzer(
-                self.snapshot,
-                tracer=self._tracer,
-                metrics=self._metrics,
-                events=self._events,
-            )
+            try:
+                self._analyzer = DifferentialNetworkAnalyzer(
+                    self.snapshot,
+                    tracer=self._tracer,
+                    metrics=self._metrics,
+                    events=self._events,
+                )
+            except ReproError:
+                raise
+            except Exception as error:
+                raise ConvergenceError(
+                    f"base network failed to converge: {error}"
+                ) from error
         return self._analyzer
 
     # -- observability -------------------------------------------------------
@@ -357,20 +422,38 @@ class Network:
             elif backend == "multiprocessing":
                 jobs = max(jobs, 2)
             else:
-                raise ValueError(
+                raise InvalidChangeError(
                     f"unknown backend {backend!r}; "
                     "expected 'serial' or 'multiprocessing'"
                 )
-        runner = CampaignRunner.from_analyzer(
-            self.analyzer,
-            invariants=_resolve_invariants(invariants or []),
-            with_signatures=with_signatures,
-            label=label or self.snapshot.summary(),
-            monitored=list(monitored) if monitored is not None else None,
-            provenance=provenance,
-            with_spans=with_spans,
+        # Runner reuse: equal configuration means the runner (and its
+        # cached encoded-base payload) can serve this call too — a
+        # service answering many campaign requests encodes the base
+        # once per generation instead of once per request.  Invariant
+        # *instances* key by identity (only names are value-comparable).
+        key = (
+            tuple(
+                inv if isinstance(inv, str) else id(inv)
+                for inv in (invariants or [])
+            ),
+            with_signatures,
+            label,
+            tuple(str(p) for p in monitored) if monitored is not None else None,
+            provenance,
+            with_spans,
         )
-        return runner.run(list(scenarios), jobs=jobs)
+        if self._runner is None or self._runner_key != key:
+            self._runner = CampaignRunner.from_analyzer(
+                self.analyzer,
+                invariants=_resolve_invariants(invariants or []),
+                with_signatures=with_signatures,
+                label=label or self.snapshot.summary(),
+                monitored=list(monitored) if monitored is not None else None,
+                provenance=provenance,
+                with_spans=with_spans,
+            )
+            self._runner_key = key
+        return self._runner.run(list(scenarios), jobs=jobs)
 
     # -- queries -------------------------------------------------------------
 

@@ -9,11 +9,14 @@ runs.
 Serial: one forkable analyzer, evaluated in-process — zero setup cost,
 ideal for small batches and interactive use.
 
-Parallel: the converged base analyzer is pickled **once per runner**
-(cached across runs and invalidated by the analyzer's ``generation``
-stamp — scenarios share one base, so there is nothing to re-pickle);
-each worker unpickles its own replica at pool startup (no
-re-simulation) and then serves chunks of the scenario queue.
+Parallel: the converged base analyzer is encoded **once per runner**
+into the chunked binary container of :mod:`repro.core.codec`
+(digest-checked, compressed — several times smaller than the raw
+pickle it replaced; cached across runs and invalidated by the
+analyzer's ``generation`` stamp — scenarios share one base, so there
+is nothing to re-encode); each worker decodes its own replica at pool
+startup (no re-simulation) and then serves chunks of the scenario
+queue.
 Outcomes travel back as compact
 :class:`~repro.campaign.report.ScenarioOutcome` records and are
 reassembled in enumeration order, so ``jobs=N`` is a pure speedup with
@@ -23,11 +26,11 @@ byte-identical output.
 from __future__ import annotations
 
 import multiprocessing
-import pickle
 import warnings
 
 from repro.campaign.report import CampaignReport, ScenarioOutcome
 from repro.campaign.scenarios import WhatIfScenario
+from repro.core import codec
 from repro.core.analyzer import DifferentialNetworkAnalyzer
 from repro.core.change import ChangeError
 from repro.core.invariants import Invariant
@@ -48,7 +51,7 @@ def _init_worker(
     provenance: bool,
     with_spans: bool,
 ) -> None:
-    _WORKER["analyzer"] = pickle.loads(payload)
+    _WORKER["analyzer"] = codec.loads_base(payload)
     _WORKER["invariants"] = invariants
     _WORKER["with_signatures"] = with_signatures
     _WORKER["monitored_spans"] = monitored_spans
@@ -219,12 +222,13 @@ class CampaignRunner:
         # outcome payloads.
         self.provenance = provenance
         self.with_spans = with_spans
-        # The pickled base payload is hoisted across runs: scenarios
-        # share one converged base, so re-pickling it per run (let
-        # alone per scenario) is pure waste.  ``pickle_count`` exists
-        # for tests to assert the hoist; the analyzer's ``generation``
-        # stamp invalidates the cache if someone commits a change on
-        # the shared base between runs.
+        # The encoded base payload (codec container, not raw pickle)
+        # is hoisted across runs: scenarios share one converged base,
+        # so re-encoding it per run (let alone per scenario) is pure
+        # waste.  ``pickle_count`` counts encodes so tests can assert
+        # the hoist; the analyzer's ``generation`` stamp invalidates
+        # the cache if someone commits a change on the shared base
+        # between runs.
         self._base_payload: bytes | None = None
         self._base_generation: int | None = None
         self.pickle_count = 0
@@ -277,15 +281,30 @@ class CampaignRunner:
             return self._run_parallel(scenarios, jobs, chunk_size)
 
     def _pickled_base(self) -> bytes:
-        """The base analyzer, pickled once and cached across runs."""
+        """The base analyzer, encoded once and cached across runs.
+
+        The payload is the :mod:`repro.core.codec` chunk container
+        (digest-checked, compressed) — the same unit the what-if
+        service ships — not a raw pickle.
+        """
         generation = self.analyzer.generation
         if self._base_payload is None or self._base_generation != generation:
-            self._base_payload = pickle.dumps(
-                self.analyzer, protocol=pickle.HIGHEST_PROTOCOL
-            )
+            self._base_payload = codec.dumps_base(self.analyzer)
             self._base_generation = generation
             self.pickle_count += 1
         return self._base_payload
+
+    def close(self) -> None:
+        """Release the cached base payload (the runner stays usable —
+        the next parallel run re-encodes)."""
+        self._base_payload = None
+        self._base_generation = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _run_serial(self, scenarios: list[WhatIfScenario]) -> CampaignReport:
         report = CampaignReport(self.label, backend="serial", jobs=1)

@@ -43,10 +43,19 @@ Operator-facing workflow over on-disk snapshots, built entirely on the
 - ``demo <directory>`` — write a small example snapshot + change
   script to play with (``--topology/--size/--seed`` pick the fabric).
 
-JSON output is the versioned result schema from
-:mod:`repro.core.serialize`: every document carries ``schema_version``
-and ``kind`` and round-trips byte-stably through
-``to_dict -> from_dict -> to_dict``.
+- ``serve`` — run the always-on what-if service: converge one base
+  and answer concurrent ``preview``/``analyze_batch``/``campaign``/
+  ``explain``/``stats`` requests over TCP or a Unix socket
+  (newline-delimited versioned-JSON frames, digest-keyed result
+  cache; see :mod:`repro.service`).
+- ``client`` — one request against a running service (``ping``,
+  ``stats``, ``preview``, ``explain``, ``campaign``, ``shutdown``).
+
+``--json`` output is one uniform envelope across analyze/trace/
+campaign/explain/client: ``{"kind", "schema_version", "result"}``
+where ``result`` is the versioned document from
+:mod:`repro.core.serialize` — byte-interchangeable with the ``result``
+field of a service response frame for the same question.
 """
 
 from __future__ import annotations
@@ -58,7 +67,9 @@ import sys
 from typing import Any
 
 from repro.api import Network, make_invariant, registered_invariants
+from repro.api.errors import InvalidChangeError, ReproError
 from repro.api.network import TOPOLOGY_KINDS
+from repro.core.serialize import envelope
 
 
 def _no_arg_invariants() -> list[str]:
@@ -85,7 +96,8 @@ def _load(directory: str, trace: bool = False) -> Network:
 
 
 def _emit_json(document: dict[str, Any]) -> None:
-    print(json.dumps(document, sort_keys=True, indent=2))
+    """Print one output envelope (the uniform ``--json`` shape)."""
+    print(json.dumps(envelope(document), sort_keys=True, indent=2))
 
 
 def _write_json(path: str, document: dict[str, Any]) -> None:
@@ -96,16 +108,16 @@ def _write_json(path: str, document: dict[str, Any]) -> None:
 
 
 def cmd_show(args: argparse.Namespace) -> int:
-    network = _load(args.snapshot)
-    print(network.summary())
-    state = network.state
-    stats = state.dataplane.stats()
-    print(f"converged: {stats['fib_entries']} FIB entries, "
-          f"{stats['atoms']} atoms, "
-          f"{len(state.bgp_solutions)} BGP prefixes")
-    for router in sorted(state.ribs)[: args.limit]:
-        rib = state.ribs[router]
-        print(f"  {router}: {len(rib)} routes")
+    with _load(args.snapshot) as network:
+        print(network.summary())
+        state = network.state
+        stats = state.dataplane.stats()
+        print(f"converged: {stats['fib_entries']} FIB entries, "
+              f"{stats['atoms']} atoms, "
+              f"{len(state.bgp_solutions)} BGP prefixes")
+        for router in sorted(state.ribs)[: args.limit]:
+            rib = state.ribs[router]
+            print(f"  {router}: {len(rib)} routes")
     return 0
 
 
@@ -118,84 +130,89 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     # --profile without --profile-out streams the span-tree JSON to
     # stdout, so human chatter is suppressed like --json does.
     quiet = args.json or args.profile
-    network = _load(args.snapshot, trace=profiling)
-    with open(args.change) as handle:
-        # `---` separators split the script into multiple changes; the
-        # whole batch converges in one recompute pass either way.
-        changes = parse_change_batch(handle.read(), label=args.change)
-    if not quiet:
-        for change in changes:
-            print(change.describe())
+    with _load(args.snapshot, trace=profiling) as network:
+        with open(args.change) as handle:
+            # `---` separators split the script into multiple changes;
+            # the whole batch converges in one recompute pass either way.
+            changes = parse_change_batch(handle.read(), label=args.change)
+        if not quiet:
+            for change in changes:
+                print(change.describe())
 
-    if args.baseline:
-        baseline = SnapshotDiff(network.snapshot.clone())
-        combined = Change(
-            edits=[edit for change in changes for edit in change.edits],
-            label=args.change,
+        if args.baseline:
+            baseline = SnapshotDiff(network.snapshot.clone())
+            combined = Change(
+                edits=[edit for change in changes for edit in change.edits],
+                label=args.change,
+            )
+            reference = baseline.analyze(combined)
+        wants_provenance = bool(
+            args.provenance or args.provenance_out or args.events_out
         )
-        reference = baseline.analyze(combined)
-    wants_provenance = bool(
-        args.provenance or args.provenance_out or args.events_out
-    )
-    report = network.apply(
-        changes, label=args.change, provenance=wants_provenance
-    )
-    if not quiet and len(changes) > 1:
-        print(
-            f"\nbatched: {report.counters['edits_batched']} edits across "
-            f"{len(changes)} changes in one recompute pass"
+        report = network.apply(
+            changes, label=args.change, provenance=wants_provenance
         )
-    if args.json:
-        _emit_json(report.to_dict())
-    elif not args.profile:
-        print()
-        print(report.summary())
-    if args.provenance_out:
-        assert report.provenance is not None
-        _write_json(
-            args.provenance_out,
-            report.provenance.to_dict(report.reach_segments),
-        )
-    if args.events_out:
-        with open(args.events_out, "w") as handle:
-            handle.write(network.events.to_jsonl())
-            handle.write("\n")
-    if args.metrics_out:
-        _write_json(args.metrics_out, network.metrics.to_dict())
-    if profiling:
-        profile_document = network.profile()
-        if args.profile_out:
-            _write_json(args.profile_out, profile_document)
-        if args.chrome_out:
-            _write_json(args.chrome_out, network.tracer.to_chrome_trace())
-        if args.profile:
-            # Both --json and --profile emit their documents: the delta
-            # report first, then the span tree (sequential JSON values
-            # on stdout — any streaming parser reads them back).
-            _emit_json(profile_document)
-    if args.baseline:
-        agree = report.behavior_signature() == reference.behavior_signature()
-        speedup = reference.timings["total"] / max(report.timings["total"], 1e-9)
-        if not quiet:
-            print(f"\nbaseline agrees: {agree} (speedup {speedup:.1f}x)")
-        if not agree:
-            return 1
-    if args.commit:
-        network.save(args.snapshot)
-        if not quiet:
-            print(f"\ncommitted to {args.snapshot}")
+        if not quiet and len(changes) > 1:
+            print(
+                f"\nbatched: {report.counters['edits_batched']} edits "
+                f"across {len(changes)} changes in one recompute pass"
+            )
+        if args.json:
+            _emit_json(report.to_dict())
+        elif not args.profile:
+            print()
+            print(report.summary())
+        if args.provenance_out:
+            assert report.provenance is not None
+            _write_json(
+                args.provenance_out,
+                report.provenance.to_dict(report.reach_segments),
+            )
+        if args.events_out:
+            with open(args.events_out, "w") as handle:
+                handle.write(network.events.to_jsonl())
+                handle.write("\n")
+        if args.metrics_out:
+            _write_json(args.metrics_out, network.metrics.to_dict())
+        if profiling:
+            profile_document = network.profile()
+            if args.profile_out:
+                _write_json(args.profile_out, profile_document)
+            if args.chrome_out:
+                _write_json(args.chrome_out, network.tracer.to_chrome_trace())
+            if args.profile:
+                # Both --json and --profile emit their documents: the
+                # delta report first, then the span tree (sequential
+                # JSON values on stdout — any streaming parser reads
+                # them back).
+                _emit_json(profile_document)
+        if args.baseline:
+            agree = (
+                report.behavior_signature() == reference.behavior_signature()
+            )
+            speedup = (
+                reference.timings["total"] / max(report.timings["total"], 1e-9)
+            )
+            if not quiet:
+                print(f"\nbaseline agrees: {agree} (speedup {speedup:.1f}x)")
+            if not agree:
+                return 1
+        if args.commit:
+            network.save(args.snapshot)
+            if not quiet:
+                print(f"\ncommitted to {args.snapshot}")
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    network = _load(args.snapshot)
-    trace = network.trace(
-        args.source,
-        args.dst,
-        src=args.src,
-        proto=args.proto,
-        dport=args.dport,
-    )
+    with _load(args.snapshot) as network:
+        trace = network.trace(
+            args.source,
+            args.dst,
+            src=args.src,
+            proto=args.proto,
+            dport=args.dport,
+        )
     if args.json:
         _emit_json(trace.to_dict())
     else:
@@ -204,6 +221,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    network = Network.generate(
+        args.scenario, size=args.size, seed=args.seed, edges=args.edges
+    )
+    scenario = network.scenario
+    assert scenario is not None
+    with network:
+        return _run_campaign(args, network, scenario)
+
+
+def _run_campaign(args: argparse.Namespace, network: Network, scenario) -> int:
     from repro.campaign import (
         acl_block_sweep,
         all_single_link_failures,
@@ -211,11 +238,6 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         sampled_k_link_failures,
     )
 
-    network = Network.generate(
-        args.scenario, size=args.size, seed=args.seed, edges=args.edges
-    )
-    scenario = network.scenario
-    assert scenario is not None
     if args.kind == "links":
         batch = all_single_link_failures(scenario)
     elif args.kind == "k-links":
@@ -280,8 +302,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    from repro.core.serialize import SchemaError
-    from repro.net.addr import IPv4Address
+    from repro.api.explain import explain_answer
+    from repro.core.serialize import SchemaError, document
     from repro.obs.provenance import ProvenanceRecord
 
     report = None
@@ -318,112 +340,143 @@ def cmd_explain(args: argparse.Namespace) -> int:
             )
         from repro.core.change_text import parse_change_batch
 
-        network = _load(args.snapshot)
-        with open(args.change) as handle:
-            changes = parse_change_batch(handle.read(), label=args.change)
-        # Fork-backed: explain never commits the change.
-        report = network.preview(changes, label=args.change, provenance=True)
-        record = report.provenance
-        assert record is not None
-        for name in args.invariant or []:
-            try:
-                violations.extend(network.check(report, [name]))
-            except (TypeError, ValueError) as error:
-                raise SystemExit(f"error: {error}")
+        with _load(args.snapshot) as network:
+            with open(args.change) as handle:
+                changes = parse_change_batch(handle.read(), label=args.change)
+            # Fork-backed: explain never commits the change.
+            report = network.preview(
+                changes, label=args.change, provenance=True
+            )
+            record = report.provenance
+            assert record is not None
+            for name in args.invariant or []:
+                try:
+                    violations.extend(network.check(report, [name]))
+                except (TypeError, ValueError) as error:
+                    raise SystemExit(f"error: {error}")
         if args.provenance_out:
             _write_json(
                 args.provenance_out,
                 record.to_dict(report.reach_segments),
             )
 
-    answer: dict[str, Any] = {"label": record.label}
-    lines: list[str] = []
-
-    queried = False
-    if args.edit is not None:
-        queried = True
-        try:
-            attribution = record.attribution(args.edit)
-        except KeyError as error:
-            raise SystemExit(f"error: {error.args[0]}")
-        answer["edit"] = attribution
-        info = record.edit(args.edit)
-        lines.append(f"{info} caused:")
-        lines.append(f"  {len(attribution['rib'])} RIB changes, "
-                     f"{len(attribution['fib'])} FIB changes, "
-                     f"{len(attribution['acl_spans'])} ACL spans")
-        for router, prefix in attribution["fib"][: args.top]:
-            lines.append(f"    fib {router} {prefix}")
-    if args.router is not None or args.prefix is not None:
-        if args.router is None or args.prefix is None:
-            raise SystemExit(
-                "error: --router and --prefix go together (one FIB/RIB "
-                "entry)"
-            )
-        queried = True
-        ids = sorted(record.entry_causes(args.router, args.prefix))
-        answer["entry"] = {
-            "router": args.router,
-            "prefix": args.prefix,
-            "edits": ids,
-        }
-        header = f"{args.router} / {args.prefix}"
-        if ids:
-            lines.append(f"{header} changed because of:")
-            lines.extend(f"  {line}" for line in record.describe(ids))
-        else:
-            lines.append(f"{header}: no recorded cause (entry unchanged)")
-    if args.dst is not None:
-        queried = True
-        try:
-            value = IPv4Address(args.dst).value
-        except ValueError as error:
-            raise SystemExit(f"error: {error}")
-        ids = sorted(record.causes_over(value, value + 1))
-        answer["dst"] = {"address": args.dst, "edits": ids}
-        if ids:
-            lines.append(f"behaviour toward {args.dst} changed because of:")
-            lines.extend(f"  {line}" for line in record.describe(ids))
-        else:
-            lines.append(f"behaviour toward {args.dst} did not change")
-    if violations:
-        assert report is not None
-        attributed = []
-        for violation in violations:
-            causes = sorted(
-                edit.edit_id for edit in report.why(violation)
-            )
-            attributed.append(
-                {
-                    "invariant": violation.invariant,
-                    "detail": violation.detail,
-                    "repaired": violation.repaired,
-                    "edits": causes,
-                }
-            )
-            lines.append(f"{violation}")
-            lines.extend(
-                f"  caused by {line}" for line in record.describe(causes)
-            )
-        answer["violations"] = attributed
-    if not queried and not violations:
-        # No specific query: show the edit table, the causal headline.
-        answer["edits"] = [info.to_payload() for info in record.edits]
-        lines.append(
-            f"provenance {record.label!r}: {len(record.edits)} edits, "
-            f"{len(record.rib_causes)} RIB / {len(record.fib_causes)} FIB "
-            f"cause sets, {len(record.acl_causes)} ACL spans"
+    try:
+        answer, lines = explain_answer(
+            record,
+            report=report,
+            violations=violations,
+            edit=args.edit,
+            router=args.router,
+            prefix=args.prefix,
+            dst=args.dst,
+            top=args.top,
         )
-        lines.extend(f"  {info}" for info in record.edits)
-        lines.append(
-            "query with --router/--prefix, --dst, or --edit N"
-        )
+    except InvalidChangeError as error:
+        raise SystemExit(f"error: {error}")
 
     if args.json:
-        _emit_json(answer)
+        _emit_json(document("explain-answer", answer))
     else:
         for line in lines:
             print(line)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ReproService
+
+    if args.snapshot:
+        network = _load(args.snapshot, trace=args.trace)
+    elif args.generate:
+        network = Network.generate(
+            args.generate,
+            size=args.size,
+            seed=args.seed,
+            edges=args.edges,
+            trace=args.trace,
+        )
+    else:
+        raise SystemExit(
+            "error: provide a snapshot directory or --generate TOPOLOGY"
+        )
+    with network:
+        try:
+            service = ReproService(network, cache_size=args.cache_size)
+        except ReproError as error:
+            raise SystemExit(f"error: {error}")
+        try:
+            asyncio.run(service.run(args.listen))
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    script = None
+    if args.change:
+        try:
+            with open(args.change) as handle:
+                script = handle.read()
+        except OSError as error:
+            raise SystemExit(f"error: cannot read {args.change}: {error}")
+    if args.op in ("preview", "explain", "campaign") and script is None:
+        raise SystemExit(f"error: {args.op} needs --change FILE")
+
+    try:
+        with Network.connect(args.address) as remote:
+            if args.op == "ping":
+                result = remote.ping()
+            elif args.op == "stats":
+                result = remote.stats()
+            elif args.op == "shutdown":
+                result = remote.shutdown()
+            elif args.op == "preview":
+                result = remote.request(
+                    "preview",
+                    script=script,
+                    label=args.label or args.change,
+                    provenance=args.provenance,
+                )
+            elif args.op == "explain":
+                result = remote.request(
+                    "explain",
+                    script=script,
+                    edit=args.edit,
+                    router=args.router,
+                    prefix=args.prefix,
+                    dst=args.dst,
+                    invariants=args.invariant or [],
+                    top=args.top,
+                    label=args.label or args.change,
+                )
+            else:  # campaign: the whole script file is one scenario
+                result = remote.request(
+                    "campaign",
+                    scenarios=[
+                        {
+                            "name": args.label or args.change,
+                            "script": script,
+                        }
+                    ],
+                    jobs=args.jobs,
+                    invariants=args.invariant or [],
+                    label=args.label or args.change,
+                )
+            cache = remote.last_cache
+    except (ReproError, OSError) as error:
+        raise SystemExit(f"error: {error}")
+
+    if args.json:
+        # Every service result is a versioned document, so the client
+        # emits the same envelope as the in-process commands.
+        _emit_json(result)
+    else:
+        line = json.dumps(result, sort_keys=True, indent=2)
+        if cache is not None:
+            print(f"cache: {cache}")
+        print(line)
     return 0
 
 
@@ -643,6 +696,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the query answer as JSON",
     )
     explain.set_defaults(handler=cmd_explain)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on what-if service over one converged base",
+    )
+    serve.add_argument(
+        "snapshot", nargs="?",
+        help="snapshot directory to serve (or use --generate)",
+    )
+    serve.add_argument(
+        "--generate", metavar="TOPOLOGY", choices=list(TOPOLOGY_KINDS),
+        help="serve a generated built-in scenario instead of a snapshot",
+    )
+    serve.add_argument(
+        "--size", type=int, default=4,
+        help="k for fat_tree, n for ring/line/random (default: 4)",
+    )
+    serve.add_argument(
+        "--edges", type=int, default=None, help="edge count for random"
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for randomized topology generators",
+    )
+    serve.add_argument(
+        "--listen", metavar="ADDRESS", default="127.0.0.1:7421",
+        help="host:port, host:0 for an ephemeral port, or a unix "
+        "socket path (default: 127.0.0.1:7421)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache entries (default: 256)",
+    )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="trace requests with repro.obs spans (visible via "
+        "'repro client ADDRESS stats')",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    client = commands.add_parser(
+        "client", help="one request against a running what-if service"
+    )
+    client.add_argument("address", help="service address (host:port or path)")
+    client.add_argument(
+        "op",
+        choices=["ping", "stats", "preview", "explain", "campaign",
+                 "shutdown"],
+        help="request to send",
+    )
+    client.add_argument(
+        "--change", metavar="FILE",
+        help="change script for preview/explain/campaign ('---' lines "
+        "batch multiple changes)",
+    )
+    client.add_argument(
+        "--label", help="request label (default: the change file name)"
+    )
+    client.add_argument(
+        "--provenance", action="store_true",
+        help="preview with edit-level provenance attribution",
+    )
+    client.add_argument(
+        "--edit", type=int, metavar="N",
+        help="explain: show everything edit #N (may have) caused",
+    )
+    client.add_argument(
+        "--router", help="explain: router of the FIB/RIB entry"
+    )
+    client.add_argument(
+        "--prefix", help="explain: prefix of the FIB/RIB entry"
+    )
+    client.add_argument(
+        "--dst", metavar="IP",
+        help="explain: behaviour changes toward one IPv4 address",
+    )
+    client.add_argument(
+        "--invariant", action="append", metavar="NAME",
+        help="registered invariant to check (repeatable; "
+        "explain/campaign)",
+    )
+    client.add_argument(
+        "--top", type=int, default=10,
+        help="explain: rows listed per attribution (default: 10)",
+    )
+    client.add_argument(
+        "--jobs", type=int, default=1,
+        help="campaign: worker processes on the service side",
+    )
+    client.add_argument(
+        "--json", action="store_true",
+        help="emit the result document in the uniform envelope",
+    )
+    client.set_defaults(handler=cmd_client)
 
     demo = commands.add_parser("demo", help="write a demo snapshot")
     demo.add_argument("directory")

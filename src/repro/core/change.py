@@ -19,12 +19,13 @@ from repro.config.routing import (
     OspfInterfaceSettings,
     StaticRouteConfig,
 )
+from repro.core.errors import InvalidChangeError
 from repro.core.snapshot import Snapshot
 from repro.net.addr import IPv4Address, Prefix
 from repro.topology.model import Link
 
 
-class ChangeError(ValueError):
+class ChangeError(InvalidChangeError):
     """Raised when an edit cannot be applied to the snapshot."""
 
 

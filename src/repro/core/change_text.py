@@ -48,10 +48,11 @@ from repro.core.change import (
     ShutdownInterface,
     WithdrawPrefix,
 )
+from repro.core.errors import InvalidChangeError
 from repro.net.addr import IPv4Address, Prefix
 
 
-class ChangeParseError(ValueError):
+class ChangeParseError(InvalidChangeError):
     """Raised for malformed change scripts, with line context."""
 
     def __init__(self, line_number: int, line: str, message: str) -> None:

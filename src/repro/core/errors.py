@@ -1,0 +1,53 @@
+"""The typed exception hierarchy shared by every public surface.
+
+Everything the toolchain raises on purpose descends from
+:class:`ReproError`, so callers (and the service layer, which maps
+exceptions to structured error frames) can catch one base class — or
+match on a precise subclass — instead of fishing bare ``ValueError`` /
+``RuntimeError`` out of deep call stacks.
+
+The hierarchy keeps backward compatibility by *double inheritance*:
+each subclass also derives from the stdlib exception it historically
+was (``SchemaError`` stays a ``ValueError``, ``ConvergenceError`` a
+``RuntimeError``), so pre-existing ``except ValueError`` call sites
+keep working.
+
+The classes live here — below every other repro module — so the config
+parsers, the serializer, and the api facade can all import them
+without cycles; :mod:`repro.api.errors` is the public re-export.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every intentional repro exception."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A serialized document has an unknown version or wrong kind.
+
+    Raised by :func:`repro.core.serialize.check_document` (and every
+    ``from_dict``) and by the service protocol when a frame's
+    ``schema_version``/``kind`` is not one this build reads.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """The base network failed to converge (or was asked to before it
+    could): initial simulation raised, or a service was queried with a
+    base it could not build."""
+
+
+class InvalidChangeError(ReproError, ValueError):
+    """A change (or request argument) does not fit this network.
+
+    Covers malformed change scripts, edits referencing unknown
+    routers/links, and bad option values (unknown topology kinds,
+    backends, invariant names) surfaced through :mod:`repro.api`.
+    """
+
+
+class ProtocolError(ReproError, ValueError):
+    """A service wire frame is malformed: not JSON, not a frame, an
+    unknown op, or a reply that does not match the request."""

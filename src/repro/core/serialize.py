@@ -25,19 +25,50 @@ from typing import Any, Mapping
 
 from repro.config.routemap import AttributeBundle
 from repro.controlplane.rib import NextHop, Route
+from repro.core.errors import SchemaError
 from repro.dataplane.fib import FibEntry
 from repro.net.addr import IPv4Address, Prefix
 
 SCHEMA_VERSION = 1
 
-
-class SchemaError(ValueError):
-    """A serialized result has an unknown version or wrong kind."""
+__all__ = ["SCHEMA_VERSION", "SchemaError", "document", "check_document",
+           "envelope", "check_envelope"]
 
 
 def document(kind: str, payload: dict[str, Any]) -> dict[str, Any]:
     """Wrap a payload as a versioned, kind-tagged document."""
     return {"schema_version": SCHEMA_VERSION, "kind": kind, **payload}
+
+
+def envelope(doc: Mapping[str, Any]) -> dict[str, Any]:
+    """The uniform output envelope shared by the CLI and the service.
+
+    ``{"kind", "schema_version", "result"}`` — the top-level ``kind``
+    mirrors the wrapped document's so consumers can dispatch without
+    descending, and ``result`` is the document itself, byte-identical
+    whether it arrived via ``--json`` on the CLI or in a service
+    response frame.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": doc["kind"],
+        "result": dict(doc),
+    }
+
+
+def check_envelope(data: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate an envelope and return its ``result`` document."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema_version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    result = data.get("result")
+    if not isinstance(result, dict) or data.get("kind") != result.get("kind"):
+        raise SchemaError("not an output envelope: expected a 'result' "
+                          "document matching the envelope 'kind'")
+    return result
 
 
 def check_document(data: Mapping[str, Any], kind: str) -> None:

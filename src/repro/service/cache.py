@@ -1,0 +1,103 @@
+"""The digest-keyed result cache behind the what-if service.
+
+Keys are ``(snapshot_digest, change_digest, options_digest)`` — what
+network, what changes, what question — all hex sha-256 strings, so a
+key never holds live objects and two textually different scripts that
+parse to the same canonical change batch share an entry.  Values are
+canonical result-document JSON strings (sorted keys), which makes a
+warm hit byte-identical to the cold miss that stored it by
+construction.
+
+Bounded LRU: ``maxsize`` entries, least-recently-*hit* evicted first.
+Generation-based invalidation: the cache remembers the base
+generation it was filled against and clears wholesale when
+:meth:`ResultCache.ensure_generation` sees it move — a committed
+change on the shared base instantly orphans every cached answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any, Mapping, Sequence
+
+from repro.core.change import Change
+from repro.core.change_text import serialize_change_batch
+
+CacheKey = tuple[str, str, str]
+
+
+def change_digest(changes: Sequence[Change]) -> str:
+    """Stable hex key of a change batch (canonical script text)."""
+    text = serialize_change_batch(list(changes))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def options_digest(options: Mapping[str, Any]) -> str:
+    """Stable hex key of a request's option mapping.
+
+    Options must be JSON-serializable (they come off the wire, so they
+    are); key order does not matter.
+    """
+    text = json.dumps(options, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU of canonical result documents."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[CacheKey, str] = OrderedDict()
+        self._generation: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def ensure_generation(self, generation: int) -> None:
+        """Invalidate everything if the base's generation moved."""
+        if self._generation is None:
+            self._generation = generation
+        elif self._generation != generation:
+            self._entries.clear()
+            self._generation = generation
+            self.invalidations += 1
+
+    def get(self, key: CacheKey) -> str | None:
+        """The cached canonical result JSON, refreshing recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, value: str) -> None:
+        """Store a canonical result, evicting the coldest past bound."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Deterministic counters for the ``stats`` op."""
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

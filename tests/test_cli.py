@@ -1,7 +1,8 @@
-"""The CLI rides the api facade; ``--json`` emits the versioned schema.
+"""The CLI rides the api facade; ``--json`` emits one uniform envelope.
 
-Acceptance: ``repro analyze --json`` and ``repro campaign --json``
-emit schema-versioned JSON that ``from_dict`` round-trips byte-stably.
+Acceptance: every ``--json`` command emits
+``{"kind", "schema_version", "result"}`` where ``result`` is the
+schema-versioned document that ``from_dict`` round-trips byte-stably.
 """
 
 import json
@@ -11,7 +12,7 @@ import pytest
 from repro import cli
 from repro.campaign.report import CampaignReport
 from repro.core.delta import DeltaReport
-from repro.core.serialize import SCHEMA_VERSION
+from repro.core.serialize import SCHEMA_VERSION, check_envelope
 from repro.query.trace import PacketTrace
 
 
@@ -24,18 +25,21 @@ def demo_dir(tmp_path, capsys):
 
 
 def run_json(capsys, argv):
+    """Run a --json command; returns (code, result document, envelope)."""
     code = cli.main(argv)
     output = capsys.readouterr().out
-    return code, json.loads(output), output
+    envelope = json.loads(output)
+    return code, check_envelope(envelope), envelope
 
 
 class TestAnalyzeJson:
     def test_round_trips_byte_stably(self, demo_dir, capsys):
-        code, document, _ = run_json(
+        code, document, envelope = run_json(
             capsys, ["analyze", demo_dir, f"{demo_dir}/change.dna", "--json"]
         )
         assert code == 0
-        assert document["schema_version"] == SCHEMA_VERSION
+        assert envelope["schema_version"] == SCHEMA_VERSION
+        assert envelope["kind"] == "delta-report"
         assert document["kind"] == "delta-report"
         rebuilt = DeltaReport.from_dict(document)
         assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
@@ -68,13 +72,13 @@ class TestTraceJson:
 
 class TestCampaignJson:
     def test_round_trips_byte_stably(self, capsys):
-        code, document, _ = run_json(
+        code, document, envelope = run_json(
             capsys,
             ["campaign", "links", "--scenario", "ring", "--size", "6",
              "--json"],
         )
         assert code == 0
-        assert document["schema_version"] == SCHEMA_VERSION
+        assert envelope["schema_version"] == SCHEMA_VERSION
         assert document["kind"] == "campaign-report"
         rebuilt = CampaignReport.from_dict(document)
         assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
@@ -96,6 +100,19 @@ class TestCampaignJson:
                 ["campaign", "links", "--scenario", "ring", "--size", "6",
                  "--invariant", "nonsense"]
             )
+
+
+class TestExplainJson:
+    def test_envelope_wraps_explain_answer(self, demo_dir, capsys):
+        code, document, envelope = run_json(
+            capsys,
+            ["explain", demo_dir, f"{demo_dir}/change.dna",
+             "--edit", "0", "--json"],
+        )
+        assert code == 0
+        assert envelope["kind"] == "explain-answer"
+        assert document["kind"] == "explain-answer"
+        assert document["edit"]["edit"]["id"] == 0
 
 
 class TestTextModeStillWorks:

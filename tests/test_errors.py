@@ -1,0 +1,71 @@
+"""The typed error hierarchy: one base, backward-compatible leaves.
+
+Acceptance (ISSUE 8 satellite): ``repro.api`` raises typed errors
+rooted at :class:`ReproError`; existing callers catching
+``ValueError``/``RuntimeError`` keep working.
+"""
+
+import pytest
+
+from repro.api import Network
+from repro.api.errors import (
+    ChangeError,
+    ChangeParseError,
+    ConvergenceError,
+    InvalidChangeError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    def test_everything_roots_at_repro_error(self):
+        for cls in (
+            SchemaError,
+            ConvergenceError,
+            InvalidChangeError,
+            ChangeError,
+            ChangeParseError,
+            ProtocolError,
+        ):
+            assert issubclass(cls, ReproError), cls
+
+    def test_backward_compatible_builtin_bases(self):
+        # Callers written against the old bare raises keep working.
+        assert issubclass(SchemaError, ValueError)
+        assert issubclass(InvalidChangeError, ValueError)
+        assert issubclass(ProtocolError, ValueError)
+        assert issubclass(ConvergenceError, RuntimeError)
+
+    def test_change_errors_narrow_invalid_change(self):
+        assert issubclass(ChangeError, InvalidChangeError)
+        assert issubclass(ChangeParseError, InvalidChangeError)
+
+
+class TestRaisedTypes:
+    def test_unknown_topology_is_invalid_change(self):
+        with pytest.raises(InvalidChangeError, match="unknown topology"):
+            Network.generate("moebius")
+
+    def test_schema_skew_is_schema_error(self):
+        from repro.core.serialize import check_document
+
+        with pytest.raises(SchemaError):
+            check_document({"kind": "x", "schema_version": 999}, "x")
+
+    def test_parse_error_is_catchable_as_repro_error(self):
+        from repro.core.change_text import parse_change_batch
+
+        with pytest.raises(ReproError):
+            parse_change_batch("frobnicate the uplink", label="x")
+
+    def test_envelope_round_trip(self):
+        from repro.core.serialize import check_envelope, document, envelope
+
+        doc = document("pong", {"value": 1})
+        wrapped = envelope(doc)
+        assert wrapped["kind"] == "pong"
+        assert check_envelope(wrapped) == doc
+        with pytest.raises(SchemaError):
+            check_envelope({"kind": "pong", "schema_version": 1})

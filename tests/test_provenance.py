@@ -527,7 +527,10 @@ class TestExplainCli:
         ) == 0
         capsys.readouterr()
         assert main(["explain", "--from", saved, "--edit", "0", "--json"]) == 0
-        answer = json.loads(capsys.readouterr().out)
+        from repro.core.serialize import check_envelope
+
+        answer = check_envelope(json.loads(capsys.readouterr().out))
+        assert answer["kind"] == "explain-answer"
         assert answer["edit"]["edit"]["kind"] == "LinkDown"
         assert answer["edit"]["fib"]
 
@@ -566,7 +569,9 @@ class TestExplainCli:
                 "--metrics-out", metrics,
             ]
         ) == 0
-        report_doc = json.loads(capsys.readouterr().out)
+        from repro.core.serialize import check_envelope
+
+        report_doc = check_envelope(json.loads(capsys.readouterr().out))
         assert report_doc["kind"] == "delta-report"
         assert report_doc["provenance"]["kind"] == "provenance"
         assert json.loads(open(prov).read())["kind"] == "provenance"
@@ -588,5 +593,6 @@ class TestExplainCli:
             document, index = decoder.raw_decode(text)
             documents.append(document)
             text = text[index:].lstrip()
+        # Both stdout documents ride the uniform --json envelope.
         assert [d["kind"] for d in documents] == ["delta-report", "span-trace"]
-        assert documents[1]["spans"]
+        assert documents[1]["result"]["spans"]
