@@ -430,12 +430,11 @@ class Network:
         # cached encoded-base payload) can serve this call too — a
         # service answering many campaign requests encodes the base
         # once per generation instead of once per request.  Invariant
-        # *instances* key by identity (only names are value-comparable).
+        # *instances* key by identity; the key holds the instances
+        # themselves (not id()) so a dead invariant's recycled address
+        # can never alias a live one into a stale runner.
         key = (
-            tuple(
-                inv if isinstance(inv, str) else id(inv)
-                for inv in (invariants or [])
-            ),
+            tuple(invariants or []),
             with_signatures,
             label,
             tuple(str(p) for p in monitored) if monitored is not None else None,

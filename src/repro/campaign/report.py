@@ -12,12 +12,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core import serialize
 from repro.core.delta import DeltaReport
 from repro.core.invariants import Invariant, Violation, _check_invariants
 from repro.obs import EventLog, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.scenarios import WhatIfScenario
 
 
 def _cause_summary(
@@ -76,36 +79,36 @@ class ScenarioOutcome:
     monitored_pairs_gained: int | None = None
     monitored_pairs_lost: int | None = None
     # Hashable behaviour summary (None when signatures are disabled).
-    signature: tuple | None = None
+    signature: tuple[Any, ...] | None = None
     # Scoped work-metrics snapshot (a MetricsRegistry payload) of this
     # scenario's evaluation.  Deterministic by the obs contract, so it
     # is identical across backends and the parent can merge snapshots
     # byte-stably in enumeration order.
-    metrics: dict | None = None
+    metrics: dict[str, Any] | None = None
     # Causality digest (edit table, per-segment causes, violation
     # attribution) of a provenance-enabled evaluation; None otherwise.
-    causes: dict | None = None
+    causes: dict[str, Any] | None = None
     # Scoped event-log slice (raw records, scenario-local seq numbers)
     # of a provenance-enabled evaluation.  The parent report absorbs
     # slices in enumeration order, so the merged log is byte-identical
     # across backends.
-    events: list | None = None
+    events: list[dict[str, Any]] | None = None
     # Scoped span-forest payloads (wall-clock!) recorded when the
     # campaign runs with spans on — feeds the merged chrome trace.
     # Never part of any determinism contract.
-    spans: list | None = None
+    spans: list[dict[str, Any]] | None = None
 
     @classmethod
     def from_report(
         cls,
-        scenario,
+        scenario: WhatIfScenario,
         report: DeltaReport,
         invariants: list[Invariant],
         with_signature: bool = True,
         monitored_spans: list[tuple[int, int]] | None = None,
-        metrics: dict | None = None,
-        events: list | None = None,
-        spans: list | None = None,
+        metrics: dict[str, Any] | None = None,
+        events: list[dict[str, Any]] | None = None,
+        spans: list[dict[str, Any]] | None = None,
     ) -> "ScenarioOutcome":
         """Reduce one delta report to an outcome record."""
         gained, lost = report.num_pair_changes()
@@ -148,11 +151,11 @@ class ScenarioOutcome:
     @classmethod
     def from_error(
         cls,
-        scenario,
+        scenario: WhatIfScenario,
         error: Exception,
-        metrics: dict | None = None,
-        events: list | None = None,
-        spans: list | None = None,
+        metrics: dict[str, Any] | None = None,
+        events: list[dict[str, Any]] | None = None,
+        spans: list[dict[str, Any]] | None = None,
     ) -> "ScenarioOutcome":
         """An outcome for a scenario that failed to apply."""
         return cls(
@@ -296,7 +299,10 @@ class CampaignReport:
         # Merged structured event log across all provenance-enabled
         # outcomes (see finish()); empty otherwise.
         self.events: EventLog = EventLog()
-        self._started = time.perf_counter()
+        # Sanctioned stopwatch: wall_time is the one explicitly
+        # labelled timing field (never a metric); comparisons
+        # canonicalize it to zero (service.protocol.canonical_result).
+        self._started = time.perf_counter()  # repro-lint: disable=D1
 
     # -- collection ----------------------------------------------------------
 
@@ -304,7 +310,8 @@ class CampaignReport:
         self.outcomes.append(outcome)
 
     def finish(self) -> "CampaignReport":
-        self.wall_time = time.perf_counter() - self._started
+        # Same sanctioned stopwatch as __init__ (operator-facing only).
+        self.wall_time = time.perf_counter() - self._started  # repro-lint: disable=D1
         # Merge per-scenario snapshots in enumeration order.  Both
         # backends add outcomes in that order and the snapshots are
         # deterministic work counts, so the merged registry — and its
@@ -351,7 +358,7 @@ class CampaignReport:
             if o.ok and not o.blast_radius() and not o.fib_changes
         ]
 
-    def signatures(self) -> list[tuple | None]:
+    def signatures(self) -> list[tuple[Any, ...] | None]:
         """Per-scenario behaviour signatures, enumeration order."""
         return [o.signature for o in self.outcomes]
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import multiprocessing
 import warnings
+from typing import Any
 
 from repro.campaign.report import CampaignReport, ScenarioOutcome
 from repro.campaign.scenarios import WhatIfScenario
@@ -40,7 +41,7 @@ from repro.obs import EventLog, MetricsRegistry, Tracer
 from repro.topology.model import TopologyError
 
 # Worker-process globals, installed once per worker by _init_worker.
-_WORKER: dict = {}
+_WORKER: dict[str, Any] = {}
 
 
 def _init_worker(
@@ -97,19 +98,21 @@ def _evaluate(
     scoped = MetricsRegistry()
     saved = analyzer.metrics
     analyzer.metrics = scoped
-    scoped_events = EventLog() if provenance else None
+    scoped_events: EventLog | None = (
+        EventLog() if provenance else None
+    )
     saved_events = analyzer.events
-    if provenance:
+    if scoped_events is not None:
         analyzer.events = scoped_events
     scoped_tracer = Tracer() if with_spans else None
     saved_tracer = analyzer.tracer
     if scoped_tracer is not None:
         analyzer.tracer = scoped_tracer
 
-    def _events_payload() -> list | None:
+    def _events_payload() -> list[dict[str, Any]] | None:
         return scoped_events.to_payload() if scoped_events else None
 
-    def _spans_payload() -> list | None:
+    def _spans_payload() -> list[dict[str, Any]] | None:
         if scoped_tracer is None:
             return None
         return [root.to_payload() for root in scoped_tracer.roots]

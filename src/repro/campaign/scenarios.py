@@ -21,6 +21,7 @@ from repro.core.change import (
     SetLocalPref,
 )
 from repro.net.addr import Prefix
+from repro.topology.model import Link
 from repro.workloads.scenarios import Scenario
 
 PERMIT_ALL = AclRule(action=AclAction.PERMIT, dst=Prefix("0.0.0.0/0"))
@@ -56,8 +57,10 @@ class WhatIfScenario:
         )
 
 
-def _core_links(scenario: Scenario, include_customer_links: bool) -> list:
-    links = []
+def _core_links(
+    scenario: Scenario, include_customer_links: bool
+) -> list[Link]:
+    links: list[Link] = []
     for link in scenario.topology.links():
         if not include_customer_links:
             roles = {
@@ -70,7 +73,7 @@ def _core_links(scenario: Scenario, include_customer_links: bool) -> list:
     return links
 
 
-def _fail_link_change(link) -> Change:
+def _fail_link_change(link: Link) -> Change:
     (r1, i1), (r2, i2) = link.side_a, link.side_b
     return Change.of(LinkDown(r1, r2, i1, i2), label=f"fail {link}")
 
@@ -113,7 +116,7 @@ def sampled_k_link_failures(
     if len(links) < k:
         return []
     rng = random.Random(seed)
-    seen: set[frozenset] = set()
+    seen: set[frozenset[Link]] = set()
     scenarios: list[WhatIfScenario] = []
     attempts = 0
     while len(scenarios) < samples and attempts < samples * 50:

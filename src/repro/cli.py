@@ -50,6 +50,12 @@ Operator-facing workflow over on-disk snapshots, built entirely on the
   cache; see :mod:`repro.service`).
 - ``client`` — one request against a running service (``ping``,
   ``stats``, ``preview``, ``explain``, ``campaign``, ``shutdown``).
+- ``lint`` — the contract-aware static analyzer (:mod:`repro.lint`):
+  fork-safety, determinism, schema-drift, registry-coverage, and
+  obs-naming rules over ``src/repro``; exit 0 iff no new findings
+  and no stale baseline entries (``--update-baseline`` /
+  ``--update-fingerprints`` regenerate the committed artifacts,
+  ``--json`` emits the versioned lint report).
 
 ``--json`` output is one uniform envelope across analyze/trace/
 campaign/explain/client: ``{"kind", "schema_version", "result"}``
@@ -511,6 +517,35 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import run_lint
+
+    result = run_lint(
+        args.root,
+        update_baseline=args.update_baseline,
+        update_fingerprints=args.update_fingerprints,
+    )
+    if args.json:
+        _emit_json(result.to_dict())
+        return 0 if result.clean else 1
+    for finding in result.new:
+        print(f"{finding}")
+    for entry in result.stale:
+        print(
+            f"stale baseline entry {entry['fingerprint']} "
+            f"({entry['rule']} {entry['path']}): the finding is gone — "
+            "remove it with --update-baseline (the baseline only shrinks)"
+        )
+    suppressed = len(result.baselined)
+    summary = (
+        f"checked {result.checked_files} files: "
+        f"{len(result.new)} new finding(s), {suppressed} baselined, "
+        f"{len(result.stale)} stale baseline entr(y/ies)"
+    )
+    print(summary)
+    return 0 if result.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Differential Network Analysis CLI"
@@ -811,6 +846,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for randomized topology generators (reproducible runs)",
     )
     demo.set_defaults(handler=cmd_demo)
+
+    lint = commands.add_parser(
+        "lint",
+        help="static contract checks (fork safety, determinism, schema, "
+        "registry, obs naming)",
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="repo root containing src/repro (default: cwd)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the versioned lint-report document",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite LINT_BASELINE.json from the current findings",
+    )
+    lint.add_argument(
+        "--update-fingerprints", action="store_true",
+        help="rewrite SCHEMA_FINGERPRINTS.json from the current classes",
+    )
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 

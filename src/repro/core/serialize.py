@@ -31,12 +31,55 @@ from repro.net.addr import IPv4Address, Prefix
 
 SCHEMA_VERSION = 1
 
-__all__ = ["SCHEMA_VERSION", "SchemaError", "document", "check_document",
-           "envelope", "check_envelope"]
+__all__ = ["SCHEMA_VERSION", "KNOWN_KINDS", "SchemaError", "register_kind",
+           "document", "check_document", "envelope", "check_envelope"]
+
+# Every document kind this build can emit or parse.  ``document`` and
+# ``check_document`` reject kinds outside the registry, so a typo'd
+# kind fails at emission instead of surfacing as a mismatched-kind
+# error on some later consumer.  Extensions add their own kinds with
+# :func:`register_kind`; the static analyzer (``repro lint``, rule S1)
+# cross-checks every ``to_dict`` against this set.
+KNOWN_KINDS: set[str] = {
+    # result documents
+    "delta-report",
+    "violation",
+    "packet-trace",
+    "path-diff",
+    "campaign-report",
+    "span-trace",
+    "metrics",
+    "provenance",
+    "event-log",
+    "explain-answer",
+    "lint-report",
+    # service wire frames
+    "request",
+    "response",
+    "error",
+    "pong",
+    "service-stats",
+}
+
+
+def register_kind(kind: str) -> str:
+    """Register an extension document kind; returns ``kind``.
+
+    Workloads that serialize their own result types call this once at
+    import time, then use :func:`document`/:func:`check_document` as
+    usual.
+    """
+    KNOWN_KINDS.add(kind)
+    return kind
 
 
 def document(kind: str, payload: dict[str, Any]) -> dict[str, Any]:
     """Wrap a payload as a versioned, kind-tagged document."""
+    if kind not in KNOWN_KINDS:
+        raise SchemaError(
+            f"unregistered document kind {kind!r}; call "
+            "repro.core.serialize.register_kind first"
+        )
     return {"schema_version": SCHEMA_VERSION, "kind": kind, **payload}
 
 
@@ -82,6 +125,11 @@ def check_document(data: Mapping[str, Any], kind: str) -> None:
     found = data.get("kind")
     if found != kind:
         raise SchemaError(f"expected a {kind!r} document, got {found!r}")
+    if kind not in KNOWN_KINDS:
+        raise SchemaError(
+            f"unregistered document kind {kind!r}; call "
+            "repro.core.serialize.register_kind first"
+        )
 
 
 # -- value codecs -----------------------------------------------------------

@@ -1,0 +1,46 @@
+"""Contract-aware static analysis for the repro codebase.
+
+``repro lint`` proves the system's coding contracts hold on every
+code path, not just the ones the test suite executes:
+
+- **J1** (:mod:`repro.lint.fork_safety`) — analyzer-state mutations
+  are paired with their :class:`UndoJournal` ``save_*``/``record_*``
+  calls, so ``fork()`` rollback stays exact;
+- **D1** (:mod:`repro.lint.determinism`) — no wall-clock, unseeded
+  randomness, ``id()`` keys, or unordered set iteration feeding
+  serialized payloads;
+- **S1** (:mod:`repro.lint.schema_drift`) — every serializer has a
+  registered kind, a ``from_dict`` inverse, and a committed field
+  fingerprint that moves with the class;
+- **H1** (:mod:`repro.lint.registry_coverage`) — every edit type has
+  a handler and every handler-written dirty axis is consumed;
+- **M1** (:mod:`repro.lint.obs_naming`) — span/metric names follow
+  the DESIGN.md grammar and metrics never record wall time.
+
+Run it as ``repro lint`` (``--json`` for the versioned document); see
+:mod:`repro.lint.runner` for the baseline gate semantics and
+:mod:`repro.lint.base` for the framework and suppression grammar.
+"""
+
+from repro.lint.base import (
+    RULES,
+    FileContext,
+    Finding,
+    LintVisitor,
+    Project,
+    Rule,
+    rule,
+)
+from repro.lint.runner import LintResult, run_lint
+
+__all__ = [
+    "RULES",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "LintVisitor",
+    "Project",
+    "Rule",
+    "rule",
+    "run_lint",
+]

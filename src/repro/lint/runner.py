@@ -1,0 +1,161 @@
+"""Run the registered checkers over a repo and gate on the baseline.
+
+The baseline (``LINT_BASELINE.json``) is the escape hatch for
+pre-existing findings: entries are finding fingerprints (rule + path +
+message, line-independent), and the gate is **shrink-only** in both
+directions —
+
+- a finding *not* in the baseline fails the run (new debt is refused);
+- a baseline entry with no matching finding also fails the run (the
+  fix landed, so the entry must be deleted — ``--update-baseline``
+  regenerates the file, and because stale entries are errors, the file
+  can only ever lose entries without a checker change).
+
+The ``lint-report`` document is the versioned-JSON view of one run;
+it flows through the same envelope as every other ``--json`` output —
+the analyzer eats its own serialization dog food.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core import serialize
+from repro.lint import (  # noqa: F401  (checker registration side effects)
+    determinism,
+    fork_safety,
+    obs_naming,
+    registry_coverage,
+    schema_drift,
+)
+from repro.lint.base import RULES, Finding, Project
+
+
+@dataclass
+class LintResult:
+    """One lint run: partitioned findings plus file/rule coverage."""
+
+    findings: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[dict[str, Any]] = field(default_factory=list)
+    checked_files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned lint-report document (byte-stable)."""
+        baselined = set(self.baselined)
+        return serialize.document(
+            "lint-report",
+            {
+                "clean": self.clean,
+                "checked_files": self.checked_files,
+                "rules": [
+                    {
+                        "id": rule.id,
+                        "title": rule.title,
+                        "contract": rule.contract,
+                    }
+                    for rule in sorted(RULES.values(), key=lambda r: r.id)
+                ],
+                "findings": [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "message": f.message,
+                        "fingerprint": f.fingerprint(),
+                        "baselined": f in baselined,
+                    }
+                    for f in sorted(self.findings)
+                ],
+                "stale_baseline": sorted(
+                    self.stale, key=lambda e: str(e.get("fingerprint"))
+                ),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LintResult":
+        """Inverse of :meth:`to_dict` (validates the envelope)."""
+        serialize.check_document(data, "lint-report")
+        findings = [
+            Finding(
+                entry["rule"], entry["path"], entry["line"], entry["message"]
+            )
+            for entry in data["findings"]
+        ]
+        out = cls(
+            findings=findings,
+            checked_files=data["checked_files"],
+            stale=list(data["stale_baseline"]),
+        )
+        for finding, entry in zip(findings, data["findings"]):
+            (out.baselined if entry["baselined"] else out.new).append(finding)
+        return out
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, Any]]:
+    """fingerprint -> entry; empty when no baseline is committed."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text())
+    entries: dict[str, dict[str, Any]] = {}
+    for entry in data.get("findings", []):
+        entries[entry["fingerprint"]] = entry
+    return entries
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    document = {
+        "findings": [
+            {
+                "fingerprint": f.fingerprint(),
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+            }
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+
+
+def run_lint(
+    repo_root: Path | str,
+    update_baseline: bool = False,
+    update_fingerprints: bool = False,
+) -> LintResult:
+    """Run every registered rule; apply baseline semantics."""
+    project = Project(repo_root)
+    if update_fingerprints:
+        schema_drift.write_fingerprints(project)
+
+    findings: list[Finding] = []
+    for rule_id in sorted(RULES):
+        findings.extend(RULES[rule_id].check(project))
+    findings.sort()
+
+    if update_baseline:
+        write_baseline(project.baseline_path, findings)
+
+    baseline = load_baseline(project.baseline_path)
+    result = LintResult(findings=findings, checked_files=len(project.paths()))
+    seen: set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        seen.add(fingerprint)
+        if fingerprint in baseline:
+            result.baselined.append(finding)
+        else:
+            result.new.append(finding)
+    for fingerprint, entry in sorted(baseline.items()):
+        if fingerprint not in seen:
+            result.stale.append(entry)
+    return result

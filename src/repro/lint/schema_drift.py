@@ -1,0 +1,308 @@
+"""S1 — schema drift: serializers, inverses, and field fingerprints.
+
+Every result type crosses process and service boundaries as a
+versioned JSON document, and the round-trip contract
+(``from_dict(to_dict(r)).to_dict() == to_dict(r)``, byte-stable) only
+holds while three things stay in sync: the emitting ``to_dict``, the
+parsing ``from_dict``, and the class's field list.  A field added to a
+dataclass without touching its serializers is invisible to the test
+suite until something actually round-trips an instance that uses it.
+
+For every class defining ``to_dict`` this checker enforces:
+
+- a ``from_dict`` inverse exists on the same class;
+- if ``to_dict`` emits a kind-tagged document
+  (``serialize.document("kind", ...)``), the kind literal is declared
+  in ``serialize.KNOWN_KINDS`` (or registered via a literal
+  ``register_kind("kind")`` call) and ``from_dict`` validates the
+  *same* kind with ``check_document``;
+- the class's field list matches the committed fingerprint file
+  (``SCHEMA_FINGERPRINTS.json``): a drifted hash means fields changed
+  without the serializers/schema version being confirmed — fix the
+  codecs, bump or consciously keep ``SCHEMA_VERSION``, then refresh
+  with ``repro lint --update-fingerprints`` (the refreshed file shows
+  up in review as the explicit "schema touched" artifact).
+
+Fields are read from dataclass annotations, falling back to
+``self.X = ...`` assignments in ``__init__`` for plain classes.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.lint.base import (
+    FileContext,
+    Finding,
+    Project,
+    call_name,
+    const_str,
+    rule,
+)
+
+SERIALIZE_MODULE = "repro/core/serialize.py"
+
+
+@dataclass
+class SerializedClass:
+    """One class with a ``to_dict``, as seen by the checker."""
+
+    context: FileContext
+    node: ast.ClassDef
+    is_dataclass: bool
+    fields: list[str]
+    kind: str | None  # document("<kind>", ...) literal in to_dict
+    has_from_dict: bool
+    checked_kinds: list[str]  # check_document(..., "<kind>") in from_dict
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.context.module}.{self.node.name}"
+
+    def fields_hash(self) -> str:
+        digest = hashlib.sha256(",".join(self.fields).encode())
+        return digest.hexdigest()[:16]
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = (
+            decorator.func if isinstance(decorator, ast.Call) else decorator
+        )
+        if call_name(target) in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def _class_fields(node: ast.ClassDef, is_dc: bool) -> list[str]:
+    if is_dc:
+        return [
+            item.target.id
+            for item in node.body
+            if isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)
+        ]
+    fields: list[str] = []
+    for item in node.body:
+        if (
+            isinstance(item, ast.FunctionDef)
+            and item.name == "__init__"
+        ):
+            for stmt in ast.walk(item):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr not in fields
+                    ):
+                        fields.append(target.attr)
+    return fields
+
+
+def _document_kinds(fn: ast.FunctionDef) -> list[str]:
+    """Kind literals passed to ``document(...)`` inside a function."""
+    kinds = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = call_name(node.func)
+            if name is not None and name.split(".")[-1] == "document":
+                kind = const_str(node.args[0] if node.args else None)
+                if kind is not None:
+                    kinds.append(kind)
+    return kinds
+
+
+def _checked_kinds(fn: ast.FunctionDef) -> list[str]:
+    kinds = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = call_name(node.func)
+            if name is not None and name.split(".")[-1] == "check_document":
+                if len(node.args) >= 2:
+                    kind = const_str(node.args[1])
+                    if kind is not None:
+                        kinds.append(kind)
+    return kinds
+
+
+def collect_serialized_classes(project: Project) -> list[SerializedClass]:
+    classes: list[SerializedClass] = []
+    for context in project:
+        for node in context.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            to_dict = from_dict = None
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    if item.name == "to_dict":
+                        to_dict = item
+                    elif item.name == "from_dict":
+                        from_dict = item
+            if to_dict is None:
+                continue
+            kinds = _document_kinds(to_dict)
+            is_dc = _is_dataclass(node)
+            classes.append(
+                SerializedClass(
+                    context=context,
+                    node=node,
+                    is_dataclass=is_dc,
+                    fields=_class_fields(node, is_dc),
+                    kind=kinds[0] if kinds else None,
+                    has_from_dict=from_dict is not None,
+                    checked_kinds=(
+                        _checked_kinds(from_dict)
+                        if from_dict is not None
+                        else []
+                    ),
+                )
+            )
+    return classes
+
+
+def registered_kinds(project: Project) -> set[str]:
+    """Kinds declared in serialize.KNOWN_KINDS plus literal
+    ``register_kind("...")`` calls anywhere in the tree."""
+    kinds: set[str] = set()
+    serialize = project.file(SERIALIZE_MODULE)
+    if serialize is not None:
+        for node in ast.walk(serialize.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                named = any(
+                    isinstance(t, ast.Name) and t.id == "KNOWN_KINDS"
+                    for t in targets
+                )
+                if named and isinstance(node.value, (ast.Set, ast.List)):
+                    for elt in node.value.elts:
+                        kind = const_str(elt)
+                        if kind is not None:
+                            kinds.add(kind)
+    for context in project:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node.func)
+                if (
+                    name is not None
+                    and name.split(".")[-1] == "register_kind"
+                    and node.args
+                ):
+                    kind = const_str(node.args[0])
+                    if kind is not None:
+                        kinds.add(kind)
+    return kinds
+
+
+# -- fingerprint file -------------------------------------------------------
+
+
+def compute_fingerprints(project: Project) -> dict[str, Any]:
+    """The fingerprint document for the current tree."""
+    from repro.core.serialize import SCHEMA_VERSION
+
+    classes = {}
+    for cls in collect_serialized_classes(project):
+        classes[cls.qualname] = {
+            "fields": list(cls.fields),
+            "hash": cls.fields_hash(),
+            "kind": cls.kind,
+            "schema_version": SCHEMA_VERSION,
+        }
+    return {"classes": classes}
+
+
+def write_fingerprints(project: Project) -> None:
+    document = compute_fingerprints(project)
+    project.fingerprint_path.write_text(
+        json.dumps(document, sort_keys=True, indent=2) + "\n"
+    )
+
+
+def load_fingerprints(project: Project) -> dict[str, Any] | None:
+    if not project.fingerprint_path.is_file():
+        return None
+    data: dict[str, Any] = json.loads(project.fingerprint_path.read_text())
+    return data
+
+
+@rule(
+    "S1",
+    "schema drift",
+    "every to_dict has a registered kind, a from_dict inverse checking "
+    "that kind, and a committed field fingerprint that moves with it",
+)
+def check_schema_drift(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def flag(cls: SerializedClass, message: str) -> None:
+        line = cls.node.lineno
+        if not cls.context.suppressed("S1", line):
+            findings.append(Finding("S1", cls.context.rel, line, message))
+
+    classes = collect_serialized_classes(project)
+    kinds = registered_kinds(project)
+    committed = load_fingerprints(project)
+    recorded = committed.get("classes", {}) if committed is not None else {}
+
+    for cls in classes:
+        if not cls.has_from_dict:
+            flag(
+                cls,
+                f"{cls.node.name}.to_dict has no from_dict inverse; "
+                "one-way serializers break the round-trip contract",
+            )
+        if cls.kind is not None:
+            if cls.kind not in kinds:
+                flag(
+                    cls,
+                    f"{cls.node.name}.to_dict emits unregistered kind "
+                    f"{cls.kind!r}; add it to serialize.KNOWN_KINDS or "
+                    "call register_kind",
+                )
+            if cls.has_from_dict and cls.kind not in cls.checked_kinds:
+                flag(
+                    cls,
+                    f"{cls.node.name}.from_dict does not validate kind "
+                    f"{cls.kind!r} with check_document; version/kind skew "
+                    "would be parsed silently",
+                )
+        if committed is None:
+            continue  # a missing file is reported once, below
+        entry = recorded.get(cls.qualname)
+        if entry is None:
+            flag(
+                cls,
+                f"{cls.qualname} has no committed field fingerprint; run "
+                "`repro lint --update-fingerprints` and commit the result",
+            )
+        elif entry.get("hash") != cls.fields_hash():
+            flag(
+                cls,
+                f"{cls.qualname} fields changed "
+                f"({entry.get('hash')} -> {cls.fields_hash()}) without the "
+                "fingerprint moving: update to_dict/from_dict, bump or "
+                "consciously keep SCHEMA_VERSION, then refresh with "
+                "`repro lint --update-fingerprints`",
+            )
+    if committed is None and classes:
+        findings.append(
+            Finding(
+                "S1",
+                "repro/core/serialize.py",
+                1,
+                "no SCHEMA_FINGERPRINTS.json committed; run "
+                "`repro lint --update-fingerprints` to create it",
+            )
+        )
+    return findings

@@ -27,10 +27,10 @@ from repro.core.change_text import serialize_change_batch
 from repro.core.delta import DeltaReport
 from repro.service import protocol
 
-ScriptLike = "str | Change | Sequence[Change]"
+ScriptLike = str | Change | Sequence[Change]
 
 
-def _as_script(changes: Any) -> str:
+def _as_script(changes: ScriptLike) -> str:
     """Accept a script string, a Change, or a sequence of Changes."""
     if isinstance(changes, str):
         return changes
@@ -120,7 +120,7 @@ class ServiceClient:
 
     def preview(
         self,
-        changes: Any,
+        changes: ScriptLike,
         label: str | None = None,
         provenance: bool = False,
     ) -> DeltaReport:
@@ -141,7 +141,7 @@ class ServiceClient:
 
     def analyze_batch(
         self,
-        changes: Any,
+        changes: ScriptLike,
         label: str | None = None,
         provenance: bool = False,
     ) -> DeltaReport:
@@ -177,7 +177,7 @@ class ServiceClient:
 
     def explain(
         self,
-        changes: Any,
+        changes: ScriptLike,
         edit: int | None = None,
         router: str | None = None,
         prefix: str | None = None,

@@ -31,7 +31,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.api import Network
 from repro.api.errors import ConvergenceError, ProtocolError
@@ -42,7 +42,12 @@ from repro.core.change import Change
 from repro.core.change_text import parse_change_batch
 from repro.core.serialize import document
 from repro.service import protocol
-from repro.service.cache import ResultCache, change_digest, options_digest
+from repro.service.cache import (
+    CacheKey,
+    ResultCache,
+    change_digest,
+    options_digest,
+)
 
 #: Ops whose results are pure functions of (base, changes, options) —
 #: the only ones the result cache may answer.
@@ -254,7 +259,9 @@ class ReproService:
             },
         )
 
-    def _plan(self, op: str, params: Mapping[str, Any]):
+    def _plan(
+        self, op: str, params: Mapping[str, Any]
+    ) -> tuple[CacheKey, Callable[[], dict[str, Any]]]:
         """(cache key, thunk) for one analysis op."""
         if op in ("preview", "analyze_batch"):
             changes = self._parse_script(params)

@@ -22,7 +22,7 @@ from repro.core.change import (
     SetLocalPref,
     SetOspfCost,
 )
-from repro.core.invariants import LoopFreedom
+from repro.core.invariants import LoopFreedom, ReachabilityInvariant
 from repro.net.addr import IPv4Address, Prefix
 from repro.query.paths import ForwardingPaths
 from repro.workloads.scenarios import ring_ospf
@@ -200,6 +200,49 @@ class TestQueries:
         net = ring6.network()
         with pytest.raises(ValueError, match="unknown backend"):
             net.campaign([], backend="quantum")
+
+
+class TestCampaignRunnerReuse:
+    def test_distinct_invariant_instances_rebuild_the_runner(self, ring6):
+        # Regression: the runner-reuse key used to hash invariant
+        # instances with id(). A temporary invariant dies after the
+        # call, CPython recycles its address for the next allocation,
+        # and the recycled id aliased the stale runner — the second
+        # campaign was silently checked against the FIRST invariant.
+        # The key now holds the instances themselves: held references
+        # cannot be recycled, and distinct instances rebuild.
+        net = ring6.network()
+        batch = all_single_link_failures(ring6)[:2]
+        target = ring6.fabric.host_subnets["r3"][0]
+        net.campaign(
+            batch, invariants=[ReachabilityInvariant("r0", "r3", target)]
+        )
+        first_runner = net._runner
+        report = net.campaign(
+            batch, invariants=[ReachabilityInvariant("r5", "r3", target)]
+        )
+        assert net._runner is not first_runner
+        # The answers really come from the second invariant.
+        names = {
+            v.invariant for o in report.outcomes for v in o.violations
+        }
+        assert all(name.startswith("reach(r5 ->") for name in names)
+
+    def test_value_equal_invariants_share_the_runner(self, ring6):
+        # ReachabilityInvariant is a dataclass: two equal-valued
+        # instances describe the same check, so the runner (and its
+        # cached encoded-base payload) is safely reused.
+        net = ring6.network()
+        batch = all_single_link_failures(ring6)[:2]
+        target = ring6.fabric.host_subnets["r3"][0]
+        net.campaign(
+            batch, invariants=[ReachabilityInvariant("r0", "r3", target)]
+        )
+        runner = net._runner
+        net.campaign(
+            batch, invariants=[ReachabilityInvariant("r0", "r3", target)]
+        )
+        assert net._runner is runner
 
 
 class TestChangeSet:

@@ -79,6 +79,55 @@ class TestChunkContainer:
         assert issubclass(codec.CodecError, ReproError)
         assert issubclass(codec.CodecError, ValueError)
 
+    def test_short_container_rejected(self):
+        # Shorter than the fixed header: both entry points refuse.
+        for short in (b"", b"RNS1", b"RNS1" + b"\x00" * 20):
+            with pytest.raises(codec.CodecError, match="shorter than"):
+                codec.decode_chunks(short)
+            with pytest.raises(codec.CodecError, match="shorter than"):
+                codec.container_digest(short)
+
+    def test_container_digest_checks_magic(self):
+        with pytest.raises(codec.CodecError, match="bad magic"):
+            codec.container_digest(b"NOPE" + b"\x00" * 40)
+
+    def test_chunk_count_overstatement_rejected(self):
+        # Header promises one more chunk than the body carries.
+        data = bytearray(codec.encode_chunks([("aaaa", b"q")]))
+        struct.pack_into(">H", data, 6, 2)
+        with pytest.raises(codec.CodecError, match="truncated chunk header"):
+            codec.decode_chunks(bytes(data))
+
+    def test_chunk_count_understatement_rejected(self):
+        # Header promises one fewer: the orphaned chunk is trailing junk.
+        data = bytearray(
+            codec.encode_chunks([("aaaa", b"q"), ("bbbb", b"r")])
+        )
+        struct.pack_into(">H", data, 6, 1)
+        with pytest.raises(codec.CodecError, match="trailing bytes"):
+            codec.decode_chunks(bytes(data))
+
+    def test_flags_mismatch_rejected(self):
+        # The zlib flag set on a chunk stored raw: inflate fails, and
+        # the reader reports the corrupt chunk instead of guessing.
+        data = bytearray(codec.encode_chunks([("aaaa", b"q")]))
+        flags_offset = codec._HEADER.size + 4  # after the 4-byte tag
+        assert data[flags_offset] == 0
+        data[flags_offset] |= codec._FLAG_ZLIB
+        with pytest.raises(codec.CodecError, match="corrupt 'aaaa' chunk"):
+            codec.decode_chunks(bytes(data))
+
+    def test_compressed_chunk_corruption_rejected(self):
+        # Flip a byte inside a zlib-compressed payload body.
+        data = bytearray(codec.encode_chunks([("blob", b"abc" * 10_000)]))
+        data[-2] ^= 0xFF
+        with pytest.raises(codec.CodecError, match="corrupt|digest"):
+            codec.decode_chunks(bytes(data))
+
+    def test_bad_tag_rejected_at_encode(self):
+        with pytest.raises(codec.CodecError, match="4 ascii bytes"):
+            codec.encode_chunks([("toolong", b"q")])
+
 
 class TestSnapshotCodec:
     def test_round_trip_is_text_identical(self, ring6):
@@ -106,6 +155,22 @@ class TestSnapshotCodec:
         assert codec.snapshot_digest(ring6.snapshot) != (
             codec.snapshot_digest(other.snapshot)
         )
+
+    def test_unknown_chunk_is_skippable(self, ring6):
+        # Self-describing container: readers ignore tags they don't
+        # know, so a future writer can add chunks without breaking us.
+        chunks = codec.decode_chunks(codec.dumps(ring6.snapshot))
+        chunks.append(("futr", b"from a newer writer"))
+        rebuilt = codec.loads(codec.encode_chunks(chunks))
+        assert serialize_topology(rebuilt.topology) == serialize_topology(
+            ring6.snapshot.topology
+        )
+
+    def test_missing_standard_chunk_rejected(self, ring6):
+        chunks = codec.decode_chunks(codec.dumps(ring6.snapshot))
+        only_topo = [c for c in chunks if c[0] == codec.CHUNK_TOPOLOGY]
+        with pytest.raises(codec.CodecError, match="missing 'cfgs' chunk"):
+            codec.loads(codec.encode_chunks(only_topo))
 
 
 class TestBaseCodec:

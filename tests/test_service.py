@@ -112,6 +112,59 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.invalidations == 1
 
+    def test_eviction_under_invalidation_ordering(self):
+        # Invalidation clears wholesale and must NOT count as (or
+        # interact with) LRU eviction: the counters stay disjoint and
+        # the LRU order restarts empty after a generation move.
+        cache = ResultCache(maxsize=2)
+        cache.ensure_generation(0)
+        cache.put(("a", "a", "a"), "1")
+        cache.put(("b", "b", "b"), "2")
+        cache.put(("c", "c", "c"), "3")  # LRU-evicts ("a","a","a")
+        assert cache.evictions == 1
+        cache.ensure_generation(1)  # wholesale clear, not an eviction
+        assert len(cache) == 0
+        assert cache.evictions == 1
+        assert cache.invalidations == 1
+        # Post-invalidation the bound starts fresh: two puts fit with
+        # no further eviction, and pre-invalidation survivors are gone.
+        cache.put(("b", "b", "b"), "2'")
+        cache.put(("d", "d", "d"), "4")
+        assert cache.evictions == 1
+        assert cache.get(("c", "c", "c")) is None
+        assert cache.get(("b", "b", "b")) == "2'"
+
+    def test_first_generation_sighting_does_not_invalidate(self):
+        cache = ResultCache()
+        cache.put(("a", "a", "a"), "1")
+        cache.ensure_generation(7)  # first sighting just pins it
+        assert len(cache) == 1
+        assert cache.invalidations == 0
+
+    def test_overwrite_same_key_is_not_an_eviction(self):
+        cache = ResultCache(maxsize=1)
+        cache.put(("a", "a", "a"), "1")
+        cache.put(("a", "a", "a"), "1'")
+        assert cache.evictions == 0
+        assert cache.get(("a", "a", "a")) == "1'"
+
+    def test_stats_counters_are_complete(self):
+        cache = ResultCache(maxsize=1)
+        cache.get(("a", "a", "a"))  # miss
+        cache.put(("a", "a", "a"), "1")
+        cache.get(("a", "a", "a"))  # hit
+        cache.put(("b", "b", "b"), "2")  # evicts
+        cache.ensure_generation(0)
+        cache.ensure_generation(1)  # invalidates
+        assert cache.stats() == {
+            "entries": 0,
+            "maxsize": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+            "invalidations": 1,
+        }
+
     def test_change_digest_ignores_formatting(self):
         loose = parse_change_batch(
             "# comment\n\nlink  down   r0 r1\n", label="x"
