@@ -33,11 +33,11 @@ import sys
 import time
 from typing import Any, Callable
 
-from repro.bench.workloads import mixed_k8_batch
+from repro.bench.workloads import mixed_k8_batch, wan_k8_batch
 from repro.campaign import CampaignRunner, all_single_link_failures
 from repro.core.analyzer import DifferentialNetworkAnalyzer
 from repro.workloads.changes import ChangeGenerator
-from repro.workloads.scenarios import fat_tree_ospf, ring_ospf
+from repro.workloads.scenarios import fat_tree_ospf, internet2_bgp, ring_ospf
 
 SCHEMA_VERSION = 1
 
@@ -178,7 +178,63 @@ def run_suite(repeat: int, warmup: int) -> dict[str, Any]:
         )
     )
 
-    # 4. Serial single-link campaign sweep on a ring.
+    # 4. WAN/BGP pulses on the Internet2 scenario: a single-session
+    # edit (pair-scoped rediscovery), a policy edit (adj-RIB-scoped),
+    # and the k=8 WAN batch.  The ops counters keep the staged BGP
+    # pipeline honest: ``bgp_prefixes_resolved`` must stay positive
+    # (CI asserts it) and ``bgp_sessions_rescanned`` tracks how much
+    # of the session table each edit actually revalidates.
+    wan = internet2_bgp(customers_per_pop=2, prefixes_per_customer=3)
+    wan_analyzer = DifferentialNetworkAnalyzer(wan.snapshot.clone())
+    wan_gen = ChangeGenerator(wan, seed=9)
+    teardown, _restore = wan_gen.random_session_flap()
+    session_samples, session_report = _measure(
+        lambda: wan_analyzer.what_if(teardown), repeat, warmup
+    )
+    results.append(
+        _entry(
+            "wan_session_what_if",
+            session_samples,
+            params={"customers_per_pop": 2, "prefixes_per_customer": 3},
+            observed={"routers": wan.topology.num_routers()},
+            ops=dict(session_report.counters),
+        )
+    )
+
+    flip = wan_gen.dual_homed_pref_flip(100, 200)
+    policy_samples, policy_report = _measure(
+        lambda: wan_analyzer.what_if(flip), repeat, warmup
+    )
+    results.append(
+        _entry(
+            "wan_policy_what_if",
+            policy_samples,
+            params={"customers_per_pop": 2, "prefixes_per_customer": 3},
+            observed={"routers": wan.topology.num_routers()},
+            ops=dict(policy_report.counters),
+        )
+    )
+
+    wan_changes, _wan_recovery = wan_k8_batch(wan)
+    wan_edits = sum(len(change.edits) for change in wan_changes)
+    wan_batch_samples, wan_batch_report = _measure(
+        lambda: wan_analyzer.what_if_batch(wan_changes), repeat, warmup
+    )
+    results.append(
+        _entry(
+            "wan_batch_apply_k8",
+            wan_batch_samples,
+            params={
+                "customers_per_pop": 2,
+                "prefixes_per_customer": 3,
+                "edits": wan_edits,
+            },
+            observed={"routers": wan.topology.num_routers()},
+            ops=dict(wan_batch_report.counters),
+        )
+    )
+
+    # 5. Serial single-link campaign sweep on a ring.
     ring = ring_ospf(8)
     batch = all_single_link_failures(ring)
     runner = CampaignRunner(ring.snapshot.clone(), label="ring8")

@@ -1,0 +1,72 @@
+"""BGP as an explicit pipeline: sessions, adj-RIB, policy, best path.
+
+Historically one 400-line module, now a package of stage modules
+mirroring the PR-5 analyzer architecture — each stage owns one
+DirtySet axis (``bgp_sessions``, ``bgp_adj_rib``, ``bgp_policy``,
+``bgp_prefixes``) and is consumed by a dedicated
+``RecomputePipeline`` sub-stage:
+
+- :mod:`~repro.controlplane.bgp.sessions` — directed session
+  discovery (full and pair-scoped), canonical ordering;
+- :mod:`~repro.controlplane.bgp.adjrib` — per-session export/import
+  evaluation;
+- :mod:`~repro.controlplane.bgp.policy` — route-map application and
+  the policy-to-session scoping index;
+- :mod:`~repro.controlplane.bgp.decision` — the standard decision
+  process;
+- :mod:`~repro.controlplane.bgp.solver` — the per-prefix fixpoint
+  driver over stages 2–4, plus origination collection.
+
+The public surface (this module) is unchanged from the monolith, so
+existing imports keep working.
+"""
+
+from repro.controlplane.bgp.adjrib import export_route, import_route
+from repro.controlplane.bgp.decision import best_path
+from repro.controlplane.bgp.policy import apply_policy, neighbors_using_map
+from repro.controlplane.bgp.sessions import (
+    SessionPair,
+    discover_sessions,
+    discover_sessions_for,
+    pairs_involving,
+    session_scan_size,
+)
+from repro.controlplane.bgp.solver import collect_origins, solve_prefix
+from repro.controlplane.bgp.types import (
+    INFINITY,
+    LOCAL_KEY,
+    BgpCandidate,
+    BgpConvergenceError,
+    BgpPrefixSolution,
+    BgpSession,
+    IgpView,
+)
+
+# Pre-split private names, kept importable for callers and tests that
+# reached into the monolith (the decision/adj-RIB internals are the
+# same functions under their stage names).
+_decision = best_path
+_export = export_route
+_import = import_route
+
+__all__ = [
+    "INFINITY",
+    "LOCAL_KEY",
+    "BgpCandidate",
+    "BgpConvergenceError",
+    "BgpPrefixSolution",
+    "BgpSession",
+    "IgpView",
+    "SessionPair",
+    "apply_policy",
+    "best_path",
+    "collect_origins",
+    "discover_sessions",
+    "discover_sessions_for",
+    "export_route",
+    "import_route",
+    "neighbors_using_map",
+    "pairs_involving",
+    "session_scan_size",
+    "solve_prefix",
+]

@@ -1,0 +1,102 @@
+"""Stage 2 — adj-RIB: what a session exports and how the peer files it.
+
+The export half (``export_route``) runs the sender's advertisement
+rules — split horizon, iBGP non-reflection, export policy, eBGP
+prepend and next-hop rewrite; the import half (``import_route``) runs
+the receiver's acceptance rules — AS-path loop drop, eBGP local-pref
+reset, import policy.  Full iBGP mesh semantics: iBGP-learned routes
+are not re-advertised to iBGP peers; no route reflectors or
+confederations.  local-pref resets to 100 at eBGP ingress; the sender
+prepends its ASN on eBGP export; receivers drop paths containing
+their own ASN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.config.routemap import AttributeBundle
+from repro.net.addr import IPv4Address
+
+from repro.controlplane.bgp.policy import apply_policy
+from repro.controlplane.bgp.types import BgpCandidate, BgpSession
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard
+    from repro.core.snapshot import Snapshot
+
+
+def _loopback_ip(snapshot: "Snapshot", router: str) -> IPv4Address | None:
+    device = snapshot.topology.router(router)
+    loopback = device.interfaces.get("lo0")
+    return loopback.address if loopback is not None else None
+
+
+def export_route(
+    snapshot: "Snapshot",
+    session: BgpSession,
+    best: BgpCandidate | None,
+) -> tuple[AttributeBundle, IPv4Address] | None:
+    """What ``session.local`` advertises to ``session.peer``."""
+    if best is None:
+        return None
+    if best.from_peer == session.peer:
+        return None  # split horizon toward the sender
+    if not session.ebgp and not best.is_local and not best.ebgp:
+        return None  # iBGP-learned routes are not reflected to iBGP peers
+    config = snapshot.configs[session.local]
+    bgp = config.bgp
+    assert bgp is not None
+    bundle = best.bundle
+    neighbor = bgp.neighbors.get(session.peer_ip)
+    if neighbor is not None and neighbor.export_policy is not None:
+        transformed = apply_policy(config, neighbor.export_policy, bundle)
+        if transformed is None:
+            return None
+        bundle = transformed
+    if session.ebgp:
+        bundle = bundle.prepend(bgp.asn)
+        next_hop = session.local_ip
+    else:
+        if best.is_local or (neighbor is not None and neighbor.next_hop_self):
+            next_hop = _loopback_ip(snapshot, session.local) or session.local_ip
+        else:
+            assert best.next_hop is not None
+            next_hop = best.next_hop
+    return bundle, next_hop
+
+
+def import_route(
+    snapshot: "Snapshot",
+    session: BgpSession,
+    message: tuple[AttributeBundle, IPv4Address] | None,
+) -> BgpCandidate | None:
+    """How ``session.peer`` files what ``session.local`` sent."""
+    if message is None:
+        return None
+    bundle, next_hop = message
+    receiver = session.peer
+    config = snapshot.configs[receiver]
+    bgp = config.bgp
+    assert bgp is not None
+    if bgp.asn in bundle.as_path:
+        return None  # AS-path loop
+    if session.ebgp:
+        bundle = replace(bundle, local_pref=100)
+    # The receiver's neighbor entry for this session is keyed by the
+    # sender's address.
+    neighbor = bgp.neighbors.get(session.local_ip)
+    if neighbor is not None and neighbor.import_policy is not None:
+        transformed = apply_policy(config, neighbor.import_policy, bundle)
+        if transformed is None:
+            return None
+        bundle = transformed
+    sender_bgp = snapshot.configs[session.local].bgp
+    router_id = sender_bgp.router_id.value if sender_bgp is not None else 0
+    return BgpCandidate(
+        bundle=bundle,
+        next_hop=next_hop,
+        from_peer=session.local,
+        ebgp=session.ebgp,
+        peer_router_id=router_id,
+    )

@@ -1,0 +1,43 @@
+"""Stage 4 — best path: the standard BGP decision process.
+
+Decision order: weight (local origination) > local-pref > AS-path
+length > MED (always compared) > eBGP-over-iBGP > IGP cost to next
+hop > peer router-id.  No BGP multipath.
+"""
+
+from __future__ import annotations
+
+from repro.controlplane.bgp.types import INFINITY, BgpCandidate, IgpView
+
+DecisionKey = tuple[int, int, int, int, int, float, int, str]
+
+
+def best_path(
+    router: str,
+    candidates: dict[str, BgpCandidate],
+    igp: IgpView,
+) -> BgpCandidate | None:
+    """The standard BGP decision process over usable candidates."""
+    usable: list[tuple[DecisionKey, BgpCandidate]] = []
+    for candidate in candidates.values():
+        if candidate.is_local:
+            igp_cost = 0.0
+        else:
+            assert candidate.next_hop is not None
+            igp_cost = igp.cost_to(router, candidate.next_hop)
+            if igp_cost == INFINITY:
+                continue  # next hop unreachable: candidate unusable
+        key: DecisionKey = (
+            0 if candidate.is_local else 1,  # weight: local wins
+            -candidate.bundle.local_pref,
+            len(candidate.bundle.as_path),
+            candidate.bundle.med,
+            0 if (candidate.is_local or candidate.ebgp) else 1,
+            igp_cost,
+            candidate.peer_router_id,
+            candidate.from_peer or "",
+        )
+        usable.append((key, candidate))
+    if not usable:
+        return None
+    return min(usable, key=lambda pair: pair[0])[1]

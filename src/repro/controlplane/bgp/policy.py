@@ -1,0 +1,65 @@
+"""Stage 3 — policy evaluation: route maps at session boundaries.
+
+One definition of "apply this neighbor's policy to this bundle",
+shared by the export and import halves of the adj-RIB stage, plus the
+static policy-to-session index the extraction layer uses to scope
+policy edits down to the adj-RIB entries they can actually affect.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config.routemap import AttributeBundle
+from repro.net.addr import IPv4Address
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard
+    from repro.config.device import DeviceConfig
+
+# Sentinel distinguishing "no policy configured" (pass through) from
+# "policy denied / dangling" (drop) in apply_policy's return.
+_DENIED = None
+
+
+def apply_policy(
+    config: "DeviceConfig",
+    policy_name: str | None,
+    bundle: AttributeBundle,
+) -> AttributeBundle | None:
+    """Run one named route-map over ``bundle`` on ``config``'s device.
+
+    Returns the (possibly transformed) bundle, or None when the policy
+    denies the route.  A configured-but-missing route map blocks the
+    session — a dangling policy name fails closed, matching vendor
+    behaviour.  No policy configured passes the bundle through.
+    """
+    if policy_name is None:
+        return bundle
+    assert config.bgp is not None
+    route_map = config.route_maps.get(policy_name)
+    if route_map is None:
+        return _DENIED
+    return route_map.apply(bundle, config.prefix_lists, config.bgp.asn)
+
+
+def neighbors_using_map(
+    config: "DeviceConfig", route_map: str
+) -> list[tuple[IPv4Address, str]]:
+    """(peer_ip, direction) for every neighbor bound to ``route_map``.
+
+    Direction is ``"import"`` or ``"export"``.  This is the scoping
+    index for attribute-only policy edits: a local-pref change on map
+    M can only perturb adj-RIB entries flowing over the sessions bound
+    to M, so the extraction layer deposits exactly those (receiver,
+    sender) pairs on the ``bgp_adj_rib`` axis instead of dirtying the
+    whole router.
+    """
+    bound: list[tuple[IPv4Address, str]] = []
+    if config.bgp is None:
+        return bound
+    for peer_ip, neighbor in config.bgp.neighbors.items():
+        if neighbor.import_policy == route_map:
+            bound.append((peer_ip, "import"))
+        if neighbor.export_policy == route_map:
+            bound.append((peer_ip, "export"))
+    return bound

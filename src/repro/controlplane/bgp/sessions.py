@@ -1,0 +1,197 @@
+"""Stage 1 — session discovery: which directed sessions exist and are up.
+
+Model notes (documented simplifications):
+
+- Sessions require both sides to point at each other's interface
+  addresses with matching ASNs; direct (shared-subnet) sessions need
+  the link up, loopback sessions need IGP reachability (judged later,
+  by the solver, against the live IGP).
+
+Two discovery entry points share one validation core:
+
+- :func:`discover_sessions` — the full scan, used at initial
+  convergence and by the full-rescan recompute path;
+- :func:`discover_sessions_for` — the scoped scan, which re-validates
+  only the directed ``(local, peer)`` router pairs a batch of edits
+  could have affected (the ``bgp_sessions`` DirtySet axis).
+
+Both return canonically sorted lists (:attr:`BgpSession.sort_key`), so
+``kept + rediscovered`` from the scoped path is byte-identical to a
+full rescan whenever the dirty pair set is sound.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.config.routing import BgpNeighborConfig
+from repro.controlplane.connected import AddressIndex, interface_is_up
+from repro.net.addr import IPv4Address
+
+from repro.controlplane.bgp.types import BgpSession
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard
+    from repro.controlplane.connected import AddressEntry
+    from repro.core.snapshot import Snapshot
+
+SessionPair = tuple[str, str]
+
+
+def _validate_direction(
+    snapshot: "Snapshot",
+    address_index: AddressIndex,
+    local: str,
+    peer_ip: IPv4Address,
+    neighbor: BgpNeighborConfig,
+) -> BgpSession | None:
+    """The session object for direction ``local -> owner(peer_ip)``,
+    or None when the direction is structurally invalid or down.
+
+    A direction exists when: the local config names ``peer_ip`` with
+    the peer's true ASN; the peer owns ``peer_ip``; the peer config
+    names one of the local router's addresses back with the local ASN;
+    and the underlying connectivity is up (for direct sessions —
+    loopback sessions are filtered later against the IGP).
+    """
+    config = snapshot.configs.get(local)
+    if config is None or config.bgp is None:
+        return None
+    owner = address_index.owner(peer_ip)
+    if owner is None or owner.router == local:
+        return None
+    peer_config = snapshot.configs.get(owner.router)
+    if peer_config is None or peer_config.bgp is None:
+        return None
+    if peer_config.bgp.asn != neighbor.remote_asn:
+        return None
+    # Find the reverse entry pointing back at us.
+    local_ip: IPv4Address | None = None
+    for candidate_ip, reverse in peer_config.bgp.neighbors.items():
+        reverse_owner = address_index.owner(candidate_ip)
+        if (
+            reverse_owner is not None
+            and reverse_owner.router == local
+            and reverse.remote_asn == config.bgp.asn
+        ):
+            local_ip = candidate_ip
+            break
+    if local_ip is None:
+        return None
+    direct, up = _session_transport(snapshot, local, peer_ip, owner)
+    if direct and not up:
+        return None
+    return BgpSession(
+        local=local,
+        peer=owner.router,
+        local_ip=local_ip,
+        peer_ip=peer_ip,
+        ebgp=config.bgp.asn != neighbor.remote_asn
+        or config.bgp.asn != peer_config.bgp.asn,
+        direct=direct,
+    )
+
+
+def discover_sessions(
+    snapshot: "Snapshot", address_index: AddressIndex
+) -> list[BgpSession]:
+    """All *up* directed sessions (one object per direction), in
+    canonical order."""
+    sessions: list[BgpSession] = []
+    for local, config in snapshot.configs.items():
+        if config.bgp is None:
+            continue
+        for peer_ip, neighbor in config.bgp.neighbors.items():
+            session = _validate_direction(
+                snapshot, address_index, local, peer_ip, neighbor
+            )
+            if session is not None:
+                sessions.append(session)
+    sessions.sort(key=lambda s: s.sort_key)
+    return sessions
+
+
+def discover_sessions_for(
+    snapshot: "Snapshot",
+    address_index: AddressIndex,
+    pairs: Iterable[SessionPair],
+) -> list[BgpSession]:
+    """Re-validate only the directed router ``pairs``, in canonical
+    order.
+
+    The scoped counterpart of :func:`discover_sessions`: for each
+    ``(local, peer)`` pair, every neighbor entry of ``local`` whose
+    address is owned by ``peer`` is put through the same validation.
+    Sessions between router pairs outside ``pairs`` are untouched by
+    construction, so ``kept + rediscovered`` equals a full rescan when
+    the pair set covers everything the batch could have affected.
+    """
+    sessions: list[BgpSession] = []
+    for local, peer in sorted(set(pairs)):
+        config = snapshot.configs.get(local)
+        if config is None or config.bgp is None:
+            continue
+        for peer_ip, neighbor in config.bgp.neighbors.items():
+            owner = address_index.owner(peer_ip)
+            if owner is None or owner.router != peer:
+                continue
+            session = _validate_direction(
+                snapshot, address_index, local, peer_ip, neighbor
+            )
+            if session is not None:
+                sessions.append(session)
+    sessions.sort(key=lambda s: s.sort_key)
+    return sessions
+
+
+def session_scan_size(snapshot: "Snapshot") -> int:
+    """How many directed neighbor entries a full rescan validates —
+    the work-count denominator for the ``bgp_sessions_rescanned``
+    counter."""
+    total = 0
+    for config in snapshot.configs.values():
+        if config.bgp is not None:
+            total += len(config.bgp.neighbors)
+    return total
+
+
+def pairs_involving(
+    snapshot: "Snapshot", address_index: AddressIndex, router: str
+) -> set[SessionPair]:
+    """Every directed pair a configured neighbor entry could form with
+    ``router`` on either end.
+
+    The sound fallback for edits whose session blast radius cannot be
+    narrowed to one adjacency (e.g. flapping an interface that is not
+    on a point-to-point link): scan the configured neighbor entries —
+    far cheaper than full validation — and dirty every pair touching
+    the router.
+    """
+    pairs: set[SessionPair] = set()
+    for local, config in snapshot.configs.items():
+        if config.bgp is None:
+            continue
+        for peer_ip in config.bgp.neighbors:
+            owner = address_index.owner(peer_ip)
+            if owner is None or owner.router == local:
+                continue
+            if local == router or owner.router == router:
+                pairs.add((local, owner.router))
+                pairs.add((owner.router, local))
+    return pairs
+
+
+def _session_transport(
+    snapshot: "Snapshot",
+    local: str,
+    peer_ip: IPv4Address,
+    owner: "AddressEntry",
+) -> tuple[bool, bool]:
+    """(direct?, up?) for the transport under a session direction."""
+    topology = snapshot.topology
+    for interface, subnet in topology.connected_subnets(local):
+        if subnet.contains_address(peer_ip):
+            up = interface_is_up(
+                snapshot, local, interface.name
+            ) and interface_is_up(snapshot, owner.router, owner.interface)
+            return True, up
+    return False, True  # multihop; liveness judged against the IGP

@@ -1,0 +1,136 @@
+"""The per-prefix fixpoint driver over stages 2–4.
+
+The solver is deliberately *per prefix*: BGP's computation for
+different prefixes is independent given the IGP, so the full
+simulation solves every originated prefix and the incremental path
+re-solves only dirty ones — both through the same
+:func:`solve_prefix`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config.routemap import AttributeBundle
+from repro.controlplane.connected import interface_is_up
+from repro.net.addr import Prefix
+
+from repro.controlplane.bgp.adjrib import export_route, import_route
+from repro.controlplane.bgp.decision import best_path
+from repro.controlplane.bgp.types import (
+    INFINITY,
+    LOCAL_KEY,
+    BgpCandidate,
+    BgpConvergenceError,
+    BgpPrefixSolution,
+    BgpSession,
+    IgpView,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard
+    from repro.core.snapshot import Snapshot
+
+
+def solve_prefix(
+    snapshot: "Snapshot",
+    prefix: Prefix,
+    origins: dict[str, AttributeBundle],
+    sessions: list[BgpSession],
+    igp: IgpView,
+    max_rounds: int | None = None,
+) -> BgpPrefixSolution:
+    """Propagate one prefix to a fixpoint over the session graph.
+
+    ``origins`` maps originating routers to their initial attribute
+    bundles.  Loopback (multihop) sessions whose endpoints cannot
+    reach each other through the IGP are skipped.
+    """
+    live_sessions = [
+        s
+        for s in sessions
+        if s.direct
+        or (
+            igp.cost_to(s.local, s.peer_ip) < INFINITY
+            and igp.cost_to(s.peer, s.local_ip) < INFINITY
+        )
+    ]
+    routers = {s.local for s in live_sessions} | {s.peer for s in live_sessions}
+    routers.update(origins)
+    if max_rounds is None:
+        max_rounds = 2 * max(len(routers), 1) + 10
+
+    candidates: dict[str, dict[str, BgpCandidate]] = {r: {} for r in routers}
+    for router, bundle in origins.items():
+        candidates.setdefault(router, {})[LOCAL_KEY] = BgpCandidate(
+            bundle=bundle,
+            next_hop=None,
+            from_peer=None,
+            ebgp=False,
+            peer_router_id=0,
+        )
+    best: dict[str, BgpCandidate | None] = {
+        router: best_path(router, candidates[router], igp)
+        for router in candidates
+    }
+
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            raise BgpConvergenceError(
+                f"BGP did not converge for {prefix} within {max_rounds} rounds"
+            )
+        changed_routers: set[str] = set()
+        for session in live_sessions:
+            message = export_route(snapshot, session, best.get(session.local))
+            candidate = import_route(snapshot, session, message)
+            receiver = candidates.setdefault(session.peer, {})
+            previous = receiver.get(session.local)
+            if candidate is None:
+                if previous is not None:
+                    del receiver[session.local]
+                    changed_routers.add(session.peer)
+            elif previous != candidate:
+                receiver[session.local] = candidate
+                changed_routers.add(session.peer)
+        if not changed_routers:
+            break
+        for router in changed_routers:
+            best[router] = best_path(router, candidates[router], igp)
+
+    final_best = {router: b for router, b in best.items() if b is not None}
+    adj_in = {
+        (receiver, sender): candidate
+        for receiver, per_receiver in candidates.items()
+        for sender, candidate in per_receiver.items()
+        if sender != LOCAL_KEY
+    }
+    return BgpPrefixSolution(
+        prefix=prefix, best=final_best, adj_in=adj_in, rounds=rounds
+    )
+
+
+def collect_origins(
+    snapshot: "Snapshot",
+) -> dict[Prefix, dict[str, AttributeBundle]]:
+    """Per-prefix origination map from ``network`` statements and
+    connected redistribution."""
+    origins: dict[Prefix, dict[str, AttributeBundle]] = {}
+
+    def originate(router: str, prefix: Prefix, asn: int) -> None:
+        origins.setdefault(prefix, {})[router] = AttributeBundle(
+            prefix=prefix, as_path=(), local_pref=100, origin_asn=asn
+        )
+
+    for router, config in snapshot.configs.items():
+        if config.bgp is None:
+            continue
+        for prefix in config.bgp.originated:
+            originate(router, prefix, config.bgp.asn)
+        if config.bgp.redistribute_connected:
+            for interface, subnet in snapshot.topology.connected_subnets(
+                router
+            ):
+                if interface_is_up(snapshot, router, interface.name):
+                    originate(router, subnet, config.bgp.asn)
+    return origins

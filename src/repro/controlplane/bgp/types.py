@@ -1,0 +1,112 @@
+"""Shared value types of the BGP pipeline stages.
+
+The BGP subsystem is an explicit four-stage pipeline (mirroring the
+PR-5 analyzer architecture):
+
+1. **Session discovery** (:mod:`repro.controlplane.bgp.sessions`) —
+   which directed sessions are structurally valid and up.
+2. **Adj-RIB** (:mod:`repro.controlplane.bgp.adjrib`) — what one
+   session direction exports and how the receiver files it.
+3. **Policy** (:mod:`repro.controlplane.bgp.policy`) — route-map
+   application and the policy-to-session index used for scoping.
+4. **Best path** (:mod:`repro.controlplane.bgp.decision`) — the
+   standard decision process over a router's candidates.
+
+:mod:`repro.controlplane.bgp.solver` drives stages 2–4 to a fixpoint
+per prefix.  This module holds the value types every stage shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.config.routemap import AttributeBundle
+from repro.config.routing import ADMIN_DISTANCE_EBGP, ADMIN_DISTANCE_IBGP
+from repro.controlplane.rib import Route
+from repro.net.addr import IPv4Address, Prefix
+
+LOCAL_KEY = "__local__"
+
+INFINITY = float("inf")
+
+
+class BgpConvergenceError(RuntimeError):
+    """Raised when per-prefix propagation fails to reach a fixpoint."""
+
+
+class IgpView(Protocol):
+    """What BGP needs from the IGP/static/connected layers."""
+
+    def cost_to(self, router: str, address: IPv4Address) -> float:
+        """Metric of the best non-BGP route covering ``address``
+        (infinity when unreachable)."""
+        ...
+
+
+@dataclass(frozen=True)
+class BgpSession:
+    """One configured, structurally valid BGP session."""
+
+    local: str
+    peer: str
+    local_ip: IPv4Address
+    peer_ip: IPv4Address
+    ebgp: bool
+    direct: bool  # peer address on a shared subnet (vs loopback/multihop)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.local, self.peer)
+
+    @property
+    def sort_key(self) -> tuple[str, str, int, int]:
+        """Canonical ordering: session lists are kept sorted by this
+        key so the full and pair-scoped discovery paths produce
+        byte-identical state (the solver iterates sessions in list
+        order, and determinism contracts compare converged state)."""
+        return (self.local, self.peer, self.local_ip.value, self.peer_ip.value)
+
+
+@dataclass(frozen=True)
+class BgpCandidate:
+    """One path for a prefix in a router's adj-RIB-in (or local)."""
+
+    bundle: AttributeBundle
+    next_hop: IPv4Address | None  # None only for local originations
+    from_peer: str | None  # advertising router; None for local
+    ebgp: bool
+    peer_router_id: int
+
+    @property
+    def is_local(self) -> bool:
+        return self.from_peer is None
+
+
+@dataclass
+class BgpPrefixSolution:
+    """Converged state for one prefix."""
+
+    prefix: Prefix
+    best: dict[str, BgpCandidate]
+    adj_in: dict[tuple[str, str], BgpCandidate]
+    rounds: int = 0
+
+    def route_for(self, router: str) -> Route | None:
+        """The RIB route at ``router`` (None for local originations —
+        the underlying IGP/connected route forwards those)."""
+        candidate = self.best.get(router)
+        if candidate is None or candidate.is_local:
+            return None
+        return Route(
+            prefix=self.prefix,
+            protocol="bgp",
+            admin_distance=(
+                ADMIN_DISTANCE_EBGP if candidate.ebgp else ADMIN_DISTANCE_IBGP
+            ),
+            metric=0,
+            next_hops=frozenset(),  # resolved against the IGP at FIB build
+            bgp=candidate.bundle,
+            bgp_next_hop=candidate.next_hop,
+            learned_from=candidate.from_peer,
+        )

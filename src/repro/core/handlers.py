@@ -44,6 +44,7 @@ from types import MappingProxyType
 from typing import TYPE_CHECKING, Callable, Mapping, TypeVar
 
 from repro.config.acl import Acl, AclAction
+from repro.controlplane.bgp import neighbors_using_map, pairs_involving
 from repro.core.change import (
     AddAclRule,
     AddBgpNeighbor,
@@ -155,7 +156,9 @@ def _handle_link(
     dirty.ospf.merge(analyzer._ospf.refresh_router_adverts(r1))
     dirty.ospf.merge(analyzer._ospf.refresh_router_adverts(r2))
     dirty.ospf.merge(analyzer._ospf.refresh_pair(r1, r2))
-    dirty.sessions_stale = True
+    # A link flap can only kill/revive direct sessions between its own
+    # endpoints; multihop liveness is the adj-RIB stage's job.
+    dirty.bgp_sessions.update({(r1, r2), (r2, r1)})
 
 
 @register_change_handler(ShutdownInterface)
@@ -175,7 +178,19 @@ def _handle_interface_flap(
         dirty.touched_routers.add(peer_router)
         dirty.ospf.merge(analyzer._ospf.refresh_router_adverts(peer_router))
         dirty.ospf.merge(analyzer._ospf.refresh_pair(edit.router, peer_router))
-    dirty.sessions_stale = True
+        # A cabled interface drops carrier for both ends: only direct
+        # sessions between the two link endpoints can flap.
+        dirty.bgp_sessions.update(
+            {(edit.router, peer_router), (peer_router, edit.router)}
+        )
+    else:
+        # Uncabled (e.g. loopback): any session touching this router
+        # could be affected — dirty every configured pair involving it.
+        dirty.bgp_sessions.update(
+            pairs_involving(
+                analyzer.snapshot, analyzer.state.address_index, edit.router
+            )
+        )
 
 
 @register_change_handler(AddStaticRoute)
@@ -221,22 +236,60 @@ def _handle_bgp_origination(
 def _handle_bgp_session(
     analyzer: "DifferentialNetworkAnalyzer", edit: Edit, dirty: DirtySet
 ) -> None:
+    assert isinstance(edit, (AddBgpNeighbor, RemoveBgpNeighbor))
     edit.apply(analyzer.snapshot)
-    dirty.sessions_stale = True
-    dirty.all_bgp_dirty = True
+    peer_ip = (
+        edit.neighbor.peer_ip
+        if isinstance(edit, AddBgpNeighbor)
+        else edit.peer_ip
+    )
+    owner = analyzer.state.address_index.owner(peer_ip)
+    if owner is not None and owner.router != edit.router:
+        # The edited entry is one direction of the pair and possibly
+        # the reverse entry completing the other — dirty both; the
+        # session stage escalates to all-dirty only if a session
+        # actually appears.
+        dirty.bgp_sessions.update(
+            {(edit.router, owner.router), (owner.router, edit.router)}
+        )
+    # An entry pointing at an unowned address can neither form a
+    # session nor complete someone else's reverse lookup: no dirt.
 
 
 @register_change_handler(SetLocalPref)
+def _handle_bgp_pref(
+    analyzer: "DifferentialNetworkAnalyzer", edit: Edit, dirty: DirtySet
+) -> None:
+    assert isinstance(edit, SetLocalPref)
+    edit.apply(analyzer.snapshot)
+    # Attribute-only edit: cannot flip a permit/deny, so the blast
+    # radius is exactly the adj-RIB entries flowing over the sessions
+    # the edited map is bound to.
+    config = analyzer.snapshot.configs.get(edit.router)
+    if config is None:
+        return
+    for peer_ip, direction in neighbors_using_map(config, edit.route_map):
+        owner = analyzer.state.address_index.owner(peer_ip)
+        if owner is None or owner.router == edit.router:
+            continue
+        if direction == "import":
+            # Import map transforms what edit.router receives.
+            dirty.bgp_adj_rib.add((edit.router, owner.router))
+        else:
+            # Export map transforms what the peer receives from us.
+            dirty.bgp_adj_rib.add((owner.router, edit.router))
+
+
 @register_change_handler(AddRouteMapClause)
 @register_change_handler(RemoveRouteMapClause)
 def _handle_bgp_policy(
     analyzer: "DifferentialNetworkAnalyzer", edit: Edit, dirty: DirtySet
 ) -> None:
-    assert isinstance(
-        edit, (SetLocalPref, AddRouteMapClause, RemoveRouteMapClause)
-    )
+    assert isinstance(edit, (AddRouteMapClause, RemoveRouteMapClause))
     edit.apply(analyzer.snapshot)
-    dirty.policy_routers.add(edit.router)
+    # Structural policy change (can flip permit/deny): every prefix
+    # flowing through — or originated by — the router is suspect.
+    dirty.bgp_policy.add(edit.router)
 
 
 # -- ACL handlers -----------------------------------------------------------

@@ -27,7 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, cast
 
-from repro.controlplane.bgp import collect_origins, discover_sessions, solve_prefix
+from repro.controlplane.bgp import (
+    SessionPair,
+    collect_origins,
+    discover_sessions,
+    discover_sessions_for,
+    session_scan_size,
+    solve_prefix,
+)
 from repro.controlplane.connected import connected_routes, static_routes
 from repro.controlplane.incremental import OspfDirty
 from repro.controlplane.ospf import (
@@ -42,6 +49,9 @@ from repro.net.addr import IPv4Address, Prefix
 from repro.net.interval import IntervalSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from typing import Callable
+
+    from repro.config.routemap import AttributeBundle
     from repro.core.analyzer import DifferentialNetworkAnalyzer
     from repro.obs.provenance import ProvenanceRecord
 
@@ -55,6 +65,26 @@ BgpPair = tuple[str, IPv4Address]
 Fingerprint = tuple[object, object]
 
 
+def _summary_drift(
+    old_map: dict[str, dict[Prefix, float]],
+    new_map: dict[str, dict[Prefix, float]],
+) -> set[Prefix]:
+    """Prefixes whose per-router summary costs differ between maps.
+
+    Used to diff the backbone advertisement/total maps across a
+    recompute pass: only these prefixes can change inter-area routes
+    at sources whose own SPF trees did not move.
+    """
+    changed: set[Prefix] = set()
+    for router in set(old_map) | set(new_map):
+        old_routes = old_map.get(router, {})
+        new_routes = new_map.get(router, {})
+        for prefix in set(old_routes) | set(new_routes):
+            if old_routes.get(prefix) != new_routes.get(prefix):
+                changed.add(prefix)
+    return changed
+
+
 @dataclass
 class DirtySet:
     """The intermediate representation between extraction and recompute.
@@ -66,12 +96,18 @@ class DirtySet:
     - ``touched_routers`` — routers whose connected/static routes must
       be re-derived;
     - ``bgp_prefixes`` — prefixes whose BGP solution must be re-solved;
-    - ``policy_routers`` — routers whose BGP policy changed (dirties
-      every prefix flowing through them);
+    - ``bgp_sessions`` — directed ``(local, peer)`` router pairs whose
+      BGP sessions must be re-validated (the session-discovery stage's
+      axis; replaces the old boolean ``sessions_stale`` flag);
+    - ``bgp_adj_rib`` — ``(receiver, sender)`` adj-RIB pairs an
+      attribute-only policy edit can perturb (fine-grained scope for
+      ``SetLocalPref``-style edits);
+    - ``bgp_policy`` — routers whose BGP policy changed structurally
+      (dirties every prefix flowing through them);
     - ``acl_spans`` — destination header-space intervals invalidated by
       ACL edits;
-    - ``all_bgp_dirty`` / ``sessions_stale`` — coarse flags for session
-      churn that cannot be scoped to single prefixes.
+    - ``all_bgp_dirty`` — the coarse escape hatch for churn that
+      cannot be scoped to single prefixes (new sessions appearing).
 
     ``merge`` unions two dirty sets, which is what makes batched
     multi-edit analysis a single recompute pass.
@@ -90,10 +126,11 @@ class DirtySet:
     ospf: OspfDirty = field(default_factory=OspfDirty)
     touched_routers: set[str] = field(default_factory=set)
     bgp_prefixes: set[Prefix] = field(default_factory=set)
-    policy_routers: set[str] = field(default_factory=set)
+    bgp_sessions: set[SessionPair] = field(default_factory=set)
+    bgp_adj_rib: set[SessionPair] = field(default_factory=set)
+    bgp_policy: set[str] = field(default_factory=set)
     acl_spans: list[Span] = field(default_factory=list)
     all_bgp_dirty: bool = False
-    sessions_stale: bool = False
     # (axis, element) -> contributing edit ids; empty unless the batch
     # is analyzed with provenance on.
     origins: dict[tuple[str, object], set[int]] = field(default_factory=dict)
@@ -122,7 +159,9 @@ class DirtySet:
             ),
             "touched_routers": len(self.touched_routers),
             "bgp_prefixes": len(self.bgp_prefixes),
-            "policy_routers": len(self.policy_routers),
+            "bgp_sessions": len(self.bgp_sessions),
+            "bgp_adj_rib": len(self.bgp_adj_rib),
+            "bgp_policy": len(self.bgp_policy),
             "acl_spans": len(self.acl_spans),
         }
 
@@ -136,10 +175,11 @@ class DirtySet:
         self.ospf.merge(other.ospf)
         self.touched_routers.update(other.touched_routers)
         self.bgp_prefixes.update(other.bgp_prefixes)
-        self.policy_routers.update(other.policy_routers)
+        self.bgp_sessions.update(other.bgp_sessions)
+        self.bgp_adj_rib.update(other.bgp_adj_rib)
+        self.bgp_policy.update(other.bgp_policy)
         self.acl_spans.extend(other.acl_spans)
         self.all_bgp_dirty = self.all_bgp_dirty or other.all_bgp_dirty
-        self.sessions_stale = self.sessions_stale or other.sessions_stale
         for key, ids in other.origins.items():
             self.origins.setdefault(key, set()).update(ids)
         return self
@@ -166,14 +206,16 @@ class DirtySet:
             mark("touched_router", router)
         for prefix in self.bgp_prefixes:
             mark("bgp_prefix", prefix)
-        for router in self.policy_routers:
-            mark("policy_router", router)
+        for pair in self.bgp_sessions:
+            mark("bgp_session", pair)
+        for pair in self.bgp_adj_rib:
+            mark("bgp_adj_rib", pair)
+        for router in self.bgp_policy:
+            mark("bgp_policy", router)
         for span in self.acl_spans:
             mark("acl_span", span)
         if self.all_bgp_dirty:
             mark("all_bgp_dirty", None)
-        if self.sessions_stale:
-            mark("sessions_stale", None)
         return self
 
     def origin(self, axis: str, element: object = None) -> set[int]:
@@ -193,10 +235,11 @@ class DirtySet:
             self.ospf.is_empty()
             and not self.touched_routers
             and not self.bgp_prefixes
-            and not self.policy_routers
+            and not self.bgp_sessions
+            and not self.bgp_adj_rib
+            and not self.bgp_policy
             and not self.acl_spans
             and not self.all_bgp_dirty
-            and not self.sessions_stale
         )
 
     def __repr__(self) -> str:
@@ -210,14 +253,16 @@ class DirtySet:
             parts.append(f"{len(self.touched_routers)} routers")
         if self.bgp_prefixes:
             parts.append(f"{len(self.bgp_prefixes)} bgp prefixes")
-        if self.policy_routers:
-            parts.append(f"{len(self.policy_routers)} policy routers")
+        if self.bgp_sessions:
+            parts.append(f"{len(self.bgp_sessions)} session pairs")
+        if self.bgp_adj_rib:
+            parts.append(f"{len(self.bgp_adj_rib)} adj-rib pairs")
+        if self.bgp_policy:
+            parts.append(f"{len(self.bgp_policy)} policy routers")
         if self.acl_spans:
             parts.append(f"{len(self.acl_spans)} acl spans")
         if self.all_bgp_dirty:
             parts.append("all-bgp-dirty")
-        if self.sessions_stale:
-            parts.append("sessions-stale")
         return f"DirtySet({', '.join(parts) if parts else 'empty'})"
 
 
@@ -228,9 +273,16 @@ class BgpEpoch:
     Captured *before* any edit applies (IGP costs and session liveness
     feed the BGP decision process, so their pre-images must be frozen
     first), and consumed exactly once by :meth:`RecomputePipeline.run`.
+
+    ``full_scope`` marks an epoch captured for a planner-chosen full
+    resimulation: the per-pair fingerprints and liveness pre-images
+    are skipped (their diffs are subsumed by re-solving every prefix
+    and re-checking every BGP FIB entry), which is exactly the capture
+    cost the planner is amortising away.
     """
 
     active: bool
+    full_scope: bool = False
     pair_index: dict[BgpPair, set[Prefix]] = field(default_factory=dict)
     pre_fingerprint: dict[BgpPair, Fingerprint] = field(default_factory=dict)
     pre_liveness: dict[BgpPair, bool] = field(default_factory=dict)
@@ -266,55 +318,79 @@ class _Attribution:
         # (router, prefix) FIB refreshes forced by next-hop resolution
         # changes (the best route itself held).
         self.resolution_causes: dict[RibKey, set[int]] = {}
+        # The record is complete by construction time (stage 1 ran),
+        # so the coarsest sound cause set can be frozen once.
+        self._fallback = record.all_ids()
+
+    # Cause getters return *borrowed* sets — possibly the attribution
+    # maps' own values — to keep the per-delta provenance cost down.
+    # Callers union the contents elsewhere and must never mutate them.
 
     def fallback(self) -> set[int]:
-        return self.record.all_ids()
+        return self._fallback
 
     def ospf_cause(self, source: str, prefix: Prefix) -> set[int]:
         """Causes of an OSPF route change at ``source`` for ``prefix``:
         the edits that dirtied the source's SPF tree or the prefix's
         advertisement (multi-area fallback refreshes sources no edit
         dirtied directly — those fall back to the IGP contributors)."""
-        ids = set(self.spf_ids.get(source, ())) | set(
-            self.advert_ids.get(prefix, ())
-        )
-        if not ids:
-            ids = set(self.igp_union)
-        return ids or self.fallback()
+        spf = self.spf_ids.get(source)
+        advert = self.advert_ids.get(prefix)
+        if spf and advert:
+            return spf | advert
+        ids = spf or advert
+        if ids:
+            return ids
+        return self.igp_union or self._fallback
 
     def local_cause(self, router: str) -> set[int]:
-        ids = set(self.dirty.origin("touched_router", router))
-        return ids or self.fallback()
+        ids = self.dirty.origins.get(("touched_router", router))
+        return ids or self._fallback
 
     def session_cause(self, local: str, peer: str) -> set[int]:
         """Causes of a BGP session appearing/disappearing: the edits
-        that touched either endpoint, else whatever staled sessions."""
-        ids = set(self.dirty.origin("touched_router", local)) | set(
-            self.dirty.origin("touched_router", peer)
-        )
-        if not ids:
-            ids = set(self.dirty.origin("sessions_stale"))
-        return ids or self.fallback()
+        that dirtied the directed pair (either orientation), else the
+        edits that touched either endpoint router."""
+        origins = self.dirty.origins
+        forward = origins.get(("bgp_session", (local, peer)))
+        reverse = origins.get(("bgp_session", (peer, local)))
+        if forward and reverse:
+            return forward | reverse
+        ids = forward or reverse
+        if ids:
+            return ids
+        touched_local = origins.get(("touched_router", local))
+        touched_peer = origins.get(("touched_router", peer))
+        if touched_local and touched_peer:
+            return touched_local | touched_peer
+        ids = touched_local or touched_peer
+        return ids or self._fallback
 
     def note_igp(self, router: str, ids: set[int]) -> None:
-        self.igp_router_causes.setdefault(router, set()).update(ids)
+        existing = self.igp_router_causes.get(router)
+        if existing is None:
+            # Copy: the stored set grows across notes, while ``ids``
+            # may be a borrowed attribution-map value.
+            self.igp_router_causes[router] = set(ids)
+        else:
+            existing.update(ids)
 
     def igp_cause_at(self, router: str) -> set[int]:
         """The edits that changed IGP state at ``router`` this pass."""
         ids = self.igp_router_causes.get(router)
         if ids:
-            return set(ids)
-        return set(self.igp_union) or self.fallback()
+            return ids
+        return self.igp_union or self._fallback
 
     def fib_cause(self, router: str, prefix: Prefix) -> set[int]:
         """Causes of a FIB rebuild: the entry's RIB causes when the
         best route moved, else the IGP edits that re-resolved it."""
         ids = self.record.rib_causes.get((router, str(prefix)))
         if ids:
-            return set(ids)
+            return ids
         resolved = self.resolution_causes.get((router, prefix))
         if resolved:
-            return set(resolved)
+            return resolved
         return self.igp_cause_at(router)
 
 
@@ -337,10 +413,18 @@ class RecomputePipeline:
     # Epoch capture (before any edit applies)
     # ------------------------------------------------------------------
 
-    def begin(self) -> BgpEpoch:
-        """Freeze the pre-edit BGP observations for one recompute pass."""
+    def begin(self, full_scope: bool = False) -> BgpEpoch:
+        """Freeze the pre-edit BGP observations for one recompute pass.
+
+        With ``full_scope`` (planner-chosen full resimulation) the
+        pair fingerprints and liveness pre-images are not captured:
+        the run re-solves every prefix and re-derives every BGP FIB
+        entry, so there is nothing to diff against.
+        """
         if not self._bgp_active():
             return BgpEpoch(active=False)
+        if full_scope:
+            return BgpEpoch(active=True, full_scope=True)
         pair_index = self._bgp_pair_index()
         return BgpEpoch(
             active=True,
@@ -395,16 +479,19 @@ class RecomputePipeline:
         with tracer.span(
             "pipeline.bgp",
             bgp_prefixes=sizes["bgp_prefixes"],
-            policy_routers=sizes["policy_routers"],
+            bgp_sessions=sizes["bgp_sessions"],
+            bgp_adj_rib=sizes["bgp_adj_rib"],
+            bgp_policy=sizes["bgp_policy"],
             all_bgp_dirty=dirty.all_bgp_dirty,
-            sessions_stale=dirty.sessions_stale,
+            full_scope=epoch.full_scope,
         ) as bgp_span:
             solved = 0
+            rescanned = 0
             if epoch.active:
-                solved = self._recompute_bgp(
+                solved, rescanned = self._recompute_bgp(
                     dirty, epoch, best_changed, report, attr
                 )
-            bgp_span.set(prefixes_solved=solved)
+            bgp_span.set(prefixes_solved=solved, sessions_rescanned=rescanned)
 
         with tracer.span("pipeline.fib") as fib_span:
             dirty_spans = self._update_fibs(best_changed, report, attr)
@@ -439,6 +526,7 @@ class RecomputePipeline:
                 {router for router, _area in dirty.ospf.sources}
             ),
             "bgp_prefixes_resolved": solved,
+            "bgp_sessions_rescanned": rescanned,
             "fib_entries_updated": report.num_fib_changes(),
             "atoms_analyzed": dirty_atoms,
             "atoms_total": state.dataplane.atom_table.num_atoms(),
@@ -450,6 +538,7 @@ class RecomputePipeline:
         for key in (
             "spf_sources_recomputed",
             "bgp_prefixes_resolved",
+            "bgp_sessions_rescanned",
             "fib_entries_updated",
             "atoms_analyzed",
         ):
@@ -472,8 +561,11 @@ class RecomputePipeline:
             events.span(
                 "pipeline.bgp",
                 bgp_prefixes=sizes["bgp_prefixes"],
-                policy_routers=sizes["policy_routers"],
+                bgp_sessions=sizes["bgp_sessions"],
+                bgp_adj_rib=sizes["bgp_adj_rib"],
+                bgp_policy=sizes["bgp_policy"],
                 prefixes_solved=solved,
+                sessions_rescanned=rescanned,
             )
             events.span(
                 "pipeline.fib", entries_updated=report.num_fib_changes()
@@ -486,6 +578,7 @@ class RecomputePipeline:
             for key in (
                 "spf_sources_recomputed",
                 "bgp_prefixes_resolved",
+                "bgp_sessions_rescanned",
                 "fib_entries_updated",
                 "atoms_analyzed",
             ):
@@ -551,18 +644,30 @@ class RecomputePipeline:
         multi_area = len(state.ospf_state.areas()) > 1
         adverts = None
         totals = None
+        summary_changed: set[Prefix] | None = None
         affected_sources = {router for router, _area in dirty.ospf.sources}
         if multi_area:
             # Inter-area summaries may have shifted anywhere; recompute
-            # them once and fall back to refreshing every OSPF source
-            # (each refresh reuses its incremental SPF — no Dijkstras).
+            # them once and diff against the cached pre-images so only
+            # sources actually seeing a changed summary (or a dirtied
+            # intra-area prefix) get refreshed — and those partially,
+            # restricted to the changed prefixes.
             adverts = backbone_advertisements(state.ospf_state)
             totals = backbone_totals(state.ospf_state, adverts)
+            old_adverts = state.backbone_adverts
+            old_totals = state.backbone_totals_map
             if analyzer._journal is not None:
                 analyzer._journal.save_backbone()
             state.backbone_adverts = adverts
             state.backbone_totals_map = totals
-            affected_sources = set(state.ospf_state.membership)
+            if old_adverts is None or old_totals is None:
+                # No pre-image (state predates the backbone cache):
+                # fall back to refreshing every OSPF source.
+                affected_sources = set(state.ospf_state.membership)
+            else:
+                summary_changed = _summary_drift(
+                    old_adverts, adverts
+                ) | _summary_drift(old_totals, totals)
 
         touched: set[str] = set()
         for source in affected_sources:
@@ -590,50 +695,88 @@ class RecomputePipeline:
             if changed:
                 touched.add(source)
 
-        if not multi_area:
+        if multi_area and summary_changed is not None:
+            # Scoped multi-area path: sources whose SPF trees held can
+            # only see routes move for prefixes whose backbone summary
+            # drifted or whose intra-area advertisement was dirtied in
+            # one of their areas.
+            for source in state.ospf_state.membership:
+                if source in affected_sources:
+                    continue
+                only = set(summary_changed)
+                for area in state.ospf_state.membership[source]:
+                    only |= dirty.ospf.prefixes.get(area, set())
+                if not only:
+                    continue
+                if self._partial_ospf_refresh(
+                    source, only, adverts, totals, best_changed, report, attr
+                ):
+                    touched.add(source)
+        elif not multi_area:
             for area, prefixes in dirty.ospf.prefixes.items():
                 if not prefixes:
                     continue
                 for source in state.ospf_state.area_routers(area):
                     if source in affected_sources:
                         continue
-                    partial = ospf_routes_for_source(
-                        state.ospf_state,
+                    if self._partial_ospf_refresh(
                         source,
+                        prefixes,
                         adverts,
                         totals,
-                        only_prefixes=prefixes,
-                    )
-                    if analyzer._journal is not None:
-                        analyzer._journal.save_ospf_routes(source)
-                    cached = state.ospf_routes.setdefault(source, {})
-                    changed = False
-                    for prefix in prefixes:
-                        old = cached.get(prefix)
-                        new = partial.get(prefix)
-                        if old == new:
-                            continue
-                        changed = True
-                        causes = None
-                        if attr is not None:
-                            causes = attr.ospf_cause(source, prefix)
-                            attr.note_igp(source, causes)
-                        self._install_route_update(
-                            source,
-                            "ospf",
-                            prefix,
-                            new,
-                            best_changed,
-                            report,
-                            causes,
-                        )
-                        if new is None:
-                            cached.pop(prefix, None)
-                        else:
-                            cached[prefix] = new
-                    if changed:
+                        best_changed,
+                        report,
+                        attr,
+                    ):
                         touched.add(source)
         return touched
+
+    def _partial_ospf_refresh(
+        self,
+        source: str,
+        prefixes: set[Prefix],
+        adverts: dict[str, dict[Prefix, float]] | None,
+        totals: dict[str, dict[Prefix, float]] | None,
+        best_changed: BestChanged,
+        report: DeltaReport,
+        attr: _Attribution | None,
+    ) -> bool:
+        """Refresh ``source``'s OSPF routes for ``prefixes`` only.
+
+        The targeted counterpart of the full per-source refresh, for
+        sources whose SPF trees held; returns whether anything moved.
+        """
+        analyzer = self.analyzer
+        state = analyzer.state
+        partial = ospf_routes_for_source(
+            state.ospf_state,
+            source,
+            adverts,
+            totals,
+            only_prefixes=prefixes,
+        )
+        if analyzer._journal is not None:
+            analyzer._journal.save_ospf_routes(source)
+        cached = state.ospf_routes.setdefault(source, {})
+        changed = False
+        for prefix in sorted(prefixes):
+            old = cached.get(prefix)
+            new = partial.get(prefix)
+            if old == new:
+                continue
+            changed = True
+            causes = None
+            if attr is not None:
+                causes = attr.ospf_cause(source, prefix)
+                attr.note_igp(source, causes)
+            self._install_route_update(
+                source, "ospf", prefix, new, best_changed, report, causes
+            )
+            if new is None:
+                cached.pop(prefix, None)
+            else:
+                cached[prefix] = new
+        return changed
 
     def _recompute_local(
         self,
@@ -740,11 +883,21 @@ class RecomputePipeline:
         best_changed: BestChanged,
         report: DeltaReport,
         attr: _Attribution | None = None,
-    ) -> int:
+    ) -> tuple[int, int]:
+        """The BGP stage, as an explicit sub-pipeline.
+
+        Mirrors the :mod:`repro.controlplane.bgp` package layout:
+        session discovery, policy scoping, adj-RIB invalidation,
+        best-path decision — each sub-stage consumes its own DirtySet
+        axis under its own ``pipeline.bgp.*`` span (children of
+        ``pipeline.bgp``, so the top-level stage list is unchanged).
+        Returns ``(prefixes solved, session slots rescanned)``.
+        """
         analyzer = self.analyzer
         state = analyzer.state
+        tracer = analyzer.tracer
         bgp_dirty: set[Prefix] = set(dirty.bgp_prefixes)
-        all_bgp_dirty = dirty.all_bgp_dirty
+        all_bgp_dirty = dirty.all_bgp_dirty or epoch.full_scope
 
         # Per-prefix cause bookkeeping (provenance mode): every branch
         # that dirties a prefix notes *why*; ``all_cause`` backs the
@@ -761,52 +914,217 @@ class RecomputePipeline:
             if dirty.all_bgp_dirty:
                 all_cause |= dirty.origin("all_bgp_dirty")
 
-        # Session churn.
-        if dirty.sessions_stale:
+        with tracer.span(
+            "pipeline.bgp.sessions", pairs=len(dirty.bgp_sessions)
+        ) as sessions_span:
+            rescanned, session_all_dirty = self._bgp_sessions_stage(
+                dirty, epoch, bgp_dirty, note, all_cause, attr
+            )
+            all_bgp_dirty = all_bgp_dirty or session_all_dirty
+            sessions_span.set(rescanned=rescanned)
+
+        origins = collect_origins(analyzer.snapshot)
+
+        with tracer.span(
+            "pipeline.bgp.policy",
+            policy_routers=len(dirty.bgp_policy),
+            adj_rib_pairs=len(dirty.bgp_adj_rib),
+        ):
+            self._bgp_policy_stage(dirty, origins, bgp_dirty, note, attr)
+
+        with tracer.span("pipeline.bgp.adjrib") as adjrib_span:
+            resolution_refresh, liveness_dirty = self._bgp_adjrib_stage(
+                dirty, epoch, origins, bgp_dirty, note, all_cause, attr
+            )
+            all_bgp_dirty = all_bgp_dirty or liveness_dirty
+            adjrib_span.set(
+                resolution_refreshes=len(resolution_refresh),
+                liveness_dirty=liveness_dirty,
+            )
+
+        with tracer.span("pipeline.bgp.decision") as decision_span:
+            if all_bgp_dirty:
+                bgp_dirty = set(state.bgp_solutions) | set(origins)
+
+            def cause_for(prefix: Prefix) -> set[int] | None:
+                if attr is None:
+                    return None
+                ids = set(bgp_cause.get(prefix, ()))
+                if not ids:
+                    ids = set(all_cause)
+                return ids or attr.fallback()
+
+            routers = analyzer.snapshot.topology.router_names()
+            for prefix in sorted(bgp_dirty):
+                old_solution = state.bgp_solutions.get(prefix)
+                if analyzer._journal is not None:
+                    analyzer._journal.save_bgp_solution(prefix)
+                if prefix in origins:
+                    new_solution = solve_prefix(
+                        analyzer.snapshot,
+                        prefix,
+                        origins[prefix],
+                        state.bgp_sessions,
+                        state.igp,
+                    )
+                    state.bgp_solutions[prefix] = new_solution
+                else:
+                    new_solution = None
+                    state.bgp_solutions.pop(prefix, None)
+                prefix_causes = cause_for(prefix)
+                for router in routers:
+                    old_route = (
+                        old_solution.route_for(router)
+                        if old_solution
+                        else None
+                    )
+                    new_route = (
+                        new_solution.route_for(router)
+                        if new_solution
+                        else None
+                    )
+                    if old_route == new_route:
+                        continue
+                    self._install_route_update(
+                        router,
+                        "bgp",
+                        prefix,
+                        new_route,
+                        best_changed,
+                        report,
+                        prefix_causes,
+                    )
+
+            # Resolution-only refreshes enter the FIB stage via
+            # best_changed with an unchanged best route (the FIB entry
+            # still differs).
+            for router, prefix in resolution_refresh:
+                key = (router, prefix)
+                if key not in best_changed:
+                    best = state.ribs[router].best(prefix)
+                    best_changed[key] = (best, best)
+            if epoch.full_scope and not (
+                dirty.ospf.is_empty() and not dirty.touched_routers
+            ):
+                # A full-scope pass skipped the fingerprint/liveness
+                # pre-images, so resolution-only FIB drift was never
+                # detected — re-check every BGP-routed entry instead.
+                # Drift needs an IGP change (the fingerprints hash
+                # ``state.igp`` only), so a batch whose IGP axes are
+                # clean provably cannot drift and skips the recheck.
+                # ``_update_fibs`` drops no-op entries either way, so
+                # the report stays byte-identical to the scoped path.
+                for prefix, solution in state.bgp_solutions.items():
+                    for router in solution.best:
+                        key = (router, prefix)
+                        if key not in best_changed:
+                            best = state.ribs[router].best(prefix)
+                            best_changed[key] = (best, best)
+            decision_span.set(prefixes_solved=len(bgp_dirty))
+        return len(bgp_dirty), rescanned
+
+    def _bgp_sessions_stage(
+        self,
+        dirty: DirtySet,
+        epoch: BgpEpoch,
+        bgp_dirty: set[Prefix],
+        note: "Callable[[Prefix, set[int]], None]",
+        all_cause: set[int],
+        attr: _Attribution | None,
+    ) -> tuple[int, bool]:
+        """Stage 1 — session discovery over the ``bgp_sessions`` axis.
+
+        Re-validates only the dirtied directed ``(local, peer)`` pairs
+        (``kept + rediscovered``, both canonically ordered, is
+        byte-identical to a full rescan) unless scoping is disabled.
+        Scoping stays on during full-scope passes: full mode re-solves
+        every *prefix*, but which sessions exist depends only on the
+        applied edits, so the pair-scoped rebuild is still exact.
+        Removed sessions scope down to the prefixes flowing over them;
+        added sessions escalate to all-dirty (a new session can
+        attract any prefix).  Returns ``(session slots rescanned,
+        all-dirty escalation)``.
+        """
+        analyzer = self.analyzer
+        state = analyzer.state
+        pairs = set(dirty.bgp_sessions)
+        if not pairs:
+            return 0, False
+        scoped = analyzer.planner.config.scope_sessions
+        if scoped:
+            kept = [s for s in state.bgp_sessions if s.key not in pairs]
+            rediscovered = discover_sessions_for(
+                analyzer.snapshot, state.address_index, pairs
+            )
+            new_sessions = sorted(
+                kept + rediscovered, key=lambda s: s.sort_key
+            )
+            rescanned = len(pairs)
+        else:
             new_sessions = discover_sessions(
                 analyzer.snapshot, state.address_index
             )
-            old_keys = {
-                (s.local, s.peer, s.local_ip, s.peer_ip)
-                for s in state.bgp_sessions
-            }
-            new_keys = {
-                (s.local, s.peer, s.local_ip, s.peer_ip) for s in new_sessions
-            }
-            removed = old_keys - new_keys
-            added = new_keys - old_keys
-            if added:
-                all_bgp_dirty = True
-                if attr is not None:
-                    for local, peer, _local_ip, _peer_ip in added:
-                        all_cause |= attr.session_cause(local, peer)
-            if removed:
-                removed_pairs = {(local, peer) for local, peer, _, _ in removed}
-                pair_cause: dict[tuple[str, str], set[int]] = {}
-                if attr is not None:
-                    for local, peer, _local_ip, _peer_ip in removed:
-                        pair_cause[(local, peer)] = attr.session_cause(
-                            local, peer
-                        )
-                for prefix, solution in state.bgp_solutions.items():
-                    for receiver, sender in solution.adj_in:
-                        if (sender, receiver) in removed_pairs:
-                            bgp_dirty.add(prefix)
-                            if attr is None:
-                                break
-                            note(prefix, pair_cause[(sender, receiver)])
-            if analyzer._journal is not None:
-                analyzer._journal.save_sessions()
-            state.bgp_sessions = new_sessions
+            rescanned = session_scan_size(analyzer.snapshot)
+        old_keys = {
+            (s.local, s.peer, s.local_ip, s.peer_ip)
+            for s in state.bgp_sessions
+        }
+        new_keys = {
+            (s.local, s.peer, s.local_ip, s.peer_ip) for s in new_sessions
+        }
+        removed = old_keys - new_keys
+        added = new_keys - old_keys
+        all_bgp = False
+        if added:
+            all_bgp = True
+            if attr is not None:
+                for local, peer, _local_ip, _peer_ip in added:
+                    all_cause |= attr.session_cause(local, peer)
+        if removed:
+            removed_pairs = {(local, peer) for local, peer, _, _ in removed}
+            pair_cause: dict[SessionPair, set[int]] = {}
+            if attr is not None:
+                for local, peer, _local_ip, _peer_ip in removed:
+                    pair_cause[(local, peer)] = attr.session_cause(
+                        local, peer
+                    )
+            for prefix, solution in state.bgp_solutions.items():
+                for receiver, sender in solution.adj_in:
+                    if (sender, receiver) in removed_pairs:
+                        bgp_dirty.add(prefix)
+                        if attr is None:
+                            break
+                        note(prefix, pair_cause[(sender, receiver)])
+        if analyzer._journal is not None:
+            analyzer._journal.save_sessions()
+        state.bgp_sessions = new_sessions
+        return rescanned, all_bgp
 
-        # Policy edits: prefixes flowing through the edited routers.
-        if dirty.policy_routers:
+    def _bgp_policy_stage(
+        self,
+        dirty: DirtySet,
+        origins: "dict[Prefix, dict[str, AttributeBundle]]",
+        bgp_dirty: set[Prefix],
+        note: "Callable[[Prefix, set[int]], None]",
+        attr: _Attribution | None,
+    ) -> None:
+        """Stage 2 — policy scoping over ``bgp_policy``/``bgp_adj_rib``.
+
+        Structural policy edits (``bgp_policy``) dirty every prefix
+        flowing through — or originated by — the edited routers.
+        Attribute-only edits (``bgp_adj_rib``) dirty exactly the
+        prefixes with adj-RIB entries on the dirtied (receiver,
+        sender) pairs: a local-pref tweak cannot flip a permit/deny,
+        so prefixes without an entry on those sessions cannot move.
+        """
+        state = self.analyzer.state
+        if dirty.bgp_policy:
             for prefix, solution in state.bgp_solutions.items():
                 for receiver, sender in solution.adj_in:
                     hit = {
                         router
                         for router in (receiver, sender)
-                        if router in dirty.policy_routers
+                        if router in dirty.bgp_policy
                     }
                     if hit:
                         bgp_dirty.add(prefix)
@@ -815,49 +1133,99 @@ class RecomputePipeline:
                         for router in hit:
                             note(
                                 prefix,
-                                set(dirty.origin("policy_router", router)),
+                                set(dirty.origin("bgp_policy", router)),
+                            )
+            # Policy can gate originations too (export maps on first hop).
+            for prefix, owners_list in origins.items():
+                hit = set(owners_list) & dirty.bgp_policy
+                if hit:
+                    bgp_dirty.add(prefix)
+                    if attr is not None:
+                        for router in hit:
+                            note(
+                                prefix,
+                                set(dirty.origin("bgp_policy", router)),
+                            )
+        if dirty.bgp_adj_rib:
+            for prefix, solution in state.bgp_solutions.items():
+                touched = dirty.bgp_adj_rib & set(solution.adj_in)
+                if touched:
+                    bgp_dirty.add(prefix)
+                    if attr is not None:
+                        for pair in sorted(touched):
+                            note(
+                                prefix,
+                                set(dirty.origin("bgp_adj_rib", pair)),
                             )
 
-        # IGP-induced dirt: cost changes flip decisions; resolution
-        # changes require FIB rebuilds even when decisions hold.
-        resolution_refresh: set[RibKey] = set()
-        for pair, prefixes in epoch.pair_index.items():
-            post = self._pair_fingerprint(pair)
-            pre = epoch.pre_fingerprint[pair]
-            if pre == post:
-                continue
-            pair_igp_cause = (
-                attr.igp_cause_at(pair[0]) if attr is not None else None
-            )
-            if pre[0] != post[0]:
-                bgp_dirty.update(prefixes)
-                if attr is not None and pair_igp_cause is not None:
-                    for prefix in prefixes:
-                        note(prefix, pair_igp_cause)
-            if pre[1] != post[1]:
-                # Even when the decision holds, the resolved next hops
-                # changed — those FIB entries must be rebuilt.
-                router = pair[0]
-                for prefix in prefixes:
-                    solution = state.bgp_solutions.get(prefix)
-                    if solution is None:
-                        continue
-                    best = solution.best.get(router)
-                    if best is not None and best.next_hop == pair[1]:
-                        resolution_refresh.add((router, prefix))
-                        if attr is not None and pair_igp_cause is not None:
-                            attr.resolution_causes.setdefault(
-                                (router, prefix), set()
-                            ).update(pair_igp_cause)
-        post_liveness = self._session_liveness()
-        if epoch.pre_liveness != post_liveness:
-            all_bgp_dirty = True
-            if attr is not None:
-                for pair in set(epoch.pre_liveness) | set(post_liveness):
-                    if epoch.pre_liveness.get(pair) != post_liveness.get(pair):
-                        all_cause |= attr.igp_cause_at(pair[0])
+    def _bgp_adjrib_stage(
+        self,
+        dirty: DirtySet,
+        epoch: BgpEpoch,
+        origins: "dict[Prefix, dict[str, AttributeBundle]]",
+        bgp_dirty: set[Prefix],
+        note: "Callable[[Prefix, set[int]], None]",
+        all_cause: set[int],
+        attr: _Attribution | None,
+    ) -> tuple[set[RibKey], bool]:
+        """Stage 3 — adj-RIB invalidation from IGP and origination drift.
 
-        origins = collect_origins(analyzer.snapshot)
+        IGP cost changes flip decisions; resolution changes require
+        FIB rebuilds even when decisions hold; liveness flips on
+        multihop sessions escalate to all-dirty.  Origination drift
+        beyond explicit announce/withdraw edits (redistribute-connected
+        picking up connected-route changes) dirties the drifted
+        prefixes.  Returns ``(resolution-only refreshes, liveness
+        escalation)``.  Skips the pre-image diffs on full-scope passes
+        (nothing was captured — the decision stage re-solves and
+        re-checks everything instead).
+        """
+        analyzer = self.analyzer
+        state = analyzer.state
+        resolution_refresh: set[RibKey] = set()
+        liveness_dirty = False
+        if not epoch.full_scope:
+            for pair, prefixes in epoch.pair_index.items():
+                post = self._pair_fingerprint(pair)
+                pre = epoch.pre_fingerprint[pair]
+                if pre == post:
+                    continue
+                pair_igp_cause = (
+                    attr.igp_cause_at(pair[0]) if attr is not None else None
+                )
+                if pre[0] != post[0]:
+                    bgp_dirty.update(prefixes)
+                    if attr is not None and pair_igp_cause is not None:
+                        for prefix in prefixes:
+                            note(prefix, pair_igp_cause)
+                if pre[1] != post[1]:
+                    # Even when the decision holds, the resolved next
+                    # hops changed — those FIB entries must be rebuilt.
+                    router = pair[0]
+                    for prefix in prefixes:
+                        solution = state.bgp_solutions.get(prefix)
+                        if solution is None:
+                            continue
+                        best = solution.best.get(router)
+                        if best is not None and best.next_hop == pair[1]:
+                            resolution_refresh.add((router, prefix))
+                            if (
+                                attr is not None
+                                and pair_igp_cause is not None
+                            ):
+                                attr.resolution_causes.setdefault(
+                                    (router, prefix), set()
+                                ).update(pair_igp_cause)
+            post_liveness = self._session_liveness()
+            if epoch.pre_liveness != post_liveness:
+                liveness_dirty = True
+                if attr is not None:
+                    for pair in set(epoch.pre_liveness) | set(post_liveness):
+                        if epoch.pre_liveness.get(pair) != post_liveness.get(
+                            pair
+                        ):
+                            all_cause |= attr.igp_cause_at(pair[0])
+
         # Origination drift beyond explicit announce/withdraw edits:
         # redistribute-connected picks up connected-route changes.
         for prefix in set(origins) | set(analyzer._origins):
@@ -879,74 +1247,7 @@ class RecomputePipeline:
         if analyzer._journal is not None:
             analyzer._journal.save_origins()
         analyzer._origins = origins
-        if dirty.policy_routers:
-            # Policy can gate originations too (export maps on first hop).
-            for prefix, owners_list in origins.items():
-                hit = set(owners_list) & dirty.policy_routers
-                if hit:
-                    bgp_dirty.add(prefix)
-                    if attr is not None:
-                        for router in hit:
-                            note(
-                                prefix,
-                                set(dirty.origin("policy_router", router)),
-                            )
-        if all_bgp_dirty:
-            bgp_dirty = set(state.bgp_solutions) | set(origins)
-
-        def cause_for(prefix: Prefix) -> set[int] | None:
-            if attr is None:
-                return None
-            ids = set(bgp_cause.get(prefix, ()))
-            if not ids:
-                ids = set(all_cause)
-            return ids or attr.fallback()
-
-        routers = analyzer.snapshot.topology.router_names()
-        for prefix in sorted(bgp_dirty):
-            old_solution = state.bgp_solutions.get(prefix)
-            if analyzer._journal is not None:
-                analyzer._journal.save_bgp_solution(prefix)
-            if prefix in origins:
-                new_solution = solve_prefix(
-                    analyzer.snapshot,
-                    prefix,
-                    origins[prefix],
-                    state.bgp_sessions,
-                    state.igp,
-                )
-                state.bgp_solutions[prefix] = new_solution
-            else:
-                new_solution = None
-                state.bgp_solutions.pop(prefix, None)
-            prefix_causes = cause_for(prefix)
-            for router in routers:
-                old_route = (
-                    old_solution.route_for(router) if old_solution else None
-                )
-                new_route = (
-                    new_solution.route_for(router) if new_solution else None
-                )
-                if old_route == new_route:
-                    continue
-                self._install_route_update(
-                    router,
-                    "bgp",
-                    prefix,
-                    new_route,
-                    best_changed,
-                    report,
-                    prefix_causes,
-                )
-
-        # Resolution-only refreshes enter the FIB stage via best_changed
-        # with an unchanged best route (the FIB entry still differs).
-        for router, prefix in resolution_refresh:
-            key = (router, prefix)
-            if key not in best_changed:
-                best = state.ribs[router].best(prefix)
-                best_changed[key] = (best, best)
-        return len(bgp_dirty)
+        return resolution_refresh, liveness_dirty
 
     # ------------------------------------------------------------------
     # FIB + reachability

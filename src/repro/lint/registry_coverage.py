@@ -16,7 +16,10 @@ This checker closes both gaps statically:
   on ``LinkDown``);
 - every ``dirty.<axis>`` a registered handler touches must be a
   declared :class:`DirtySet` field (or method/property), and written
-  axes must be ones the recompute stages actually read.
+  axes must be ones the recompute stages actually read;
+- every *declared* ``DirtySet`` field must be consumed by a recompute
+  stage — a new axis nobody reads is dead IR, and dirt deposited on it
+  (by any future handler) would be silently dropped.
 """
 
 from __future__ import annotations
@@ -101,9 +104,12 @@ def _covered(
     return False
 
 
-def _dirtyset_members(project: Project) -> tuple[set[str], set[str]]:
-    """(field names, all member names incl. methods/properties)."""
-    fields: set[str] = set()
+def _dirtyset_members(
+    project: Project,
+) -> tuple[dict[str, int], set[str]]:
+    """(field name -> declaration line, all member names incl.
+    methods/properties)."""
+    fields: dict[str, int] = {}
     members: set[str] = set()
     pipeline = project.file(PIPELINE_MODULE)
     if pipeline is None:
@@ -114,14 +120,14 @@ def _dirtyset_members(project: Project) -> tuple[set[str], set[str]]:
                 if isinstance(item, ast.AnnAssign) and isinstance(
                     item.target, ast.Name
                 ):
-                    fields.add(item.target.id)
+                    fields[item.target.id] = item.lineno
                     members.add(item.target.id)
                 elif isinstance(item, ast.FunctionDef):
                     members.add(item.name)
     return fields, members
 
 
-def _consumed_axes(project: Project, fields: set[str]) -> set[str]:
+def _consumed_axes(project: Project, fields: dict[str, int]) -> set[str]:
     """DirtySet fields the recompute stages read (``dirty.<axis>``)."""
     consumed: set[str] = set()
     pipeline = project.file(PIPELINE_MODULE)
@@ -216,6 +222,25 @@ def check_registry_coverage(project: Project) -> list[Finding]:
 
     fields, members = _dirtyset_members(project)
     consumed = _consumed_axes(project, fields)
+    pipeline_context = project.file(PIPELINE_MODULE)
+    for axis in sorted(fields):
+        if axis in consumed:
+            continue
+        line = fields[axis]
+        if pipeline_context is not None and pipeline_context.suppressed(
+            "H1", line
+        ):
+            continue
+        findings.append(
+            Finding(
+                "H1",
+                PIPELINE_MODULE,
+                line,
+                f"DirtySet declares axis '{axis}' but no recompute "
+                "stage consumes it; dirt deposited there is silently "
+                "dropped",
+            )
+        )
     for rel, handler, line, axis in _handler_axis_uses(project):
         context = project.file(rel)
         if context is not None and context.suppressed("H1", line):

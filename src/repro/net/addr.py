@@ -53,7 +53,9 @@ class IPv4Address:
     numeric value.
     """
 
-    __slots__ = ("_value",)
+    # ``_str`` lazily caches the dotted-quad form; it is derived state,
+    # deliberately outside __reduce__/__eq__/__hash__.
+    __slots__ = ("_value", "_str")
 
     def __init__(self, value: int | str) -> None:
         if isinstance(value, str):
@@ -90,7 +92,14 @@ class IPv4Address:
         return self._value
 
     def __str__(self) -> str:
-        return _format_dotted_quad(self._value)
+        # Provenance keys cause maps by address/prefix strings, so the
+        # same value is formatted many times per pass — cache it.
+        try:
+            return self._str
+        except AttributeError:
+            text = _format_dotted_quad(self._value)
+            object.__setattr__(self, "_str", text)
+            return text
 
     def __repr__(self) -> str:
         return f"IPv4Address('{self}')"
@@ -125,7 +134,9 @@ class Prefix:
     construction and deterministic iteration.
     """
 
-    __slots__ = ("_network", "_length")
+    # ``_str`` lazily caches the CIDR text form (derived state, outside
+    # __reduce__/__eq__/__hash__).
+    __slots__ = ("_network", "_length", "_str")
 
     def __init__(self, network: int | str | IPv4Address, length: int | None = None) -> None:
         if isinstance(network, str) and "/" in network:
@@ -198,7 +209,11 @@ class Prefix:
 
     def interval(self) -> tuple[int, int]:
         """Half-open integer interval ``(first, last + 1)``."""
-        return (self.first, self.last + 1)
+        # Inlined first/last: this runs per FIB delta on hot paths.
+        return (
+            self._network,
+            (self._network | ((1 << (32 - self._length)) - 1)) + 1,
+        )
 
     def contains_address(self, address: int | IPv4Address) -> bool:
         """True if ``address`` falls inside this prefix."""
@@ -243,7 +258,12 @@ class Prefix:
         return (self._network >> (31 - position)) & 1
 
     def __str__(self) -> str:
-        return f"{_format_dotted_quad(self._network)}/{self._length}"
+        try:
+            return self._str
+        except AttributeError:
+            text = f"{_format_dotted_quad(self._network)}/{self._length}"
+            object.__setattr__(self, "_str", text)
+            return text
 
     def __repr__(self) -> str:
         return f"Prefix('{self}')"

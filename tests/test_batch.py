@@ -43,6 +43,7 @@ from repro.core.handlers import (
     registered_change_handlers,
 )
 from repro.core.pipeline import DirtySet
+from repro.core.planner import PlannerConfig
 from repro.core.snapshot import serialize_topology
 from repro.core.snapshot_diff import SnapshotDiff, diff_states
 from repro.net.addr import Prefix
@@ -371,19 +372,23 @@ class TestDirtySet:
         first.spf_sources.add(("r1", 0))
         first.touched_routers.add("r1")
         first.acl_spans.append((0, 10))
-        second = DirtySet(all_bgp_dirty=True, sessions_stale=True)
+        second = DirtySet(all_bgp_dirty=True)
         second.spf_sources.add(("r2", 0))
         second.advert_prefixes.setdefault(0, set()).add(Prefix("10.0.0.0/24"))
         second.bgp_prefixes.add(Prefix("10.9.0.0/24"))
-        second.policy_routers.add("r3")
+        second.bgp_sessions.add(("r1", "r2"))
+        second.bgp_adj_rib.add(("r2", "r1"))
+        second.bgp_policy.add("r3")
         merged = first.merge(second)
         assert merged is first
         assert first.spf_sources == {("r1", 0), ("r2", 0)}
         assert first.touched_routers == {"r1"}
         assert first.bgp_prefixes == {Prefix("10.9.0.0/24")}
-        assert first.policy_routers == {"r3"}
+        assert first.bgp_sessions == {("r1", "r2")}
+        assert first.bgp_adj_rib == {("r2", "r1")}
+        assert first.bgp_policy == {"r3"}
         assert first.acl_spans == [(0, 10)]
-        assert first.all_bgp_dirty and first.sessions_stale
+        assert first.all_bgp_dirty
         assert Prefix("10.0.0.0/24") in first.advert_prefixes[0]
 
     def test_empty_and_repr(self):
@@ -391,10 +396,10 @@ class TestDirtySet:
         assert dirty.is_empty()
         assert repr(dirty) == "DirtySet(empty)"
         dirty.touched_routers.update({"a", "b"})
-        dirty.sessions_stale = True
+        dirty.bgp_sessions.add(("a", "b"))
         assert not dirty.is_empty()
         text = repr(dirty)
-        assert "2 routers" in text and "sessions-stale" in text
+        assert "2 routers" in text and "1 session pairs" in text
 
 
 # -- script bridge -----------------------------------------------------------
@@ -546,3 +551,227 @@ class TestBatchProvenance:
             record.fib_causes.values()
         ):
             assert ids <= record.all_ids()
+
+
+def _scoped_vs_full_rescan(scenario, changes: list[Change]):
+    """Stage-granularity oracle: pair-scoped session rediscovery must
+    be byte-identical to a full ``discover_sessions`` rebuild.
+
+    Returns ``(scoped_report, full_report)`` so callers can add
+    work-count assertions on ``bgp_sessions_rescanned``.
+
+    Both analyzers pin ``full_scope_ratio`` above 1 so the planner can
+    never short-circuit to full resimulation (which re-solves every
+    prefix and would wash out the per-stage work counters) — the
+    comparison isolates pair-scoped rediscovery against the full
+    ``discover_sessions`` rebuild.
+    """
+    scoped = DifferentialNetworkAnalyzer(
+        scenario.snapshot.clone(),
+        planner=PlannerConfig(full_scope_ratio=1.1),
+    )
+    full = DifferentialNetworkAnalyzer(
+        scenario.snapshot.clone(),
+        planner=PlannerConfig(full_scope_ratio=1.1, scope_sessions=False),
+    )
+    scoped_report = scoped.analyze_batch(changes, label="stage-oracle")
+    full_report = full.analyze_batch(changes, label="stage-oracle")
+    assert _stripped(scoped_report) == _stripped(full_report), (
+        f"scoped session rediscovery diverges from full rescan for "
+        f"{[c.label for c in changes]}"
+    )
+    # The converged session lists agree element-for-element (canonical
+    # sort order is part of the contract).
+    assert scoped.state.bgp_sessions == full.state.bgp_sessions
+    drift = diff_states(scoped.state, full.state)
+    assert drift.is_empty(), f"state drift:\n{drift.summary()}"
+    return scoped_report, full_report
+
+
+class TestBgpStageGranularity:
+    """Per-edit-kind oracles for the staged BGP session discovery.
+
+    For every edit kind that deposits on the ``bgp_sessions`` axis,
+    the pair-scoped rediscovery path must produce the same report and
+    converged state as rebuilding the session list from scratch —
+    while validating strictly fewer directed neighbor entries.
+    """
+
+    def test_link_down_scoped_rescan(self, internet2_scenario):
+        gen = ChangeGenerator(internet2_scenario, seed=81)
+        down, _up = gen.random_link_failure()
+        scoped, full = _scoped_vs_full_rescan(internet2_scenario, [down])
+        assert (
+            scoped.counters["bgp_sessions_rescanned"]
+            < full.counters["bgp_sessions_rescanned"]
+        )
+
+    def test_link_down_up_scoped_rescan(self, internet2_scenario):
+        gen = ChangeGenerator(internet2_scenario, seed=82)
+        down, up = gen.random_link_failure()
+        _scoped_vs_full_rescan(internet2_scenario, [down, up])
+
+    def test_interface_shutdown_scoped_rescan(self, internet2_scenario):
+        gen = ChangeGenerator(internet2_scenario, seed=83)
+        shutdown, _enable = gen.random_interface_flap()
+        scoped, full = _scoped_vs_full_rescan(
+            internet2_scenario, [shutdown]
+        )
+        assert (
+            scoped.counters["bgp_sessions_rescanned"]
+            < full.counters["bgp_sessions_rescanned"]
+        )
+
+    def test_interface_flap_scoped_rescan(self, internet2_scenario):
+        gen = ChangeGenerator(internet2_scenario, seed=84)
+        shutdown, enable = gen.random_interface_flap()
+        _scoped_vs_full_rescan(internet2_scenario, [shutdown, enable])
+
+    def test_remove_neighbor_scoped_rescan(self, internet2_scenario):
+        gen = ChangeGenerator(internet2_scenario, seed=85)
+        teardown, _restore = gen.random_session_flap()
+        scoped, full = _scoped_vs_full_rescan(
+            internet2_scenario, [teardown]
+        )
+        assert 0 < scoped.counters["bgp_sessions_rescanned"]
+        assert (
+            scoped.counters["bgp_sessions_rescanned"]
+            < full.counters["bgp_sessions_rescanned"]
+        )
+
+    def test_session_flap_scoped_rescan(self, internet2_scenario):
+        """AddBgpNeighbor rides in via the restore half of the flap."""
+        gen = ChangeGenerator(internet2_scenario, seed=86)
+        teardown, restore = gen.random_session_flap()
+        _scoped_vs_full_rescan(internet2_scenario, [teardown, restore])
+
+    def test_local_pref_edit_scoped_rescan(self, internet2_scenario):
+        """SetLocalPref deposits on bgp_adj_rib, not bgp_sessions —
+        no session is rescanned on either path."""
+        gen = ChangeGenerator(internet2_scenario, seed=87)
+        flip = gen.dual_homed_pref_flip(100, 200)
+        scoped, full = _scoped_vs_full_rescan(internet2_scenario, [flip])
+        assert scoped.counters["bgp_sessions_rescanned"] == 0
+        assert full.counters["bgp_sessions_rescanned"] == 0
+
+
+class TestBatchPlanner:
+    """The planner's crossover/split decisions: deterministic,
+    provenance-sound, and equivalence-preserving in every mode."""
+
+    def test_plan_is_deterministic(self, internet2_scenario):
+        analyzer = DifferentialNetworkAnalyzer(
+            internet2_scenario.snapshot.clone()
+        )
+        gen = ChangeGenerator(internet2_scenario, seed=90)
+        # IGP edits estimate zero dirty prefixes: always scoped.
+        cost_batch = [gen.random_ospf_cost()]
+        first = analyzer.planner.plan(cost_batch)
+        second = analyzer.planner.plan(cost_batch)
+        assert first == second  # BatchPlan is a frozen dataclass
+        assert first.mode == "scoped"
+        assert first.total_prefixes > 0
+        # BGP-surface batches plan identically on repeat too, whatever
+        # side of the crossover the estimate lands on.
+        teardown, _restore = gen.random_session_flap()
+        flip = gen.dual_homed_pref_flip(100, 200)
+        bgp_batch = [teardown, flip]
+        assert analyzer.planner.plan(bgp_batch) == analyzer.planner.plan(
+            bgp_batch
+        )
+
+    def test_provenance_defers_full_mode(self, internet2_scenario):
+        """Attribution needs scoped cause bookkeeping: with provenance
+        on, the planner never picks full mode, even past crossover."""
+        analyzer = DifferentialNetworkAnalyzer(
+            internet2_scenario.snapshot.clone(),
+            planner=PlannerConfig(full_scope_ratio=0.0),
+        )
+        gen = ChangeGenerator(internet2_scenario, seed=91)
+        teardown, _restore = gen.random_session_flap()
+        assert analyzer.planner.plan([teardown]).mode == "full"
+        plan = analyzer.planner.plan([teardown], provenance=True)
+        assert plan.mode == "scoped"
+        assert "provenance" in plan.reason
+
+    def test_add_neighbor_estimates_certain_full(self, internet2_scenario):
+        gen = ChangeGenerator(internet2_scenario, seed=92)
+        teardown, restore = gen.random_session_flap()
+        analyzer = DifferentialNetworkAnalyzer(
+            internet2_scenario.snapshot.clone()
+        )
+        analyzer.analyze(teardown)
+        plan = analyzer.planner.plan([restore])
+        assert plan.mode == "full"
+        assert plan.estimated_prefixes == plan.total_prefixes
+
+    def test_full_mode_byte_identical(self, internet2_scenario):
+        gen = ChangeGenerator(internet2_scenario, seed=93)
+        teardown, _restore = gen.random_session_flap()
+        flip = gen.dual_homed_pref_flip(100, 200)
+        changes = [teardown, flip]
+        # full_scope_ratio > 1 disables the crossover; 0.0 forces it.
+        scoped = DifferentialNetworkAnalyzer(
+            internet2_scenario.snapshot.clone(),
+            planner=PlannerConfig(full_scope_ratio=1.1),
+        )
+        full = DifferentialNetworkAnalyzer(
+            internet2_scenario.snapshot.clone(),
+            planner=PlannerConfig(full_scope_ratio=0.0),
+        )
+        scoped_report = scoped.analyze_batch(changes, label="crossover")
+        full_report = full.analyze_batch(changes, label="crossover")
+        assert _stripped(scoped_report) == _stripped(full_report)
+        drift = diff_states(scoped.state, full.state)
+        assert drift.is_empty(), f"state drift:\n{drift.summary()}"
+        assert full.metrics.counters()["planner.full"] == 1
+        assert scoped.metrics.counters()["planner.scoped"] == 1
+
+    def test_split_mode_matches_unsplit(self, fat_tree_k4_scenario):
+        gen = ChangeGenerator(fat_tree_k4_scenario, seed=94)
+        adds = [gen.random_static_route()[0] for _ in range(3)]
+        plain = DifferentialNetworkAnalyzer(
+            fat_tree_k4_scenario.snapshot.clone()
+        )
+        split = DifferentialNetworkAnalyzer(
+            fat_tree_k4_scenario.snapshot.clone(),
+            planner=PlannerConfig(split_max_edits=2),
+        )
+        plan = split.planner.plan(adds)
+        assert plan.mode == "split"
+        assert plan.chunk_sizes == (2, 1)
+        plain_report = plain.analyze_batch(adds, label="chunked")
+        split_report = split.analyze_batch(adds, label="chunked")
+        assert _stripped(plain_report) == _stripped(split_report)
+        drift = diff_states(plain.state, split.state)
+        assert drift.is_empty(), f"state drift:\n{drift.summary()}"
+        # One split decision, then one scoped pass per chunk.
+        counters = split.metrics.counters()
+        assert counters["planner.split"] == 1
+        assert counters["planner.scoped"] == 2
+
+    def test_split_mode_preserves_provenance(self, fat_tree_k4_scenario):
+        """Chunk composition renumbers edit ids densely, so a split
+        batch's provenance is byte-identical to the unsplit one."""
+        gen = ChangeGenerator(fat_tree_k4_scenario, seed=95)
+        down, _up = gen.random_link_failure()
+        add1, _ = gen.random_static_route()
+        add2, _ = gen.random_static_route()
+        changes = [down, add1, add2]
+        plain = DifferentialNetworkAnalyzer(
+            fat_tree_k4_scenario.snapshot.clone()
+        )
+        split = DifferentialNetworkAnalyzer(
+            fat_tree_k4_scenario.snapshot.clone(),
+            planner=PlannerConfig(split_max_edits=1),
+        )
+        plain_report = plain.analyze_batch(
+            changes, label="chunked", provenance=True
+        )
+        split_report = split.analyze_batch(
+            changes, label="chunked", provenance=True
+        )
+        assert _stripped(plain_report) == _stripped(split_report)
+        record = split_report.provenance
+        assert record is not None
+        assert [info.edit_id for info in record.edits] == [0, 1, 2]

@@ -395,6 +395,28 @@ PIPELINE_STUB = """
         def run(self, dirty):
             for router in sorted(dirty.ospf):
                 self.recompute(router)
+            for prefix in sorted(dirty.bgp_prefixes):
+                self.solve(prefix)
+"""
+
+# Same shape, plus an ``acl_spans`` axis nothing in the pipeline reads.
+UNCONSUMED_PIPELINE_STUB = """
+    class DirtySet:
+        ospf: set
+        bgp_prefixes: set
+        acl_spans: list
+
+        def merge(self, other):
+            self.ospf |= other.ospf
+            self.bgp_prefixes |= other.bgp_prefixes
+            self.acl_spans += other.acl_spans
+
+    class RecomputePipeline:
+        def run(self, dirty):
+            for router in sorted(dirty.ospf):
+                self.recompute(router)
+            for prefix in sorted(dirty.bgp_prefixes):
+                self.solve(prefix)
 """
 
 CHANGE_STUB = """
@@ -466,22 +488,46 @@ class TestRegistryCoverage:
     def test_unconsumed_axis_flagged(self, tmp_path):
         root = make_project(tmp_path, {
             "repro/core/change.py": CHANGE_STUB,
-            "repro/core/pipeline.py": PIPELINE_STUB,
+            "repro/core/pipeline.py": UNCONSUMED_PIPELINE_STUB,
             "repro/core/handlers.py": """
                 from repro.core.change import LinkDown
                 from repro.core.handlers_registry import register_change_handler
 
                 @register_change_handler(LinkDown)
                 def handle_link(analyzer, edit, dirty):
-                    dirty.bgp_prefixes.add(edit.prefix)
+                    dirty.acl_spans.append(edit.span)
             """,
         })
         # DirtySet.merge reads every field trivially; only the
         # recompute stages count as consumers, and they never read
-        # bgp_prefixes in this fixture.
+        # acl_spans in this fixture.  Both the handler write and the
+        # field declaration itself are flagged.
+        findings = run_rule("H1", root)
+        assert len(findings) == 2
+        assert any("never consumes" in f.message for f in findings)
+        assert any(
+            "no recompute stage consumes" in f.message for f in findings
+        )
+
+    def test_declared_axis_without_consumer_flagged(self, tmp_path):
+        # No handler even writes the dead axis: the declaration alone
+        # is flagged — new DirtySet axes must be consumed by a stage.
+        root = make_project(tmp_path, {
+            "repro/core/change.py": CHANGE_STUB,
+            "repro/core/pipeline.py": UNCONSUMED_PIPELINE_STUB,
+            "repro/core/handlers.py": """
+                from repro.core.change import LinkDown
+                from repro.core.handlers_registry import register_change_handler
+
+                @register_change_handler(LinkDown)
+                def handle_link(analyzer, edit, dirty):
+                    dirty.ospf.add(edit.router)
+            """,
+        })
         findings = run_rule("H1", root)
         assert len(findings) == 1
-        assert "never consumes" in findings[0].message
+        assert "no recompute stage consumes" in findings[0].message
+        assert "'acl_spans'" in findings[0].message
 
 
 # -- M1: obs naming ----------------------------------------------------------
